@@ -1,0 +1,149 @@
+// Command locmap is the compiler driver: it parses a loop-nest source
+// file, runs the location-aware mapping pipeline against a described
+// manycore target, and prints the annotated output code (the schedule
+// tables and the inserted inspector code, where needed).
+//
+// Usage:
+//
+//	locmap [flags] file.loc
+//	locmap [flags] -        # read source from stdin
+//
+// Flags:
+//
+//	-shared        target a shared (S-NUCA) LLC instead of private
+//	-mesh WxH      mesh size (default 6x6)
+//	-regions XxY   region grid (default 3x3)
+//	-param N=V     set a symbolic parameter (repeatable)
+//	-run           also execute the program on the simulator and report
+//	               the improvement over the default mapping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"locmap/internal/cache"
+	"locmap/internal/compiler"
+	"locmap/internal/core"
+	"locmap/internal/inspector"
+	"locmap/internal/lang"
+	"locmap/internal/sim"
+	"locmap/internal/stats"
+	"locmap/internal/topology"
+)
+
+type paramList map[string]int64
+
+func (p paramList) String() string { return fmt.Sprintf("%v", map[string]int64(p)) }
+
+func (p paramList) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected NAME=VALUE, got %q", s)
+	}
+	v, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return err
+	}
+	p[name] = v
+	return nil
+}
+
+func parseGrid(s string) (int, int, error) {
+	a, b, ok := strings.Cut(s, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("expected WxH, got %q", s)
+	}
+	w, err := strconv.Atoi(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	h, err := strconv.Atoi(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	return w, h, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "locmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	shared := flag.Bool("shared", false, "target a shared (S-NUCA) LLC")
+	meshStr := flag.String("mesh", "6x6", "mesh size WxH")
+	regStr := flag.String("regions", "3x3", "region grid XxY")
+	doRun := flag.Bool("run", false, "execute on the simulator and report improvement")
+	params := paramList{}
+	flag.Var(params, "param", "symbolic parameter NAME=VALUE (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		return fmt.Errorf("expected exactly one source file (or '-')")
+	}
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+
+	w, h, err := parseGrid(*meshStr)
+	if err != nil {
+		return err
+	}
+	rx, ry, err := parseGrid(*regStr)
+	if err != nil {
+		return err
+	}
+	mesh, err := topology.New(w, h, rx, ry, topology.MCCorners)
+	if err != nil {
+		return err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Mesh = mesh
+	if *shared {
+		cfg.LLCOrg = cache.SharedSNUCA
+	}
+
+	res, err := compiler.CompileSource(string(src), compiler.Options{Cfg: cfg, Params: params})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Listing())
+
+	if !*doRun {
+		return nil
+	}
+	p := res.Program
+	lang.GenerateIndexData(p, 1, 64) // demo inputs for unbound index arrays
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	sysD := sim.New(cfg)
+	defCycles := sim.TotalCycles(inspector.RunBaseline(sysD, p))
+	var laCycles int64
+	if res.NeedsInspector {
+		sys := sim.New(cfg)
+		mapper := core.NewMapper(core.Config{Mesh: cfg.Mesh})
+		r := inspector.Run(sys, p, mapper, inspector.DefaultOverhead())
+		laCycles = r.TotalCycles()
+	} else {
+		sys := sim.New(cfg)
+		laCycles = sim.TotalCycles(sys.RunTiming(p, func(int) *sim.Schedule { return res.Schedule }))
+	}
+	fmt.Printf("\n/* simulated: default=%d cycles, locmap=%d cycles, improvement=%.1f%% */\n",
+		defCycles, laCycles, stats.PctReduction(float64(defCycles), float64(laCycles)))
+	return nil
+}

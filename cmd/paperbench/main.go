@@ -1,0 +1,95 @@
+// Command paperbench regenerates the paper's tables and figures on the
+// simulator. Each experiment prints a text table with the same rows and
+// series the paper reports; EXPERIMENTS.md records a reference run.
+//
+// Usage:
+//
+//	paperbench -fig 7                 # one figure
+//	paperbench -fig 7,8,9             # several
+//	paperbench -all                   # everything (long: ~tens of minutes)
+//	paperbench -fig 7 -apps moldyn,swim   # restrict the benchmark set
+//
+// Experiments: 2, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, table3, multi.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"locmap/internal/experiments"
+	"locmap/internal/stats"
+)
+
+var figures = []struct {
+	name string
+	desc string
+	run  func(experiments.Options) *stats.Table
+}{
+	{"2", "ideal-network potential", experiments.Fig2},
+	{"table3", "benchmark properties", experiments.Table3},
+	{"7", "private LLC main results", experiments.Fig7},
+	{"8", "shared LLC main results", experiments.Fig8},
+	{"9", "hardware sensitivity", experiments.Fig9},
+	{"10", "region / set-size sensitivity", experiments.Fig10},
+	{"11", "address distributions", experiments.Fig11},
+	{"12", "DDR-4", experiments.Fig12},
+	{"13", "vs data-layout optimization (DO)", experiments.Fig13},
+	{"14", "vs hardware placement", experiments.Fig14},
+	{"15", "perfect-estimation oracle", experiments.Fig15},
+	{"16", "KNL cluster modes", experiments.Fig16},
+	{"17", "KNL scaled inputs", experiments.Fig17},
+	{"multi", "multiprogrammed mixes", experiments.MultiProg},
+}
+
+func main() {
+	fig := flag.String("fig", "", "comma-separated experiment ids (see -h)")
+	all := flag.Bool("all", false, "run every experiment")
+	appsFlag := flag.String("apps", "", "comma-separated benchmark subset")
+	scale := flag.Int("scale", 1, "workload input scale")
+	quiet := flag.Bool("q", false, "suppress per-app progress lines")
+	flag.Parse()
+
+	o := experiments.Options{Scale: *scale}
+	if !*quiet {
+		o.Log = os.Stderr
+	}
+	if *appsFlag != "" {
+		o.Apps = strings.Split(*appsFlag, ",")
+	}
+
+	var want map[string]bool
+	if !*all {
+		if *fig == "" {
+			fmt.Fprintln(os.Stderr, "paperbench: pass -fig ids or -all; known experiments:")
+			for _, f := range figures {
+				fmt.Fprintf(os.Stderr, "  %-7s %s\n", f.name, f.desc)
+			}
+			os.Exit(2)
+		}
+		want = map[string]bool{}
+		for _, id := range strings.Split(*fig, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	for _, f := range figures {
+		if want != nil && !want[f.name] {
+			continue
+		}
+		if want != nil {
+			delete(want, f.name)
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "== experiment %s: %s\n", f.name, f.desc)
+		tab := f.run(o)
+		fmt.Println(tab.String())
+		fmt.Fprintf(os.Stderr, "   (%s)\n", time.Since(start).Round(time.Millisecond))
+	}
+	for id := range want {
+		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", id)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,31 @@
+// Package locmap reproduces "Enhancing Computation-to-Core Assignment
+// with Physical Location Information" (Kislal, Kotra, Tang, Kandemir,
+// Jung — PLDI 2018): a compiler strategy that maps loop-iteration sets to
+// the cores of an NoC-based manycore using the physical positions of
+// cores, last-level-cache banks and memory controllers.
+//
+// The repository contains the complete system described by the paper,
+// built from scratch in Go:
+//
+//   - internal/topology, noc, cache, dram, mem — the simulated 6×6
+//     manycore: 2D mesh with X-Y wormhole routing, private or shared
+//     (S-NUCA) banked L2, DDR3/DDR4 memory controllers, and the
+//     page/cacheline interleaved address maps;
+//   - internal/sim — the discrete-event system simulator;
+//   - internal/loop, lang, cme — the compiler's loop-nest IR, the small
+//     front-end language, and the cache-miss estimator;
+//   - internal/affinity, core — MAI/MAC/CAI/CAC affinity vectors and the
+//     paper's Algorithms 1 and 2 with location-aware load balancing (the
+//     primary contribution);
+//   - internal/inspector — the inspector–executor runtime for irregular
+//     applications;
+//   - internal/workloads — synthetic stand-ins for the paper's 21
+//     benchmarks;
+//   - internal/baselines, knl, experiments — the comparison schemes and
+//     the harness that regenerates every table and figure.
+//
+// Entry points: cmd/locmap (compiler driver), cmd/simnoc (single
+// benchmark runs), cmd/paperbench (the full evaluation), and the runnable
+// examples under examples/. The top-level bench_test.go exposes each
+// experiment as a Go benchmark.
+package locmap

@@ -1,0 +1,76 @@
+// KNL modes: run one benchmark under the three Knights-Landing-style
+// cluster modes (all-to-all, quadrant, SNC-4), with and without the
+// location-aware mapping — the experiment behind the paper's Figure 16.
+//
+//	go run ./examples/knlmodes [benchmark]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"locmap/internal/cache"
+	"locmap/internal/core"
+	"locmap/internal/inspector"
+	"locmap/internal/knl"
+	"locmap/internal/sim"
+	"locmap/internal/stats"
+	"locmap/internal/workloads"
+)
+
+func main() {
+	app := "hpccg"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+	if _, ok := workloads.Lookup(app); !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", app)
+		os.Exit(1)
+	}
+
+	base := exec(app, knl.AllToAll, false)
+	fmt.Printf("%s on the KNL-like mesh (vs original all-to-all = %d cycles):\n", app, base)
+	for _, mode := range knl.Modes() {
+		for _, opt := range []bool{false, true} {
+			if mode == knl.AllToAll && !opt {
+				continue
+			}
+			cy := exec(app, mode, opt)
+			tag := "original "
+			if opt {
+				tag = "optimized"
+			}
+			fmt.Printf("  %s %-10s %9d cycles  (%+.1f%%)\n",
+				tag, mode, cy, stats.PctReduction(float64(base), float64(cy)))
+		}
+	}
+}
+
+// exec measures one (mode, optimized) configuration.
+func exec(app string, mode knl.Mode, optimized bool) int64 {
+	p := workloads.MustNew(app, 1)
+	cfg := knl.Config(mode)
+	cfg.LLCOrg = cache.SharedSNUCA
+	kmap := cfg.AddrMap.(*knl.Map)
+
+	placer := sim.New(cfg)
+	def := placer.DefaultScheduleFor(p)
+	kmap.FirstTouch(p, def, cfg.IterSetFrac) // SNC-4 page placement
+
+	if !optimized {
+		sys := sim.New(cfg)
+		return sim.TotalCycles(inspector.RunBaseline(sys, p))
+	}
+
+	// Profile once, map with Algorithm 2, then measure.
+	prof := sim.New(cfg)
+	first := prof.RunProgram(p, def)
+	mapper := core.NewMapper(core.Config{Mesh: cfg.Mesh})
+	sched := &sim.Schedule{}
+	for i, n := range p.Nests {
+		sa := inspector.AffinitiesFromObs(first.NestObs[i], prof.Sets(n), true)
+		sched.Assign = append(sched.Assign, mapper.MapShared(sa))
+	}
+	sys := sim.New(cfg)
+	return sim.TotalCycles(sys.RunTiming(p, func(int) *sim.Schedule { return sched }))
+}

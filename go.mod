@@ -1,0 +1,3 @@
+module locmap
+
+go 1.22

@@ -1,0 +1,233 @@
+// Package affinity implements the paper's four affinity concepts and the
+// vector-difference metric that relates them:
+//
+//   - MAI — memory affinity of an iteration set: the fraction of its LLC
+//     misses destined to each memory controller (§3.2).
+//   - MAC — memory affinity of a core region: how close the region's
+//     cores are to each MC (§3.3; Figure 6a).
+//   - CAI — cache affinity of an iteration set: the fraction of its LLC
+//     hits satisfied by each region's banks (§3.6).
+//   - CAC — cache affinity of a core region: 0.5 preference for its own
+//     region's banks, the rest split over edge neighbors (§3.7; Fig. 6c).
+//
+// Affinity vectors are probability-like (entries sum to 1 unless empty),
+// and the difference between two vectors is Eta = Σ|δk−δ′k|/m — the error
+// the mapping algorithm minimizes.
+package affinity
+
+import (
+	"fmt"
+	"math"
+
+	"locmap/internal/topology"
+)
+
+// Vector is an affinity vector; entries are non-negative and normally sum
+// to 1 (an all-zero vector means "no information").
+type Vector []float64
+
+// Eta returns the difference (opposite of similarity) between two affinity
+// vectors: Σ_k |a_k − b_k| / m. Vectors must have equal length.
+func Eta(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("affinity: Eta over mismatched lengths %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for k := range a {
+		sum += math.Abs(a[k] - b[k])
+	}
+	return sum / float64(len(a))
+}
+
+// Sum returns the total weight in v.
+func (v Vector) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Normalize scales v so entries sum to 1 (no-op for an all-zero vector).
+func (v Vector) Normalize() {
+	s := v.Sum()
+	if s == 0 {
+		return
+	}
+	for k := range v {
+		v[k] /= s
+	}
+}
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector { return append(Vector(nil), v...) }
+
+// ArgMax returns the index of the largest entry (-1 for empty vectors).
+func (v Vector) ArgMax() int {
+	best, bi := math.Inf(-1), -1
+	for k, x := range v {
+		if x > best {
+			best, bi = x, k
+		}
+	}
+	return bi
+}
+
+// Builder accumulates weighted observations (access k happened) into a
+// normalized affinity vector. It is how both the compile-time estimator
+// and the run-time inspector construct MAI and CAI.
+type Builder struct {
+	counts Vector
+	total  float64
+}
+
+// NewBuilder creates a builder for an m-entry vector.
+func NewBuilder(m int) *Builder { return &Builder{counts: make(Vector, m)} }
+
+// Add records weight w of affinity to entry k.
+func (b *Builder) Add(k int, w float64) {
+	b.counts[k] += w
+	b.total += w
+}
+
+// AddOne records a single observation for entry k.
+func (b *Builder) AddOne(k int) { b.Add(k, 1) }
+
+// Total returns the accumulated weight.
+func (b *Builder) Total() float64 { return b.total }
+
+// Vector returns the normalized affinity vector (all-zero if nothing was
+// recorded).
+func (b *Builder) Vector() Vector {
+	v := b.counts.Clone()
+	v.Normalize()
+	return v
+}
+
+// Reset clears the builder for reuse.
+func (b *Builder) Reset() {
+	for k := range b.counts {
+		b.counts[k] = 0
+	}
+	b.total = 0
+}
+
+// MAC returns the memory affinity of region r's cores: weight is split
+// uniformly over the MCs at minimum distance from the region center
+// (§3.3). On the paper's 6×6/9-region/corner-MC layout this reproduces
+// Figure 6a exactly — e.g. R2 → (0.5, 0.5, 0, 0) and R5 → (¼,¼,¼,¼).
+func MAC(m *topology.Mesh, r topology.RegionID) Vector {
+	nmc := m.NumMCs()
+	v := make(Vector, nmc)
+	minD := math.MaxInt
+	for mc := 0; mc < nmc; mc++ {
+		if d := m.RegionMCDistance(r, topology.MCID(mc)); d < minD {
+			minD = d
+		}
+	}
+	n := 0
+	for mc := 0; mc < nmc; mc++ {
+		if m.RegionMCDistance(r, topology.MCID(mc)) == minD {
+			n++
+		}
+	}
+	for mc := 0; mc < nmc; mc++ {
+		if m.RegionMCDistance(r, topology.MCID(mc)) == minD {
+			v[mc] = 1 / float64(n)
+		}
+	}
+	return v
+}
+
+// MACFine returns the finer-granularity MC preference discussed in §3.9:
+// weights proportional to inverse distance from the region center rather
+// than winner-take-all. Used by the ablation benchmarks.
+func MACFine(m *topology.Mesh, r topology.RegionID) Vector {
+	nmc := m.NumMCs()
+	v := make(Vector, nmc)
+	for mc := 0; mc < nmc; mc++ {
+		d := float64(m.RegionMCDistance(r, topology.MCID(mc)))
+		v[mc] = 1 / (1 + d)
+	}
+	v.Normalize()
+	return v
+}
+
+// CAC returns the cache affinity of region r's cores: 0.5 for the region
+// itself and the remaining 0.5 split equally across its edge neighbors in
+// the region grid (§3.7). On the 9-region layout this reproduces Figure 6c
+// — e.g. R1 → (0.5, 0.25, 0, 0.25, 0, …).
+func CAC(m *topology.Mesh, r topology.RegionID) Vector {
+	v := make(Vector, m.NumRegions())
+	nbrs := m.RegionNeighbors(r)
+	if len(nbrs) == 0 {
+		v[r] = 1
+		return v
+	}
+	v[r] = 0.5
+	share := 0.5 / float64(len(nbrs))
+	for _, nb := range nbrs {
+		v[nb] = share
+	}
+	return v
+}
+
+// MACAll precomputes MAC for every region.
+func MACAll(m *topology.Mesh) []Vector {
+	out := make([]Vector, m.NumRegions())
+	for r := range out {
+		out[r] = MAC(m, topology.RegionID(r))
+	}
+	return out
+}
+
+// MACFineAll precomputes MACFine for every region.
+func MACFineAll(m *topology.Mesh) []Vector {
+	out := make([]Vector, m.NumRegions())
+	for r := range out {
+		out[r] = MACFine(m, topology.RegionID(r))
+	}
+	return out
+}
+
+// CACAll precomputes CAC for every region.
+func CACAll(m *topology.Mesh) []Vector {
+	out := make([]Vector, m.NumRegions())
+	for r := range out {
+		out[r] = CAC(m, topology.RegionID(r))
+	}
+	return out
+}
+
+// Alpha converts an estimated LLC hit fraction into the weighting between
+// cache affinity and memory affinity in Algorithm 2's combined error
+// η = α·ηc + (1−α)·ηm (§4: two hits out of four accesses → α = 0.5). The
+// result is clamped to [0, 1).
+func Alpha(hits, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	a := hits / total
+	if a < 0 {
+		return 0
+	}
+	const max = 0.999 // the paper requires α < 1: memory affinity never fully vanishes
+	if a > max {
+		a = max
+	}
+	return a
+}
+
+// SetAffinity bundles everything the mapper needs to know about one
+// iteration set: its memory and cache affinities and its α weight.
+type SetAffinity struct {
+	MAI   Vector  // per-MC miss fractions
+	CAI   Vector  // per-region hit fractions (shared LLC only; nil for private)
+	Alpha float64 // estimated LLC hit fraction
+	// Weight is the set's share of the nest's work (iteration count),
+	// used by load balancing.
+	Weight int64
+}

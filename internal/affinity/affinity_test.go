@@ -1,0 +1,264 @@
+package affinity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"locmap/internal/topology"
+)
+
+func almostEq(a, b Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if math.Abs(a[k]-b[k]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMACMatchesFigure6a checks all nine MAC vectors of the paper's
+// Figure 6a on the default 6×6 mesh with corner MCs.
+func TestMACMatchesFigure6a(t *testing.T) {
+	m := topology.Default6x6()
+	want := []Vector{
+		{1, 0, 0, 0},             // R1
+		{0.5, 0.5, 0, 0},         // R2
+		{0, 1, 0, 0},             // R3
+		{0.5, 0, 0, 0.5},         // R4
+		{0.25, 0.25, 0.25, 0.25}, // R5
+		{0, 0.5, 0.5, 0},         // R6
+		{0, 0, 0, 1},             // R7
+		{0, 0, 0.5, 0.5},         // R8
+		{0, 0, 1, 0},             // R9
+	}
+	for r, w := range want {
+		got := MAC(m, topology.RegionID(r))
+		if !almostEq(got, w) {
+			t.Errorf("MAC(R%d) = %v, want %v", r+1, got, w)
+		}
+	}
+}
+
+// TestCACMatchesFigure6c checks the CAC vectors the paper spells out for
+// R1, R2 and R5 in §3.7 / Figure 6c.
+func TestCACMatchesFigure6c(t *testing.T) {
+	m := topology.Default6x6()
+	third := 0.5 / 3
+	cases := map[int]Vector{
+		0: {0.5, 0.25, 0, 0.25, 0, 0, 0, 0, 0},           // R1
+		1: {third, 0.5, third, 0, third, 0, 0, 0, 0},     // R2
+		4: {0, 0.125, 0, 0.125, 0.5, 0.125, 0, 0.125, 0}, // R5
+		8: {0, 0, 0, 0, 0, 0.25, 0, 0.25, 0.5},           // R9
+		7: {0, 0, 0, 0, third, 0, third, 0.5, third},     // R8
+		3: {third, 0, 0, 0.5, third, 0, third, 0, 0},     // R4
+	}
+	for r, w := range cases {
+		got := CAC(m, topology.RegionID(r))
+		if !almostEq(got, w) {
+			t.Errorf("CAC(R%d) = %v, want %v", r+1, got, w)
+		}
+	}
+}
+
+// TestEtaTable2 reproduces Table 2's error calculations for the three MAI
+// vectors against the Figure 6a MAC vectors, and in particular the
+// paper's conclusions about which region wins.
+func TestEtaTable2(t *testing.T) {
+	m := topology.Default6x6()
+	macs := MACAll(m)
+
+	mai1 := Vector{0.5, 0.25, 0.25, 0}
+	// Spot-check the exact error values of Table 2 for MAI1. (The
+	// published table contains two arithmetic slips: its R2 row sums a
+	// stray 0.75 term and its R8/R9 rows print 0.325 for 0.375; the
+	// values below are the exact Σ|δ−δ'|/4 results, which agree with
+	// the paper everywhere else.)
+	for _, c := range []struct {
+		r    int
+		want float64
+	}{{0, 0.25}, {1, 0.125}, {2, 0.375}, {3, 0.25}, {4, 0.125}, {5, 0.25}, {6, 0.5}, {7, 0.375}, {8, 0.375}} {
+		if got := Eta(mai1, macs[c.r]); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Eta(MAI1, R%d) = %g, want %g", c.r+1, got, c.want)
+		}
+	}
+	// R5 attains the minimum error (0.125, tied with R2 under exact
+	// arithmetic) — the paper names R5 as the preferred region.
+	e5 := Eta(mai1, macs[4])
+	for r := range macs {
+		if e := Eta(mai1, macs[r]); e < e5-1e-9 {
+			t.Errorf("R%d (%g) beats R5 (%g) for MAI1", r+1, e, e5)
+		}
+	}
+
+	mai2 := Vector{0, 0, 0.5, 0.5}
+	if got := Eta(mai2, macs[7]); got != 0 {
+		t.Errorf("Eta(MAI2, R8) = %g, want 0", got)
+	}
+	if best := argMinEta(mai2, macs); best != 7 {
+		t.Errorf("best region for MAI (0,0,0.5,0.5) = R%d, want R8", best+1)
+	}
+
+	// The CME-refined example of §4: MAI (0,0.25,0.25,0) normalizes to
+	// (0,0.5,0.5,0), whose best regions are R5/R6; the paper names R5
+	// and R6 as the most suitable.
+	mai3 := Vector{0, 0.5, 0.5, 0}
+	e5, e6 := Eta(mai3, macs[4]), Eta(mai3, macs[5])
+	for r := range macs {
+		if r == 4 || r == 5 {
+			continue
+		}
+		if e := Eta(mai3, macs[r]); e < e5 || e < e6 {
+			t.Errorf("R%d beats R5/R6 for refined MAI: %g < %g/%g", r+1, e, e5, e6)
+		}
+	}
+}
+
+func argMinEta(v Vector, macs []Vector) int {
+	best, bi := math.Inf(1), -1
+	for r, m := range macs {
+		if e := Eta(v, m); e < best {
+			best, bi = e, r
+		}
+	}
+	return bi
+}
+
+func TestEtaProperties(t *testing.T) {
+	// Eta is a scaled L1 distance: symmetric, zero iff equal (for
+	// normalized vectors), and satisfies the triangle inequality.
+	norm := func(raw [4]uint8) Vector {
+		v := make(Vector, 4)
+		for i, x := range raw {
+			v[i] = float64(x)
+		}
+		if v.Sum() == 0 {
+			v[0] = 1
+		}
+		v.Normalize()
+		return v
+	}
+	sym := func(a, b [4]uint8) bool {
+		va, vb := norm(a), norm(b)
+		return math.Abs(Eta(va, vb)-Eta(vb, va)) < 1e-12
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+	tri := func(a, b, c [4]uint8) bool {
+		va, vb, vc := norm(a), norm(b), norm(c)
+		return Eta(va, vc) <= Eta(va, vb)+Eta(vb, vc)+1e-12
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Error(err)
+	}
+	bounded := func(a, b [4]uint8) bool {
+		// For probability vectors, Σ|δ−δ'| ≤ 2, so Eta ≤ 2/m.
+		return Eta(norm(a), norm(b)) <= 2.0/4+1e-12
+	}
+	if err := quick.Check(bounded, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderMAIExample(t *testing.T) {
+	// §3.2's example: of four accesses, two go to MC1, one to MC2, one
+	// to MC3 → MAI = (0.5, 0.25, 0.25, 0).
+	b := NewBuilder(4)
+	b.AddOne(0)
+	b.AddOne(0)
+	b.AddOne(1)
+	b.AddOne(2)
+	if got := b.Vector(); !almostEq(got, Vector{0.5, 0.25, 0.25, 0}) {
+		t.Errorf("MAI = %v, want (0.5,0.25,0.25,0)", got)
+	}
+}
+
+func TestBuilderCAIExample(t *testing.T) {
+	// §3.6's example: two refs hit region 4 (index 3), one region 2
+	// (index 1), one region 8 (index 7).
+	b := NewBuilder(9)
+	b.AddOne(3)
+	b.AddOne(3)
+	b.AddOne(1)
+	b.AddOne(7)
+	want := Vector{0, 0.25, 0, 0.5, 0, 0, 0, 0.25, 0}
+	if got := b.Vector(); !almostEq(got, want) {
+		t.Errorf("CAI = %v, want %v", got, want)
+	}
+}
+
+func TestBuilderResetAndEmpty(t *testing.T) {
+	b := NewBuilder(3)
+	if got := b.Vector(); got.Sum() != 0 {
+		t.Errorf("empty builder vector = %v, want all-zero", got)
+	}
+	b.AddOne(2)
+	b.Reset()
+	if b.Total() != 0 || b.Vector().Sum() != 0 {
+		t.Error("Reset should clear the builder")
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	// §4: 2 hits of 4 accesses → α = 0.5; 1 hit of 4 → α = 0.25.
+	if a := Alpha(2, 4); a != 0.5 {
+		t.Errorf("Alpha(2,4) = %g", a)
+	}
+	if a := Alpha(1, 4); a != 0.25 {
+		t.Errorf("Alpha(1,4) = %g", a)
+	}
+	if a := Alpha(4, 4); a >= 1 {
+		t.Errorf("Alpha must stay below 1, got %g", a)
+	}
+	if a := Alpha(0, 0); a != 0 {
+		t.Errorf("Alpha(0,0) = %g, want 0", a)
+	}
+}
+
+func TestMACFineOrdersByDistance(t *testing.T) {
+	m := topology.Default6x6()
+	v := MACFine(m, 0) // R1, top-left
+	if !(v[0] > v[1] && v[0] > v[2] && v[0] > v[3]) {
+		t.Errorf("MACFine(R1) should prefer MC0: %v", v)
+	}
+	if v[2] >= v[1] {
+		t.Errorf("MACFine(R1): far MC2 should rank below MC1: %v", v)
+	}
+	if math.Abs(v.Sum()-1) > 1e-9 {
+		t.Errorf("MACFine should be normalized, sum=%g", v.Sum())
+	}
+}
+
+func TestCACNormalized(t *testing.T) {
+	for _, grid := range []struct{ rx, ry int }{{3, 3}, {2, 2}, {6, 6}, {3, 6}} {
+		m := topology.MustNew(6, 6, grid.rx, grid.ry, topology.MCCorners)
+		for r := 0; r < m.NumRegions(); r++ {
+			v := CAC(m, topology.RegionID(r))
+			if math.Abs(v.Sum()-1) > 1e-9 {
+				t.Errorf("grid %dx%d CAC(R%d) sum = %g", grid.rx, grid.ry, r+1, v.Sum())
+			}
+			if v[r] < 0.5-1e-9 {
+				t.Errorf("grid %dx%d CAC(R%d) self-weight = %g < 0.5", grid.rx, grid.ry, r+1, v[r])
+			}
+		}
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	v := Vector{0.1, 0.7, 0.2}
+	if v.ArgMax() != 1 {
+		t.Errorf("ArgMax = %d", v.ArgMax())
+	}
+	if (Vector{}).ArgMax() != -1 {
+		t.Error("ArgMax of empty should be -1")
+	}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] == 9 {
+		t.Error("Clone should not alias")
+	}
+}

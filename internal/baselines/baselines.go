@@ -1,0 +1,192 @@
+// Package baselines implements the comparison points of the paper's
+// evaluation:
+//
+//   - the default round-robin computation mapping (§5, provided by
+//     core.DefaultSchedule),
+//   - the ideal zero-latency network (Figure 2, via noc.Config.Ideal),
+//   - DO — the data-layout optimization of Ding et al. [22] (Figure 13),
+//     which relocates array pages once per array for the whole program,
+//   - the hardware/OS application-to-core placement of Das et al. [16]
+//     (Figure 14), which moves memory-intensive threads toward MCs,
+//   - the perfect-estimation oracle (Figure 15): affinities taken from
+//     observed behaviour with no estimation error and no overhead.
+package baselines
+
+import (
+	"sort"
+
+	"locmap/internal/core"
+	"locmap/internal/loop"
+	"locmap/internal/mem"
+	"locmap/internal/sim"
+	"locmap/internal/topology"
+)
+
+// arrayRot is one array's chosen page rotation under DO.
+type arrayRot struct {
+	lo, hi mem.Addr // page range [lo, hi)
+	rot    int
+}
+
+// DOMap wraps a base address map with the DO layout: each array's pages
+// are rotated within the MC interleave by a per-array constant chosen to
+// minimize the (profiled) distance between accessing cores and MCs. One
+// rotation per array for the entire program — the scheme's inherent
+// limitation the paper points out: different nests may want different
+// layouts, but a single one must be chosen.
+type DOMap struct {
+	Base     mem.Map
+	PageSize int
+	rots     []arrayRot
+}
+
+// MC implements mem.Map.
+func (m *DOMap) MC(addr mem.Addr) int {
+	mc := m.Base.MC(addr)
+	page := addr / mem.Addr(m.PageSize)
+	for i := range m.rots {
+		if page >= m.rots[i].lo && page < m.rots[i].hi {
+			return (mc + m.rots[i].rot) % m.Base.NumMCs()
+		}
+	}
+	return mc
+}
+
+// HomeBank implements mem.Map.
+func (m *DOMap) HomeBank(addr mem.Addr) int { return m.Base.HomeBank(addr) }
+
+// NumMCs implements mem.Map.
+func (m *DOMap) NumMCs() int { return m.Base.NumMCs() }
+
+// NumBanks implements mem.Map.
+func (m *DOMap) NumBanks() int { return m.Base.NumBanks() }
+
+// Rotations exposes the chosen per-array rotations (for reporting).
+func (m *DOMap) Rotations() []int {
+	out := make([]int, len(m.rots))
+	for i := range m.rots {
+		out[i] = m.rots[i].rot
+	}
+	return out
+}
+
+// BuildDO profiles program p under the default schedule geometry and
+// chooses, per array, the page rotation that minimizes total
+// core-to-MC Manhattan distance of its (line-granularity) accesses. The
+// profile walks the reference streams directly — the compile-time
+// analysis DO performs.
+func BuildDO(p *loop.Program, mesh *topology.Mesh, base mem.Map, pageSize int, iterSetFrac float64) *DOMap {
+	nmc := base.NumMCs()
+	// counts[array][page%nmc][core] accumulated over all refs: a page
+	// rotation only changes MC by (page+r)%nmc, so aggregating pages by
+	// page%nmc loses nothing.
+	counts := make(map[*loop.Array][][]float64, len(p.Arrays))
+	for _, a := range p.Arrays {
+		c := make([][]float64, nmc)
+		for m := range c {
+			c[m] = make([]float64, mesh.NumNodes())
+		}
+		counts[a] = c
+	}
+	var iv []int64
+	for _, n := range p.Nests {
+		sets := n.IterationSets(iterSetFrac)
+		def := core.DefaultSchedule(mesh, len(sets))
+		for k, set := range sets {
+			c := int(def.Core[k])
+			for flat := set.Lo; flat < set.Hi; flat++ {
+				iv = n.Unflatten(iv, flat)
+				for r := range n.Refs {
+					addr := n.Refs[r].Addr(iv, flat)
+					pg := int(addr / mem.Addr(pageSize) % mem.Addr(nmc))
+					counts[n.Refs[r].Array][pg][c]++
+				}
+			}
+		}
+	}
+	do := &DOMap{Base: base, PageSize: pageSize}
+	for _, a := range p.Arrays {
+		bestRot, bestCost := 0, 0.0
+		for rot := 0; rot < nmc; rot++ {
+			cost := 0.0
+			for pg := 0; pg < nmc; pg++ {
+				mc := topology.MCID((pg + rot) % nmc)
+				for c, cnt := range counts[a][pg] {
+					if cnt > 0 {
+						cost += cnt * float64(mesh.DistanceToMC(topology.NodeID(c), mc))
+					}
+				}
+			}
+			if rot == 0 || cost < bestCost {
+				bestRot, bestCost = rot, cost
+			}
+		}
+		lo := a.Base / mem.Addr(pageSize)
+		hi := (a.Base + mem.Addr(a.SizeBytes()) + mem.Addr(pageSize) - 1) / mem.Addr(pageSize)
+		do.rots = append(do.rots, arrayRot{lo: lo, hi: hi, rot: bestRot})
+	}
+	return do
+}
+
+// HWSchedule implements the application-to-core policy of Das et al.
+// [16], treating each thread of the multithreaded application as an
+// independent "application": threads are ranked by memory intensity
+// (profiled LLC-miss volume) and the most intensive threads are placed on
+// the cores closest to a memory controller. It returns per-nest
+// schedules: the default round-robin set partition re-homed through the
+// thread→core permutation.
+func HWSchedule(sys *sim.System, p *loop.Program) *sim.Schedule {
+	mesh := sys.Mesh()
+	nodes := mesh.NumNodes()
+
+	// Profile: run the program once under the default schedule and
+	// accumulate per-default-core miss counts.
+	def := sys.DefaultScheduleFor(p)
+	res := sys.RunProgram(p, def)
+	intensity := make([]float64, nodes)
+	for i, n := range p.Nests {
+		sets := sys.Sets(n)
+		for k := range sets {
+			c := int(def.Assign[i].Core[k])
+			for _, m := range res.NestObs[i][k].MCMisses {
+				intensity[c] += m
+			}
+		}
+	}
+	sys.Reset()
+
+	// Rank threads by intensity, cores by distance to the nearest MC.
+	threads := make([]int, nodes)
+	cores := make([]int, nodes)
+	for i := range threads {
+		threads[i] = i
+		cores[i] = i
+	}
+	sort.SliceStable(threads, func(a, b int) bool { return intensity[threads[a]] > intensity[threads[b]] })
+	sort.SliceStable(cores, func(a, b int) bool {
+		da := mesh.DistanceToMC(topology.NodeID(cores[a]), mesh.NearestMC(topology.NodeID(cores[a])))
+		db := mesh.DistanceToMC(topology.NodeID(cores[b]), mesh.NearestMC(topology.NodeID(cores[b])))
+		return da < db
+	})
+	perm := make([]topology.NodeID, nodes)
+	for i := range threads {
+		perm[threads[i]] = topology.NodeID(cores[i])
+	}
+
+	// Re-home the default partition through the permutation.
+	sched := &sim.Schedule{Assign: make([]*core.Assignment, len(p.Nests))}
+	for i, n := range p.Nests {
+		sets := sys.Sets(n)
+		a := &core.Assignment{
+			Region: make([]topology.RegionID, len(sets)),
+			Core:   make([]topology.NodeID, len(sets)),
+		}
+		for k := range sets {
+			c := perm[int(def.Assign[i].Core[k])]
+			a.Core[k] = c
+			a.Region[k] = mesh.RegionOf(c)
+		}
+		sched.Assign[i] = a
+	}
+	return sched
+}

@@ -1,0 +1,259 @@
+// Package cache implements the set-associative cache models of the
+// simulated manycore: per-core L1s and an L2 last-level cache that is
+// either private per node or shared across nodes as a banked S-NUCA cache.
+//
+// The models are behavioural (hit/miss + LRU state), not timing models —
+// latency is attributed by the system simulator in internal/sim, which
+// knows the distances involved. A simplified MOESI-style sharing summary
+// is tracked for shared lines so coherence traffic can be accounted.
+package cache
+
+import (
+	"fmt"
+
+	"locmap/internal/mem"
+)
+
+// Cache is a single set-associative, LRU-replacement cache (or one bank of
+// a banked cache).
+type Cache struct {
+	lineSize int
+	numSets  int
+	ways     int
+
+	// tags[set] holds the resident line tags in LRU order: index 0 is
+	// most recently used. Slices never exceed `ways` entries.
+	tags [][]uint64
+
+	hits, misses uint64
+}
+
+// New constructs a cache of the given total size in bytes. Size must be
+// divisible by lineSize*ways.
+func New(size, lineSize, ways int) (*Cache, error) {
+	if size <= 0 || lineSize <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry (%d,%d,%d)", size, lineSize, ways)
+	}
+	lines := size / lineSize
+	if lines%ways != 0 || lines == 0 {
+		return nil, fmt.Errorf("cache: %d bytes / %dB lines not divisible into %d ways", size, lineSize, ways)
+	}
+	sets := lines / ways
+	c := &Cache{
+		lineSize: lineSize,
+		numSets:  sets,
+		ways:     ways,
+		tags:     make([][]uint64, sets),
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error; for static configurations.
+func MustNew(size, lineSize, ways int) *Cache {
+	c, err := New(size, lineSize, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// LineSize returns the cache's line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSize }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.numSets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Access looks up addr, updates LRU state and inserts the line on a miss.
+// It reports whether the access hit.
+func (c *Cache) Access(addr mem.Addr) bool {
+	line := uint64(addr) / uint64(c.lineSize)
+	set := int(line % uint64(c.numSets))
+	tag := line / uint64(c.numSets)
+	ts := c.tags[set]
+	for i, t := range ts {
+		if t == tag {
+			// Move to front (MRU).
+			copy(ts[1:i+1], ts[:i])
+			ts[0] = tag
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	if len(ts) < c.ways {
+		ts = append(ts, 0)
+	}
+	copy(ts[1:], ts)
+	ts[0] = tag
+	c.tags[set] = ts
+	return false
+}
+
+// Lookup reports whether addr is resident without touching LRU state or
+// statistics. The cache-miss estimator's oracle mode uses it.
+func (c *Cache) Lookup(addr mem.Addr) bool {
+	line := uint64(addr) / uint64(c.lineSize)
+	set := int(line % uint64(c.numSets))
+	tag := line / uint64(c.numSets)
+	for _, t := range c.tags[set] {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes addr's line if resident, reporting whether it was.
+func (c *Cache) Invalidate(addr mem.Addr) bool {
+	line := uint64(addr) / uint64(c.lineSize)
+	set := int(line % uint64(c.numSets))
+	tag := line / uint64(c.numSets)
+	ts := c.tags[set]
+	for i, t := range ts {
+		if t == tag {
+			c.tags[set] = append(ts[:i], ts[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = c.tags[i][:0]
+	}
+	c.hits, c.misses = 0, 0
+}
+
+// Stats returns (hits, misses) since the last Reset.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// MissRate returns misses/(hits+misses), or 0 with no accesses.
+func (c *Cache) MissRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}
+
+// Organization selects how the LLC is managed.
+type Organization int
+
+const (
+	// Private gives every node its own LLC; an L1 miss always probes the
+	// local bank and an LLC miss goes from the node straight to the MC.
+	Private Organization = iota
+	// SharedSNUCA spreads lines across all banks by address (S-NUCA); an
+	// L1 miss is routed to the line's home bank, and an LLC miss is
+	// issued from that bank to the MC.
+	SharedSNUCA
+)
+
+func (o Organization) String() string {
+	switch o {
+	case Private:
+		return "private"
+	case SharedSNUCA:
+		return "shared"
+	default:
+		return fmt.Sprintf("Organization(%d)", int(o))
+	}
+}
+
+// LLC is the banked last-level cache: one bank per node, managed either as
+// private caches or a shared S-NUCA cache.
+type LLC struct {
+	Org   Organization
+	banks []*Cache
+	amap  mem.Map
+
+	// sharers tracks, for shared lines, a small MOESI-style summary:
+	// which nodes have touched the line since it was filled. Used only
+	// for coherence-traffic statistics.
+	sharers map[uint64]uint16
+}
+
+// NewLLC builds an LLC with `banks` banks of `sizePerBank` bytes each.
+func NewLLC(org Organization, banks, sizePerBank, lineSize, ways int, amap mem.Map) (*LLC, error) {
+	l := &LLC{
+		Org:     org,
+		banks:   make([]*Cache, banks),
+		amap:    amap,
+		sharers: make(map[uint64]uint16),
+	}
+	for i := range l.banks {
+		c, err := New(sizePerBank, lineSize, ways)
+		if err != nil {
+			return nil, err
+		}
+		l.banks[i] = c
+	}
+	return l, nil
+}
+
+// NumBanks returns the number of banks.
+func (l *LLC) NumBanks() int { return len(l.banks) }
+
+// Bank returns bank i (for statistics inspection).
+func (l *LLC) Bank(i int) *Cache { return l.banks[i] }
+
+// HomeBank returns the bank an access from `node` to `addr` is served by:
+// the local bank for private LLCs, the address-mapped home bank for
+// S-NUCA.
+func (l *LLC) HomeBank(node int, addr mem.Addr) int {
+	if l.Org == Private {
+		return node
+	}
+	return l.amap.HomeBank(addr) % len(l.banks)
+}
+
+// Access performs an LLC access from `node` and reports (bank, hit).
+func (l *LLC) Access(node int, addr mem.Addr) (bank int, hit bool) {
+	bank = l.HomeBank(node, addr)
+	hit = l.banks[bank].Access(addr)
+	if l.Org == SharedSNUCA {
+		line := uint64(addr) / uint64(l.banks[bank].lineSize)
+		if !hit {
+			l.sharers[line] = 0
+		}
+		if node < 16 {
+			l.sharers[line] |= 1 << uint(node%16)
+		}
+	}
+	return bank, hit
+}
+
+// SharedLines reports how many distinct lines have been touched by more
+// than one (tracked) node — a proxy for coherence-relevant sharing.
+func (l *LLC) SharedLines() int {
+	n := 0
+	for _, mask := range l.sharers {
+		if mask&(mask-1) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears all banks and sharing state.
+func (l *LLC) Reset() {
+	for _, b := range l.banks {
+		b.Reset()
+	}
+	l.sharers = make(map[uint64]uint16)
+}
+
+// Stats sums hit/miss counters across banks.
+func (l *LLC) Stats() (hits, misses uint64) {
+	for _, b := range l.banks {
+		h, m := b.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}

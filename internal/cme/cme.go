@@ -1,0 +1,199 @@
+// Package cme is the compile-time cache-miss estimator the compiler uses
+// for regular (affine) applications, in the spirit of Cache Miss Equations
+// (Ghosh et al., TOPLAS 1999) as adapted by the paper (§4, footnote 8):
+// a statistical walk of each loop nest's affine reference stream through a
+// capacity model, producing per-iteration-set predictions of
+//
+//   - which memory controller serves each predicted LLC miss → MAI,
+//   - which bank region serves each predicted LLC hit → CAI (shared LLC),
+//   - the predicted hit fraction → α.
+//
+// The paper's CME implementation is 76–93% accurate depending on the
+// application. We model that explicitly: the estimator carries a
+// per-application Accuracy, and each hit/miss classification is flipped
+// with probability 1−Accuracy by a deterministic per-access hash, so the
+// downstream MAI/CAI error studies (Figures 7a and 8a) measure a
+// realistically imperfect estimator.
+package cme
+
+import (
+	"locmap/internal/affinity"
+	"locmap/internal/cache"
+	"locmap/internal/loop"
+	"locmap/internal/mem"
+	"locmap/internal/topology"
+)
+
+// Config parameterizes the estimator for a target machine.
+type Config struct {
+	Mesh *topology.Mesh
+	Org  cache.Organization
+	AMap mem.Map
+
+	// L1Line filters the reference stream: consecutive accesses to the
+	// same L1 line are assumed to hit in L1 and never reach the LLC.
+	L1Line int
+
+	// ModelBytes / ModelLine / ModelWays describe the capacity model the
+	// symbolic stream is walked through. For private LLCs this is one
+	// bank; for shared LLCs a per-core share scaled by sharing degree.
+	ModelBytes int
+	ModelLine  int
+	ModelWays  int
+
+	// IterSetFrac matches the scheduler's iteration-set size.
+	IterSetFrac float64
+
+	// Accuracy is the probability a hit/miss classification is kept
+	// (the paper: 0.76–0.93 per application). 1.0 = oracle
+	// classification (used by the Figure 15 perfect-estimation study).
+	Accuracy float64
+
+	// Seed decorrelates the misclassification hash across runs.
+	Seed uint64
+}
+
+// Estimator walks a program's reference stream and predicts per-set
+// affinities. The capacity model is warmed across nests, mirroring how
+// data cached by one nest serves the next.
+type Estimator struct {
+	cfg   Config
+	model *cache.Cache
+	ctr   uint64
+}
+
+// New builds an estimator. ModelWays/ModelLine default to 16/64 when zero.
+func New(cfg Config) *Estimator {
+	if cfg.ModelLine == 0 {
+		cfg.ModelLine = 64
+	}
+	if cfg.ModelWays == 0 {
+		cfg.ModelWays = 16
+	}
+	if cfg.ModelBytes == 0 {
+		cfg.ModelBytes = 512 << 10
+	}
+	if cfg.Accuracy <= 0 {
+		cfg.Accuracy = 1
+	}
+	return &Estimator{
+		cfg:   cfg,
+		model: cache.MustNew(cfg.ModelBytes, cfg.ModelLine, cfg.ModelWays),
+	}
+}
+
+// splitmix64 is a small deterministic hash used for misclassification.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// noisy flips `hit` with probability 1−Accuracy, deterministically per
+// access.
+func (e *Estimator) noisy(hit bool) bool {
+	if e.cfg.Accuracy >= 1 {
+		return hit
+	}
+	e.ctr++
+	h := splitmix64(e.cfg.Seed ^ e.ctr)
+	// Map to [0,1) with 53-bit precision.
+	u := float64(h>>11) / (1 << 53)
+	if u >= e.cfg.Accuracy {
+		return !hit
+	}
+	return hit
+}
+
+// EstimateNest predicts the affinity of every iteration set of one nest.
+// Irregular references are skipped: the compiler cannot see through index
+// arrays, which is exactly why irregular applications go through the
+// inspector–executor path instead.
+func (e *Estimator) EstimateNest(n *loop.Nest) []affinity.SetAffinity {
+	sets := n.IterationSets(e.cfg.IterSetFrac)
+	out := make([]affinity.SetAffinity, len(sets))
+	nmc := e.cfg.AMap.NumMCs()
+	nreg := e.cfg.Mesh.NumRegions()
+	shared := e.cfg.Org == cache.SharedSNUCA
+
+	lastL1 := make([]mem.Addr, len(n.Refs))
+	seen := make([]bool, len(n.Refs))
+	var iv []int64
+
+	for k, set := range sets {
+		mai := affinity.NewBuilder(nmc)
+		var cai *affinity.Builder
+		if shared {
+			cai = affinity.NewBuilder(nreg)
+		}
+		var hits, total float64
+		for flat := set.Lo; flat < set.Hi; flat++ {
+			iv = n.Unflatten(iv, flat)
+			for r := range n.Refs {
+				ref := &n.Refs[r]
+				if ref.Irregular {
+					continue
+				}
+				addr := ref.Addr(iv, flat)
+				// L1 spatial filter: same line as this ref's
+				// previous access stays in L1.
+				l1line := addr / mem.Addr(e.cfg.L1Line)
+				if seen[r] && l1line == lastL1[r] {
+					continue
+				}
+				seen[r] = true
+				lastL1[r] = l1line
+				total++
+				hit := e.noisy(e.model.Access(addr))
+				if hit {
+					hits++
+					if shared {
+						bank := e.cfg.AMap.HomeBank(addr) % e.cfg.Mesh.NumNodes()
+						cai.AddOne(int(e.cfg.Mesh.RegionOf(topology.NodeID(bank))))
+					}
+				} else {
+					mai.AddOne(e.cfg.AMap.MC(addr))
+				}
+			}
+		}
+		sa := affinity.SetAffinity{
+			MAI:    mai.Vector(),
+			Alpha:  affinity.Alpha(hits, total),
+			Weight: set.Len(),
+		}
+		if shared {
+			sa.CAI = cai.Vector()
+		}
+		out[k] = sa
+	}
+	return out
+}
+
+// EstimateProgram runs EstimateNest over every nest in program order,
+// keeping the capacity model warm between nests.
+func (e *Estimator) EstimateProgram(p *loop.Program) [][]affinity.SetAffinity {
+	out := make([][]affinity.SetAffinity, len(p.Nests))
+	for i, n := range p.Nests {
+		out[i] = e.EstimateNest(n)
+	}
+	return out
+}
+
+// Reset clears the capacity model (cold estimation).
+func (e *Estimator) Reset() {
+	e.model.Reset()
+	e.ctr = 0
+}
+
+// AccuracyFor derives the paper-style per-application CME accuracy
+// (76%–93%) deterministically from the application name, so experiments
+// are reproducible without storing a table.
+func AccuracyFor(app string) float64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(app); i++ {
+		h ^= uint64(app[i])
+		h *= 1099511628211
+	}
+	return 0.76 + 0.17*float64(splitmix64(h)>>11)/(1<<53)
+}

@@ -1,0 +1,205 @@
+package cme
+
+import (
+	"math"
+
+	"locmap/internal/affinity"
+	"testing"
+	"testing/quick"
+
+	"locmap/internal/cache"
+	"locmap/internal/loop"
+	"locmap/internal/mem"
+	"locmap/internal/topology"
+)
+
+func testConfig(org cache.Organization, acc float64) Config {
+	mesh := topology.Default6x6()
+	return Config{
+		Mesh:        mesh,
+		Org:         org,
+		AMap:        mem.NewInterleaved(2048, 64, 4, mesh.NumNodes()),
+		L1Line:      32,
+		ModelBytes:  64 << 10,
+		ModelLine:   64,
+		ModelWays:   16,
+		IterSetFrac: 0.0025,
+		Accuracy:    acc,
+	}
+}
+
+func streamProgram(elems int64) (*loop.Program, *loop.Nest) {
+	a := &loop.Array{Name: "A", ElemSize: 8, Elems: elems}
+	n := &loop.Nest{
+		Name:   "s",
+		Bounds: []int64{elems},
+		Refs:   []loop.Ref{{Array: a, Kind: loop.Read, Index: loop.Affine{Coeffs: []int64{1}}}},
+	}
+	p := &loop.Program{Name: "t", Arrays: []*loop.Array{a}, Nests: []*loop.Nest{n}, Regular: true}
+	p.Layout(0, 2048)
+	return p, n
+}
+
+func TestColdStreamPredictsMisses(t *testing.T) {
+	e := New(testConfig(cache.Private, 1))
+	_, n := streamProgram(1 << 16) // 512KB >> 64KB model: all cold/capacity
+	sets := e.EstimateNest(n)
+	if len(sets) == 0 {
+		t.Fatal("no sets")
+	}
+	// A stride-1 stream after the L1 filter alternates miss/hit at the
+	// 64B model-line granularity: α ≈ 0.5 per set, never high.
+	var mean float64
+	for _, s := range sets {
+		mean += s.Alpha
+		if s.MAI.Sum() == 0 {
+			t.Fatal("streaming sets must have miss affinity")
+		}
+	}
+	mean /= float64(len(sets))
+	if mean < 0.3 || mean > 0.7 {
+		t.Errorf("cold stream mean alpha = %.2f, want ~0.5", mean)
+	}
+}
+
+func TestWarmRereadPredictsHits(t *testing.T) {
+	e := New(testConfig(cache.Private, 1))
+	_, n := streamProgram(4096) // 32KB: fits the model cache
+	e.EstimateNest(n)           // cold pass warms the model
+	sets := e.EstimateNest(n)   // second pass: hits
+	for k, s := range sets {
+		if s.Alpha < 0.9 {
+			t.Fatalf("set %d of warm re-read predicted alpha %.2f", k, s.Alpha)
+		}
+	}
+}
+
+func TestMAIFollowsAddressMap(t *testing.T) {
+	cfg := testConfig(cache.Private, 1)
+	e := New(cfg)
+	_, n := streamProgram(1 << 16)
+	sets := e.EstimateNest(n)
+	iterSets := n.IterationSets(cfg.IterSetFrac)
+	for k, s := range sets {
+		want := make([]float64, 4)
+		for flat := iterSets[k].Lo; flat < iterSets[k].Hi; flat++ {
+			want[cfg.AMap.MC(n.Refs[0].Array.AddrOf(flat))]++
+		}
+		wi := 0
+		for i := range want {
+			if want[i] > want[wi] {
+				wi = i
+			}
+		}
+		if got := s.MAI[wi]; got < 0.2 {
+			t.Fatalf("set %d: dominant MC %d got weight %.2f", k, wi, got)
+		}
+	}
+}
+
+func TestSharedProducesCAI(t *testing.T) {
+	e := New(testConfig(cache.SharedSNUCA, 1))
+	_, n := streamProgram(4096)
+	e.EstimateNest(n)
+	sets := e.EstimateNest(n) // warm: hits populate CAI
+	var caiWeight float64
+	for _, s := range sets {
+		if len(s.CAI) != 9 {
+			t.Fatalf("CAI length = %d, want 9", len(s.CAI))
+		}
+		caiWeight += s.CAI.Sum()
+	}
+	if caiWeight == 0 {
+		t.Error("warm shared estimation should produce CAI mass")
+	}
+}
+
+func TestPrivateHasNoCAI(t *testing.T) {
+	e := New(testConfig(cache.Private, 1))
+	_, n := streamProgram(4096)
+	for _, s := range e.EstimateNest(n) {
+		if s.CAI != nil {
+			t.Fatal("private estimation must not build CAI")
+		}
+	}
+}
+
+func TestAccuracyNoiseChangesPredictions(t *testing.T) {
+	_, n1 := streamProgram(1 << 15)
+	_, n2 := streamProgram(1 << 15)
+	perfect := New(testConfig(cache.Private, 1)).EstimateNest(n1)
+	noisy := New(testConfig(cache.Private, 0.8)).EstimateNest(n2)
+	diff := 0.0
+	for k := range perfect {
+		diff += math.Abs(perfect[k].Alpha - noisy[k].Alpha)
+	}
+	if diff == 0 {
+		t.Error("80% accuracy should perturb predictions")
+	}
+}
+
+func TestNoiseIsDeterministic(t *testing.T) {
+	_, n1 := streamProgram(1 << 14)
+	_, n2 := streamProgram(1 << 14)
+	a := New(testConfig(cache.Private, 0.8)).EstimateNest(n1)
+	b := New(testConfig(cache.Private, 0.8)).EstimateNest(n2)
+	for k := range a {
+		if a[k].Alpha != b[k].Alpha {
+			t.Fatalf("set %d: noise not deterministic (%.3f vs %.3f)", k, a[k].Alpha, b[k].Alpha)
+		}
+	}
+}
+
+func TestIrregularRefsSkipped(t *testing.T) {
+	a := &loop.Array{Name: "A", ElemSize: 8, Elems: 1024}
+	n := &loop.Nest{
+		Name:   "irr",
+		Bounds: []int64{1024},
+		Refs: []loop.Ref{
+			{Array: a, Kind: loop.Read, Irregular: true, IndexArray: []int64{1, 2, 3}},
+		},
+	}
+	sets := New(testConfig(cache.Private, 1)).EstimateNest(n)
+	for _, s := range sets {
+		if s.MAI.Sum() != 0 || s.Alpha != 0 {
+			t.Fatal("irregular-only nests should produce empty estimates")
+		}
+	}
+}
+
+func TestAccuracyForBand(t *testing.T) {
+	// Per-application accuracies must stay in the paper's 76–93% band
+	// and be deterministic.
+	f := func(nameBytes [8]byte) bool {
+		name := string(nameBytes[:])
+		a := AccuracyFor(name)
+		return a >= 0.76 && a <= 0.93 && a == AccuracyFor(name)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Distinct apps should (almost always) differ.
+	if AccuracyFor("moldyn") == AccuracyFor("swim") {
+		t.Error("accuracies should vary per application")
+	}
+}
+
+func TestResetClearsModel(t *testing.T) {
+	e := New(testConfig(cache.Private, 1))
+	_, n := streamProgram(4096)
+	e.EstimateNest(n)
+	warm := e.EstimateNest(n)
+	e.Reset()
+	cold := e.EstimateNest(n)
+	meanOf := func(sets []affinity.SetAffinity) float64 {
+		var m float64
+		for _, s := range sets {
+			m += s.Alpha
+		}
+		return m / float64(len(sets))
+	}
+	if meanOf(cold) >= meanOf(warm)-0.2 {
+		t.Fatalf("Reset should clear the capacity model: cold=%.2f warm=%.2f",
+			meanOf(cold), meanOf(warm))
+	}
+}

@@ -1,0 +1,82 @@
+package cooptim
+
+import (
+	"testing"
+
+	"locmap/internal/cache"
+	"locmap/internal/inspector"
+	"locmap/internal/sim"
+	"locmap/internal/workloads"
+)
+
+func TestOptimizeReducesObjective(t *testing.T) {
+	p := workloads.MustNew("swim", 1)
+	res := Optimize(p, Options{})
+	if len(res.Cost) < 2 {
+		t.Fatal("no optimization rounds ran")
+	}
+	first, last := res.Cost[0], res.Cost[len(res.Cost)-1]
+	if last > first {
+		t.Errorf("objective worsened: %.0f -> %.0f", first, last)
+	}
+	if res.Relocated <= 0 {
+		t.Error("expected some page relocations")
+	}
+	if res.Schedule == nil || len(res.Schedule.Assign) != len(p.Nests) {
+		t.Fatal("schedule missing")
+	}
+}
+
+func TestOptimizeConverges(t *testing.T) {
+	p := workloads.MustNew("mxm", 1)
+	res := Optimize(p, Options{Rounds: 8})
+	if res.Rounds > 8 {
+		t.Errorf("rounds = %d", res.Rounds)
+	}
+	// The objective must be non-increasing round over round (each half
+	// only applies changes with non-negative estimated gain).
+	for i := 1; i < len(res.Cost); i++ {
+		if res.Cost[i] > res.Cost[i-1]*1.001 {
+			t.Errorf("cost increased at round %d: %.0f -> %.0f", i, res.Cost[i-1], res.Cost[i])
+		}
+	}
+}
+
+func TestRelocationBudgetRespected(t *testing.T) {
+	p := workloads.MustNew("swim", 1)
+	res := Optimize(p, Options{Rounds: 1, MaxRelocations: 10})
+	if res.Relocated > 10 {
+		t.Errorf("relocated %d pages, budget 10", res.Relocated)
+	}
+}
+
+func TestCoOptimizedRunsAndHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	p := workloads.MustNew("swim", 1)
+	cfg := sim.DefaultConfig()
+
+	sysDef := sim.New(cfg)
+	defCycles := sim.TotalCycles(inspector.RunBaseline(sysDef, p))
+
+	res := Optimize(p, Options{Cfg: cfg})
+	optCfg := cfg
+	optCfg.AddrMap = res.Map
+	sysOpt := sim.New(optCfg)
+	optCycles := sim.TotalCycles(sysOpt.RunTiming(p, func(int) *sim.Schedule { return res.Schedule }))
+
+	if optCycles >= defCycles {
+		t.Errorf("co-optimization should beat the default: %d vs %d", optCycles, defCycles)
+	}
+}
+
+func TestSharedModeBuildsCAI(t *testing.T) {
+	p := workloads.MustNew("fft", 1)
+	cfg := sim.DefaultConfig()
+	cfg.LLCOrg = cache.SharedSNUCA
+	res := Optimize(p, Options{Cfg: cfg, Rounds: 1})
+	if res.Schedule == nil {
+		t.Fatal("no schedule")
+	}
+}

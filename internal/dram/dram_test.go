@@ -1,0 +1,144 @@
+package dram
+
+import (
+	"testing"
+
+	"locmap/internal/mem"
+)
+
+func TestRowBufferHit(t *testing.T) {
+	d := New(DefaultConfig())
+	t0 := d.Request(0, 0, 0)
+	// Same row, immediately after: row-buffer hit, cheaper.
+	t1 := d.Request(0, 64, t0)
+	if hitLat := t1 - t0; hitLat != DDR3().RowHit+DDR3().Burst {
+		t.Errorf("row hit latency = %d, want %d", hitLat, DDR3().RowHit+DDR3().Burst)
+	}
+	s := d.Stats()
+	if s.RowHits != 1 {
+		t.Errorf("RowHits = %d, want 1", s.RowHits)
+	}
+}
+
+// bankProbe finds a row whose hashed bank matches (or differs from) row
+// 0's bank, by observing timing behaviour only.
+func bankProbe(t *testing.T, same bool) mem.Addr {
+	t.Helper()
+	cfg := DefaultConfig()
+	for row := int64(1); row < 64; row++ {
+		d := New(cfg)
+		addr := mem.Addr(row * cfg.RowBufBytes)
+		a := d.Request(0, 0, 0)
+		b := d.Request(0, addr, 0)
+		// Different banks overlap: gap == Burst. Same bank: larger.
+		if (b-a == cfg.Timing.Burst) != same {
+			return addr
+		}
+	}
+	t.Fatal("no probe row found")
+	return 0
+}
+
+func TestRowBufferConflict(t *testing.T) {
+	cfg := DefaultConfig()
+	sameBank := bankProbe(t, true)
+	d := New(cfg)
+	t0 := d.Request(0, 0, 0)
+	// Same bank, different row: conflict.
+	t1 := d.Request(0, sameBank, t0)
+	if lat := t1 - t0; lat != DDR3().RowConflict+DDR3().Burst {
+		t.Errorf("conflict latency = %d, want %d", lat, DDR3().RowConflict+DDR3().Burst)
+	}
+	if s := d.Stats(); s.RowConflicts != 1 {
+		t.Errorf("RowConflicts = %d, want 1", s.RowConflicts)
+	}
+}
+
+func TestBanksServiceInParallel(t *testing.T) {
+	cfg := DefaultConfig()
+	otherBank := bankProbe(t, false)
+	d := New(cfg)
+	// Two requests to different banks at the same arrival time should
+	// overlap: the second completes only one Burst later (channel
+	// serialization), not a full service later.
+	a := d.Request(0, 0, 0)
+	b := d.Request(0, otherBank, 0)
+	if b-a != cfg.Timing.Burst {
+		t.Errorf("bank-parallel completion gap = %d, want burst %d", b-a, cfg.Timing.Burst)
+	}
+}
+
+func TestSameBankSerializes(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	a := d.Request(0, 0, 0)
+	b := d.Request(0, 128, 0) // same row, same bank, same arrival
+	if b <= a {
+		t.Errorf("same-bank requests must serialize: %d then %d", a, b)
+	}
+}
+
+func TestBankHashSpreadsInterleavedPages(t *testing.T) {
+	// Pages owned by one MC are congruent mod NumMCs; the row->bank
+	// hash must still spread them over (nearly) all banks.
+	cfg := DefaultConfig()
+	d := New(cfg)
+	seen := make(map[int]bool)
+	for page := int64(0); page < 256; page += 4 { // MC0's pages
+		_, b := d.rowOf(mem.Addr(page * cfg.RowBufBytes))
+		seen[b] = true
+	}
+	if len(seen) < cfg.BanksPerMC-1 {
+		t.Errorf("only %d of %d banks used", len(seen), cfg.BanksPerMC)
+	}
+}
+
+func TestControllersIndependent(t *testing.T) {
+	d := New(DefaultConfig())
+	a := d.Request(0, 0, 0)
+	b := d.Request(1, 0, 0)
+	if a != b {
+		t.Errorf("different MCs should not interfere: %d vs %d", a, b)
+	}
+	per := d.PerMCRequests()
+	if per[0] != 1 || per[1] != 1 || per[2] != 0 {
+		t.Errorf("PerMCRequests = %v", per)
+	}
+}
+
+func TestDDR4FasterThanDDR3(t *testing.T) {
+	if DDR4().RowHit >= DDR3().RowHit || DDR4().RowConflict >= DDR3().RowConflict {
+		t.Error("DDR4 timings should be lower than DDR3")
+	}
+}
+
+func TestStreamingIsMostlyRowHits(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	now := int64(0)
+	// Stream 4KB sequentially through MC 0 in 64B lines: two full rows.
+	for a := mem.Addr(0); a < 4096; a += 64 {
+		now = d.Request(0, a, now)
+	}
+	s := d.Stats()
+	if s.Requests != 64 {
+		t.Fatalf("Requests = %d, want 64", s.Requests)
+	}
+	if s.RowHits < 60 {
+		t.Errorf("streaming should be almost all row hits, got %d/64", s.RowHits)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	d := New(DefaultConfig())
+	d.Request(0, 0, 0)
+	d.Reset()
+	if s := d.Stats(); s.Requests != 0 {
+		t.Errorf("Reset should clear stats, got %+v", s)
+	}
+	// After reset the bank is closed again: first access is RowEmpty.
+	t1 := d.Request(0, 0, 0)
+	if t1 != DDR3().RowEmpty+DDR3().Burst {
+		t.Errorf("post-reset first access latency = %d, want %d", t1, DDR3().RowEmpty+DDR3().Burst)
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"testing"
+
+	"locmap/internal/cache"
+	"locmap/internal/dram"
+	"locmap/internal/sim"
+)
+
+// TestHeadlinePrivate checks the paper's core claims on a representative
+// subset: the location-aware mapping must reduce network latency for
+// every application and reduce execution time for the strong-affinity
+// ones, with MAI estimation error small and inspector overheads in the
+// paper's band.
+func TestHeadlinePrivate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ms := RunAll(Options{Apps: []string{"moldyn", "swim", "lulesh", "equake"}},
+		DefaultVariant(cache.Private))
+	for _, m := range ms {
+		if m.NetRed() < 0 {
+			t.Errorf("%s: network latency must not regress (%.1f%%)", m.Name, m.NetRed())
+		}
+		if m.MAIErr > 0.25 {
+			t.Errorf("%s: MAI error %.3f too high", m.Name, m.MAIErr)
+		}
+		if !m.Regular {
+			if m.OverheadFrac <= 0 || m.OverheadFrac > 0.20 {
+				t.Errorf("%s: inspector overhead %.1f%% outside the paper's 0.7-19.5%% band",
+					m.Name, 100*m.OverheadFrac)
+			}
+		} else if m.OverheadFrac != 0 {
+			t.Errorf("%s: regular apps have no runtime overhead", m.Name)
+		}
+		if m.FracMoved < 0 || m.FracMoved > 1 {
+			t.Errorf("%s: FracMoved = %f", m.Name, m.FracMoved)
+		}
+	}
+	// The strong-affinity codes must show real wins.
+	for _, m := range ms {
+		switch m.Name {
+		case "moldyn", "swim", "lulesh":
+			if m.NetRed() < 15 {
+				t.Errorf("%s: expected a substantial latency win, got %.1f%%", m.Name, m.NetRed())
+			}
+			if m.ExecRed() < 2 {
+				t.Errorf("%s: expected an execution-time win, got %.1f%%", m.Name, m.ExecRed())
+			}
+		}
+	}
+}
+
+// TestWeakAppsNearDefault: for the codes the paper singles out as
+// near-default (equake, volrend, barnes), the gains should be small —
+// and not catastrophically negative.
+func TestWeakAppsNearDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ms := RunAll(Options{Apps: []string{"equake"}}, DefaultVariant(cache.Private))
+	m := ms[0]
+	if m.ExecRed() < -6 || m.ExecRed() > 15 {
+		t.Errorf("equake exec delta %.1f%% should be small", m.ExecRed())
+	}
+}
+
+// TestSharedGainsPositive: under S-NUCA the mapping should still help
+// (less than for private LLCs in this reproduction — see EXPERIMENTS.md).
+func TestSharedGainsPositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ms := RunAll(Options{Apps: []string{"swim", "moldyn"}}, DefaultVariant(cache.SharedSNUCA))
+	for _, m := range ms {
+		if m.NetRed() < 0 {
+			t.Errorf("%s shared: latency regressed %.1f%%", m.Name, m.NetRed())
+		}
+		if m.CAIErr <= 0 {
+			t.Errorf("%s shared: CAI error should be measured", m.Name)
+		}
+	}
+}
+
+// TestOracleAtLeastAsAccurate: perfect estimation must (essentially)
+// never report worse affinity error than realistic CME.
+func TestOracleAtLeastAsAccurate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	real := RunApp("swim", 1, DefaultVariant(cache.Private))
+	v := DefaultVariant(cache.Private)
+	v.Oracle = true
+	oracle := RunApp("swim", 1, v)
+	if oracle.MAIErr > real.MAIErr+0.02 {
+		t.Errorf("oracle MAI error %.3f worse than CME %.3f", oracle.MAIErr, real.MAIErr)
+	}
+	if oracle.OverheadFrac != 0 {
+		t.Error("oracle has no overhead")
+	}
+}
+
+// TestIdealBoundMeasured: the ideal-network run must not be slower than
+// the default.
+func TestIdealBoundMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	v := DefaultVariant(cache.Private)
+	v.WithIdeal = true
+	m := RunApp("moldyn", 1, v)
+	if m.IdealCycles <= 0 || m.IdealCycles > m.DefCycles {
+		t.Errorf("ideal %d vs default %d", m.IdealCycles, m.DefCycles)
+	}
+	if m.IdealRed() < 0 {
+		t.Errorf("ideal bound negative: %.1f%%", m.IdealRed())
+	}
+}
+
+// TestVariantConfigsConstructible exercises the sweep constructors.
+func TestVariantConfigsConstructible(t *testing.T) {
+	for _, org := range orgs {
+		vs := sensitivityVariants(org)
+		if len(vs) != 5 {
+			t.Fatalf("sensitivity variants = %d", len(vs))
+		}
+		for _, v := range vs {
+			if v.Cfg.Mesh == nil {
+				t.Errorf("%s: nil mesh", v.Name)
+			}
+			sim.New(v.Cfg).Reset() // must construct
+		}
+	}
+	if dram.DDR4().Name != "DDR4-2133" {
+		t.Error("DDR4 timing name")
+	}
+}
+
+// TestFig11CombosDistinct ensures the four interleave combinations build
+// distinct address maps.
+func TestFig11CombosDistinct(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tab := Fig11(Options{Apps: []string{"swim"}})
+	if tab.NumRows() != 4 {
+		t.Fatalf("Fig11 rows = %d, want 4", tab.NumRows())
+	}
+}
+
+// TestTable3RowsComplete checks the per-benchmark properties table.
+func TestTable3RowsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tab := Table3(Options{Apps: []string{"moldyn", "fft"}})
+	if tab.NumRows() != 2 {
+		t.Fatalf("Table3 rows = %d", tab.NumRows())
+	}
+}

@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"fmt"
+
+	"locmap/internal/baselines"
+	"locmap/internal/cache"
+	"locmap/internal/dram"
+	"locmap/internal/inspector"
+	"locmap/internal/mem"
+	"locmap/internal/sim"
+	"locmap/internal/stats"
+	"locmap/internal/topology"
+	"locmap/internal/workloads"
+)
+
+// orgs lists the two LLC organizations every study covers.
+var orgs = []cache.Organization{cache.Private, cache.SharedSNUCA}
+
+// idealOnly measures the default mapping against the zero-latency NoC.
+func idealOnly(name string, scale int, cfg sim.Config) (defCycles, idealCycles int64) {
+	p := workloads.MustNew(name, scale)
+	sysD := sim.New(cfg)
+	defCycles = sim.TotalCycles(inspector.RunBaseline(sysD, p))
+	icfg := cfg
+	icfg.NoC.Ideal = true
+	sysI := sim.New(icfg)
+	idealCycles = sim.TotalCycles(inspector.RunBaseline(sysI, p))
+	return defCycles, idealCycles
+}
+
+// Fig2 reproduces the ideal-network potential study: per-application
+// execution-time improvement with a zero-latency NoC, for private and
+// shared LLCs.
+func Fig2(o Options) *stats.Table {
+	t := stats.NewTable("Figure 2: execution-time improvement with an ideal (zero-latency) NoC (%)",
+		"benchmark", "private", "shared")
+	var priv, shr []float64
+	for _, name := range o.apps() {
+		row := make([]float64, 2)
+		for i, org := range orgs {
+			cfg := sim.DefaultConfig()
+			cfg.LLCOrg = org
+			d, id := idealOnly(name, o.scale(), cfg)
+			row[i] = stats.PctReduction(float64(d), float64(id))
+		}
+		o.logf("  %-10s ideal: priv=%.1f%% shared=%.1f%%", name, row[0], row[1])
+		priv = append(priv, row[0])
+		shr = append(shr, row[1])
+		t.AddRowf(name, row[0], row[1])
+	}
+	t.AddRowf("GEOMEAN", stats.GeomeanPct(priv), stats.GeomeanPct(shr))
+	return t
+}
+
+// Table3 reproduces the benchmark-properties table, with the
+// fraction-moved column measured from our load balancer.
+func Table3(o Options) *stats.Table {
+	t := stats.NewTable("Table 3: benchmark properties",
+		"benchmark", "class", "loop nests", "arrays", "iter groups", "frac moved")
+	for _, name := range o.apps() {
+		spec, _ := workloads.Lookup(name)
+		v := DefaultVariant(cache.Private)
+		v.Oracle = true // cheapest path to a mapping: one profile run
+		m := RunApp(name, o.scale(), v)
+		class := "irregular"
+		if spec.Regular {
+			class = "regular"
+		}
+		t.AddRowf(name, class, spec.Meta.LoopNests, spec.Meta.Arrays,
+			spec.Meta.IterGroups, fmt.Sprintf("%.1f%%", 100*m.FracMoved))
+		o.logf("  %-10s fracMoved=%.1f%%", name, 100*m.FracMoved)
+	}
+	return t
+}
+
+// mainTable renders the Figure 7/8 per-application results.
+func mainTable(o Options, org cache.Organization, title string) *stats.Table {
+	shared := org == cache.SharedSNUCA
+	cols := []string{"benchmark", "MAI err", "net red %", "exec red %", "overhead %"}
+	if shared {
+		cols = []string{"benchmark", "MAI err", "CAI err", "net red %", "exec red %", "overhead %"}
+	}
+	t := stats.NewTable(title, cols...)
+	ms := RunAll(o, DefaultVariant(org))
+	var net, exec, mai, cai, ovh []float64
+	for _, m := range ms {
+		net = append(net, m.NetRed())
+		exec = append(exec, m.ExecRed())
+		mai = append(mai, m.MAIErr)
+		cai = append(cai, m.CAIErr)
+		ovh = append(ovh, 100*m.OverheadFrac)
+		if shared {
+			t.AddRowf(m.Name, fmt.Sprintf("%.3f", m.MAIErr), fmt.Sprintf("%.3f", m.CAIErr),
+				m.NetRed(), m.ExecRed(), 100*m.OverheadFrac)
+		} else {
+			t.AddRowf(m.Name, fmt.Sprintf("%.3f", m.MAIErr),
+				m.NetRed(), m.ExecRed(), 100*m.OverheadFrac)
+		}
+	}
+	if shared {
+		t.AddRowf("GEOMEAN", fmt.Sprintf("%.3f", stats.Mean(mai)), fmt.Sprintf("%.3f", stats.Mean(cai)),
+			stats.GeomeanPct(net), stats.GeomeanPct(exec), stats.Mean(ovh))
+	} else {
+		t.AddRowf("GEOMEAN", fmt.Sprintf("%.3f", stats.Mean(mai)),
+			stats.GeomeanPct(net), stats.GeomeanPct(exec), stats.Mean(ovh))
+	}
+	return t
+}
+
+// Fig7 reproduces the private-LLC results: MAI estimation error (7a),
+// network-latency and execution-time reductions (7b) and runtime
+// overheads (7c).
+func Fig7(o Options) *stats.Table {
+	return mainTable(o, cache.Private, "Figure 7: private LLC — MAI error, reductions, overheads")
+}
+
+// Fig8 reproduces the shared-LLC results (8a/8b/8c).
+func Fig8(o Options) *stats.Table {
+	return mainTable(o, cache.SharedSNUCA, "Figure 8: shared LLC — MAI/CAI error, reductions, overheads")
+}
+
+// sensitivityVariants builds the Figure 9 hardware variations.
+func sensitivityVariants(org cache.Organization) []struct {
+	Name string
+	Cfg  sim.Config
+} {
+	mk := func() sim.Config {
+		c := sim.DefaultConfig()
+		c.LLCOrg = org
+		return c
+	}
+	def := mk()
+
+	mesh8 := mk()
+	mesh8.Mesh = topology.MustNew(8, 8, 4, 4, topology.MCCorners)
+
+	big := mk()
+	big.L2PerCore = 1 << 20
+
+	page8k := mk()
+	page8k.PageSize = 8 << 10
+
+	mcmid := mk()
+	mcmid.Mesh = topology.MustNew(6, 6, 3, 3, topology.MCEdgeMiddles)
+
+	return []struct {
+		Name string
+		Cfg  sim.Config
+	}{
+		{"default", def},
+		{"8x8 network", mesh8},
+		{"1MB/core LLC", big},
+		{"page size 8KB", page8k},
+		{"MC placement", mcmid},
+	}
+}
+
+// Fig9 reproduces the hardware sensitivity study: geometric-mean
+// network-latency and execution-time improvements under an 8×8 mesh, a
+// 1MB/core LLC, 8KB pages and the alternate MC placement.
+func Fig9(o Options) *stats.Table {
+	t := stats.NewTable("Figure 9: sensitivity to hardware parameters (geomeans)",
+		"LLC", "variant", "net red %", "exec red %")
+	for _, org := range orgs {
+		for _, sv := range sensitivityVariants(org) {
+			ms := RunAll(Options{Scale: o.Scale, Apps: o.Apps}, Variant{Cfg: sv.Cfg})
+			var net, exec []float64
+			for _, m := range ms {
+				net = append(net, m.NetRed())
+				exec = append(exec, m.ExecRed())
+			}
+			o.logf("  %v/%s: net=%.1f exec=%.1f", org, sv.Name, stats.GeomeanPct(net), stats.GeomeanPct(exec))
+			t.AddRowf(org.String(), sv.Name, stats.GeomeanPct(net), stats.GeomeanPct(exec))
+		}
+	}
+	return t
+}
+
+// Fig10 reproduces the region-count (10a/10b) and iteration-set-size
+// (10c/10d) sensitivity studies.
+func Fig10(o Options) *stats.Table {
+	t := stats.NewTable("Figure 10: sensitivity to region count and iteration-set size (geomeans)",
+		"LLC", "sweep", "value", "net red %", "exec red %")
+	grids := []struct {
+		label  string
+		rx, ry int
+	}{
+		{"4 (3x3)", 2, 2}, {"6 (2x3)", 3, 2}, {"9 (2x2)", 3, 3}, {"18 (2x1)", 3, 6}, {"36 (1x1)", 6, 6},
+	}
+	fracs := []float64{0.001, 0.0025, 0.005, 0.0075, 0.01, 0.02}
+	for _, org := range orgs {
+		for _, g := range grids {
+			cfg := sim.DefaultConfig()
+			cfg.LLCOrg = org
+			cfg.Mesh = topology.MustNew(6, 6, g.rx, g.ry, topology.MCCorners)
+			ms := RunAll(Options{Scale: o.Scale, Apps: o.Apps}, Variant{Cfg: cfg})
+			var net, exec []float64
+			for _, m := range ms {
+				net = append(net, m.NetRed())
+				exec = append(exec, m.ExecRed())
+			}
+			o.logf("  %v regions=%s: net=%.1f exec=%.1f", org, g.label, stats.GeomeanPct(net), stats.GeomeanPct(exec))
+			t.AddRowf(org.String(), "regions", g.label, stats.GeomeanPct(net), stats.GeomeanPct(exec))
+		}
+		for _, f := range fracs {
+			cfg := sim.DefaultConfig()
+			cfg.LLCOrg = org
+			cfg.IterSetFrac = f
+			ms := RunAll(Options{Scale: o.Scale, Apps: o.Apps}, Variant{Cfg: cfg})
+			var net, exec []float64
+			for _, m := range ms {
+				net = append(net, m.NetRed())
+				exec = append(exec, m.ExecRed())
+			}
+			o.logf("  %v setsize=%.2f%%: net=%.1f exec=%.1f", org, 100*f, stats.GeomeanPct(net), stats.GeomeanPct(exec))
+			t.AddRowf(org.String(), "set size", fmt.Sprintf("%.2f%%", 100*f),
+				stats.GeomeanPct(net), stats.GeomeanPct(exec))
+		}
+	}
+	return t
+}
+
+// Fig11 reproduces the address-distribution study: the four (cache-bank
+// granularity, memory-bank granularity) combinations. The paper's figure
+// lists its fourth combination as a duplicate "(page, page)" — an
+// apparent typo; we run the remaining distinct combination
+// (page, cacheline) in its place and note it.
+func Fig11(o Options) *stats.Table {
+	t := stats.NewTable("Figure 11: (cache-bank gran, memory-bank gran) combinations — exec-time improvement (geomeans)",
+		"combo", "private %", "shared %")
+	combos := []struct {
+		name             string
+		bankGran, mcGran mem.Granularity
+	}{
+		{"(cacheline, page)", mem.GranCacheLine, mem.GranPage}, // default
+		{"(cacheline, cacheline)", mem.GranCacheLine, mem.GranCacheLine},
+		{"(page, page)", mem.GranPage, mem.GranPage},
+		{"(page, cacheline)", mem.GranPage, mem.GranCacheLine},
+	}
+	for _, cb := range combos {
+		var cells []any
+		cells = append(cells, cb.name)
+		for _, org := range orgs {
+			cfg := sim.DefaultConfig()
+			cfg.LLCOrg = org
+			cfg.BankGran = cb.bankGran
+			cfg.MCGran = cb.mcGran
+			ms := RunAll(Options{Scale: o.Scale, Apps: o.Apps}, Variant{Cfg: cfg})
+			var exec []float64
+			for _, m := range ms {
+				exec = append(exec, m.ExecRed())
+			}
+			cells = append(cells, stats.GeomeanPct(exec))
+			o.logf("  %s %v: exec=%.1f", cb.name, org, stats.GeomeanPct(exec))
+		}
+		t.AddRowf(cells...)
+	}
+	return t
+}
+
+// Fig12 reproduces the DDR-4 study: per-application execution-time
+// improvements when the memory system is DDR4-2133.
+func Fig12(o Options) *stats.Table {
+	t := stats.NewTable("Figure 12: execution-time improvement with DDR-4 (%)",
+		"benchmark", "private", "shared")
+	var priv, shr []float64
+	for _, name := range o.apps() {
+		row := make([]float64, 2)
+		for i, org := range orgs {
+			cfg := sim.DefaultConfig()
+			cfg.LLCOrg = org
+			cfg.DRAM.Timing = dram.DDR4()
+			m := RunApp(name, o.scale(), Variant{Cfg: cfg})
+			row[i] = m.ExecRed()
+		}
+		o.logf("  %-10s ddr4: priv=%.1f shared=%.1f", name, row[0], row[1])
+		priv = append(priv, row[0])
+		shr = append(shr, row[1])
+		t.AddRowf(name, row[0], row[1])
+	}
+	t.AddRowf("GEOMEAN", stats.GeomeanPct(priv), stats.GeomeanPct(shr))
+	return t
+}
+
+// Fig13 compares against the DO data-layout scheme [22] on the six
+// applications it supports: LA alone, DO alone, and LA applied on top of
+// DO's layout.
+func Fig13(o Options) *stats.Table {
+	t := stats.NewTable("Figure 13: LA vs data-layout optimization (exec-time improvement %)",
+		"LLC", "benchmark", "LA", "DO", "LA+DO")
+	apps := o.Apps
+	if apps == nil {
+		apps = workloads.DOSubset()
+	}
+	for _, org := range orgs {
+		for _, name := range apps {
+			p := workloads.MustNew(name, o.scale())
+			cfg := sim.DefaultConfig()
+			cfg.LLCOrg = org
+
+			// Plain default (the comparison base).
+			sysD := sim.New(cfg)
+			defCycles := sim.TotalCycles(inspector.RunBaseline(sysD, p))
+
+			// LA alone.
+			la := RunApp(name, o.scale(), Variant{Cfg: cfg})
+
+			// DO alone: relocated layout, default mapping.
+			base := mem.NewInterleaved(cfg.PageSize, cfg.L2Line, cfg.Mesh.NumMCs(), cfg.Mesh.NumNodes())
+			doMap := baselines.BuildDO(p, cfg.Mesh, base, cfg.PageSize, cfg.IterSetFrac)
+			doCfg := cfg
+			doCfg.AddrMap = doMap
+			sysDO := sim.New(doCfg)
+			doCycles := sim.TotalCycles(inspector.RunBaseline(sysDO, p))
+
+			// LA on top of DO's layout.
+			lado := RunApp(name, o.scale(), Variant{Cfg: doCfg})
+
+			laRed := la.ExecRed()
+			doRed := stats.PctReduction(float64(defCycles), float64(doCycles))
+			// LA+DO improvement is measured against the plain default.
+			ladoRed := stats.PctReduction(float64(defCycles), float64(lado.LACycles))
+			o.logf("  %v %-10s LA=%.1f DO=%.1f LA+DO=%.1f", org, name, laRed, doRed, ladoRed)
+			t.AddRowf(org.String(), name, laRed, doRed, ladoRed)
+		}
+	}
+	return t
+}
+
+// Fig14 compares against the hardware/OS application-to-core placement of
+// Das et al. [16].
+func Fig14(o Options) *stats.Table {
+	t := stats.NewTable("Figure 14: compiler (LA) vs hardware-based placement (exec-time improvement %)",
+		"benchmark", "LA priv", "LA shared", "HW priv", "HW shared")
+	for _, name := range o.apps() {
+		var laRow, hwRow [2]float64
+		for i, org := range orgs {
+			cfg := sim.DefaultConfig()
+			cfg.LLCOrg = org
+			la := RunApp(name, o.scale(), Variant{Cfg: cfg})
+			laRow[i] = la.ExecRed()
+
+			p := workloads.MustNew(name, o.scale())
+			sysH := sim.New(cfg)
+			hwSched := baselines.HWSchedule(sysH, p)
+			hwCycles := sim.TotalCycles(sysH.RunTiming(p, func(int) *sim.Schedule { return hwSched }))
+			hwRow[i] = stats.PctReduction(float64(la.DefCycles), float64(hwCycles))
+		}
+		o.logf("  %-10s LA=(%.1f,%.1f) HW=(%.1f,%.1f)", name, laRow[0], laRow[1], hwRow[0], hwRow[1])
+		t.AddRowf(name, laRow[0], laRow[1], hwRow[0], hwRow[1])
+	}
+	return t
+}
+
+// Fig15 reproduces the optimality study: perfect MAI/CAI and perfect
+// cache-miss estimation.
+func Fig15(o Options) *stats.Table {
+	t := stats.NewTable("Figure 15: exec-time improvement with perfect MAI/CAI/CME (%)",
+		"benchmark", "private", "shared")
+	var priv, shr []float64
+	for _, name := range o.apps() {
+		var row [2]float64
+		for i, org := range orgs {
+			v := DefaultVariant(org)
+			v.Oracle = true
+			m := RunApp(name, o.scale(), v)
+			row[i] = m.ExecRed()
+		}
+		o.logf("  %-10s oracle: priv=%.1f shared=%.1f", name, row[0], row[1])
+		priv = append(priv, row[0])
+		shr = append(shr, row[1])
+		t.AddRowf(name, row[0], row[1])
+	}
+	t.AddRowf("GEOMEAN", stats.GeomeanPct(priv), stats.GeomeanPct(shr))
+	return t
+}

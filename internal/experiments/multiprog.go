@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"sort"
+
+	"locmap/internal/cache"
+	"locmap/internal/core"
+	"locmap/internal/inspector"
+	"locmap/internal/loop"
+	"locmap/internal/mem"
+	"locmap/internal/sim"
+	"locmap/internal/stats"
+	"locmap/internal/topology"
+	"locmap/internal/workloads"
+)
+
+// DefaultMix is the 4-application multiprogrammed mix used by the §5
+// "multiple multi-threaded applications" study: two memory-bound
+// irregular codes, one stencil code and one butterfly code.
+func DefaultMix() []string { return []string{"moldyn", "swim", "hpccg", "fft"} }
+
+// stridedCores partitions the mesh into four interleaved 9-core sets:
+// application i owns cores {i, i+4, i+8, ...}. Every partition spans all
+// regions of the chip — how a scheduler typically spreads the threads of
+// co-running applications — which leaves the location-aware mapper room
+// to place each application's iteration sets near their data within its
+// own cores.
+func stridedCores(mesh *topology.Mesh) [4][]topology.NodeID {
+	var out [4][]topology.NodeID
+	for n := topology.NodeID(0); n < topology.NodeID(mesh.NumNodes()); n++ {
+		out[int(n)%4] = append(out[int(n)%4], n)
+	}
+	return out
+}
+
+// subsetDefault deals a nest's sets round-robin over an application's own
+// cores — the default mapping restricted to its partition.
+func subsetDefault(mesh *topology.Mesh, numSets int, cores []topology.NodeID) *core.Assignment {
+	a := &core.Assignment{
+		Region: make([]topology.RegionID, numSets),
+		Core:   make([]topology.NodeID, numSets),
+	}
+	for k := 0; k < numSets; k++ {
+		c := cores[k%len(cores)]
+		a.Core[k] = c
+		a.Region[k] = mesh.RegionOf(c)
+	}
+	return a
+}
+
+// clampToCores projects a full-mesh assignment onto an application's core
+// partition: each set moves to the free partition core nearest its
+// originally assigned core, with per-core load capped for balance.
+func clampToCores(mesh *topology.Mesh, a *core.Assignment, cores []topology.NodeID) *core.Assignment {
+	n := len(a.Core)
+	capPer := (n + len(cores) - 1) / len(cores)
+	load := make(map[topology.NodeID]int, len(cores))
+	out := &core.Assignment{
+		Region: make([]topology.RegionID, n),
+		Core:   make([]topology.NodeID, n),
+		Moved:  a.Moved,
+	}
+	order := make([]topology.NodeID, len(cores))
+	for k := 0; k < n; k++ {
+		copy(order, cores)
+		want := a.Core[k]
+		sort.SliceStable(order, func(i, j int) bool {
+			return mesh.Distance(order[i], want) < mesh.Distance(order[j], want)
+		})
+		placed := order[len(order)-1]
+		for _, c := range order {
+			if load[c] < capPer {
+				placed = c
+				break
+			}
+		}
+		load[placed]++
+		out.Core[k] = placed
+		out.Region[k] = mesh.RegionOf(placed)
+	}
+	return out
+}
+
+// multiTask is one application's work in a multiprogrammed run.
+type multiTask struct {
+	p     *loop.Program
+	cores []topology.NodeID
+	sched *sim.Schedule
+}
+
+// runMulti executes the tasks concurrently: applications proceed
+// nest-by-nest on their own core partitions (own barriers), sharing the
+// NoC, the LLC and the memory controllers. It returns each application's
+// total cycles and the per-application observations of the first timing
+// iteration.
+func runMulti(sys *sim.System, tasks []multiTask) (cycles []int64, firstObs [][][]sim.SetObs) {
+	cycles = make([]int64, len(tasks))
+	firstObs = make([][][]sim.SetObs, len(tasks))
+	maxTI := 1
+	for i, tk := range tasks {
+		firstObs[i] = make([][]sim.SetObs, len(tk.p.Nests))
+		if tk.p.TimingIters > maxTI {
+			maxTI = tk.p.TimingIters
+		}
+	}
+	maxNests := 0
+	for _, tk := range tasks {
+		if len(tk.p.Nests) > maxNests {
+			maxNests = len(tk.p.Nests)
+		}
+	}
+	// Round-robin nests across applications so their traffic genuinely
+	// overlaps in simulated time.
+	for ti := 0; ti < maxTI; ti++ {
+		for j := 0; j < maxNests; j++ {
+			for i, tk := range tasks {
+				if ti >= tk.p.TimingIters || j >= len(tk.p.Nests) {
+					continue
+				}
+				n := tk.p.Nests[j]
+				sets := sys.Sets(n)
+				res := sys.RunNestOn(n, sets, tk.sched.Assign[j], tk.cores)
+				cycles[i] += res.Cycles
+				if ti == 0 {
+					firstObs[i][j] = res.Obs
+				}
+			}
+		}
+	}
+	return cycles, firstObs
+}
+
+// MultiProg reproduces the §5 multiprogrammed study: four multithreaded
+// applications run concurrently, each on its own 9-core partition; the
+// location-aware mapping is applied per application within its partition.
+func MultiProg(o Options) *stats.Table {
+	t := stats.NewTable("Multiprogrammed (4 apps on 9-core partitions) — exec-time improvement (%)",
+		"LLC", "benchmark", "improvement")
+	mix := o.Apps
+	if mix == nil {
+		mix = DefaultMix()
+	}
+	if len(mix) > 4 {
+		mix = mix[:4]
+	}
+	for _, org := range orgs {
+		cfg := sim.DefaultConfig()
+		cfg.LLCOrg = org
+		mesh := cfg.Mesh
+		quads := stridedCores(mesh)
+		shared := org == cache.SharedSNUCA
+
+		// Build the tasks with disjoint address spaces.
+		mkTasks := func() []multiTask {
+			var tasks []multiTask
+			var base uint64
+			for i, name := range mix {
+				p := workloads.MustNew(name, o.scale())
+				end := p.Layout(mem.Addr(base), cfg.PageSize)
+				base = uint64(end) + 1<<24
+				sched := &sim.Schedule{Assign: make([]*core.Assignment, len(p.Nests))}
+				for j, n := range p.Nests {
+					sched.Assign[j] = subsetDefault(mesh, len(n.IterationSets(cfg.IterSetFrac)), quads[i])
+				}
+				tasks = append(tasks, multiTask{p: p, cores: quads[i], sched: sched})
+			}
+			return tasks
+		}
+
+		// Default run (also the profile source).
+		defTasks := mkTasks()
+		sysD := sim.New(cfg)
+		defCycles, obs := runMulti(sysD, defTasks)
+
+		// Optimized run: per-app Algorithm 1/2 clamped to its quadrant.
+		optTasks := mkTasks()
+		mapper := core.NewMapper(core.Config{Mesh: mesh})
+		for i := range optTasks {
+			p := optTasks[i].p
+			for j, n := range p.Nests {
+				sets := n.IterationSets(cfg.IterSetFrac)
+				sa := inspector.AffinitiesFromObs(obs[i][j], sets, shared)
+				var a *core.Assignment
+				if shared {
+					a = mapper.MapShared(sa)
+				} else {
+					a = mapper.MapPrivate(sa)
+				}
+				optTasks[i].sched.Assign[j] = clampToCores(mesh, a, optTasks[i].cores)
+			}
+		}
+		sysO := sim.New(cfg)
+		optCycles, _ := runMulti(sysO, optTasks)
+
+		var reds []float64
+		for i, name := range mix {
+			red := stats.PctReduction(float64(defCycles[i]), float64(optCycles[i]))
+			reds = append(reds, red)
+			o.logf("  %v %-10s multi: %.1f%%", org, name, red)
+			t.AddRowf(org.String(), name, red)
+		}
+		t.AddRowf(org.String(), "AVERAGE", stats.Mean(reds))
+	}
+	return t
+}

@@ -1,0 +1,68 @@
+package lang
+
+import (
+	"fmt"
+
+	"locmap/internal/loop"
+)
+
+// BindIndexData attaches contents to every irregular reference that reads
+// through the named index array. The data is the runtime input the
+// compiler cannot see; the inspector–executor path observes its effect
+// instead.
+func BindIndexData(p *loop.Program, name string, data []int64) error {
+	bound := false
+	for _, n := range p.Nests {
+		for i := range n.Refs {
+			r := &n.Refs[i]
+			if r.Irregular && r.IndexArrayName == name {
+				r.IndexArray = data
+				bound = true
+			}
+		}
+	}
+	if !bound {
+		return fmt.Errorf("lang: no irregular reference uses index array %q", name)
+	}
+	return nil
+}
+
+// GenerateIndexData fills every unbound irregular reference with
+// deterministic clustered-random-walk contents (runs of `runLen`
+// consecutive-ish indices before jumping), seeded per index-array name.
+// It is how the examples and the CLI produce demo inputs.
+func GenerateIndexData(p *loop.Program, seed uint64, runLen int64) {
+	if runLen <= 0 {
+		runLen = 64
+	}
+	for _, n := range p.Nests {
+		iters := n.Iterations()
+		for i := range n.Refs {
+			r := &n.Refs[i]
+			if !r.Irregular || len(r.IndexArray) > 0 {
+				continue
+			}
+			state := seed
+			for _, c := range r.IndexArrayName {
+				state = state*1099511628211 ^ uint64(c)
+			}
+			rnd := func() uint64 {
+				state += 0x9e3779b97f4a7c15
+				x := state
+				x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+				x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+				return x ^ (x >> 31)
+			}
+			elems := r.Array.Elems
+			data := make([]int64, iters)
+			var base int64
+			for k := int64(0); k < iters; k++ {
+				if k%runLen == 0 {
+					base = int64(rnd() % uint64(elems))
+				}
+				data[k] = (base + (k%runLen)*4) % elems
+			}
+			r.IndexArray = data
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"locmap/internal/loop"
+)
+
+const triadSrc = `
+# STREAM triad: a[i] = b[i] + 3*c[i]
+param N = 1024
+array A[N]
+array B[N]
+array C[N]
+
+parallel for i = 0..N work 8 {
+    A[i] = B[i] + C[i]
+}
+`
+
+func TestParseTriad(t *testing.T) {
+	p, err := Parse(triadSrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Arrays) != 3 {
+		t.Fatalf("arrays = %d, want 3", len(p.Arrays))
+	}
+	if len(p.Nests) != 1 {
+		t.Fatalf("nests = %d, want 1", len(p.Nests))
+	}
+	n := p.Nests[0]
+	if !n.Parallel {
+		t.Error("nest should be parallel")
+	}
+	if n.WorkCycles != 8 {
+		t.Errorf("work = %d, want 8", n.WorkCycles)
+	}
+	if n.Iterations() != 1024 {
+		t.Errorf("iterations = %d", n.Iterations())
+	}
+	if len(n.Refs) != 3 {
+		t.Fatalf("refs = %d, want 3", len(n.Refs))
+	}
+	if n.Refs[0].Kind != loop.Write || n.Refs[0].Array.Name != "A" {
+		t.Error("first ref should be the write to A")
+	}
+	if !p.Regular {
+		t.Error("triad should be classified regular")
+	}
+	p.Layout(0, 2048)
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if !loop.AnalyzeParallel(n) {
+		t.Error("triad should pass the dependence test")
+	}
+}
+
+func TestParseParamOverride(t *testing.T) {
+	src := strings.Replace(triadSrc, "param N = 1024", "param N = 0", 1)
+	// A literal 0 in the source would make the arrays empty; instead
+	// test the external-params path with a symbolic-looking source.
+	_ = src
+	p, err := Parse(triadSrc, map[string]int64{"N": 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The source literal wins over the external value.
+	if p.Arrays[0].Elems != 1024 {
+		t.Errorf("source literal should win: got %d", p.Arrays[0].Elems)
+	}
+}
+
+func TestParse2DStencil(t *testing.T) {
+	src := `
+param N = 64
+array G[N*N]
+array H[N*N]
+parallel for i = 0..N work 4 {
+  for j = 0..N {
+    H[64*i + j] = G[64*i + j] + G[64*i + j + 1] + G[64*i + j - 1]
+  }
+}
+`
+	p, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.Nests[0]
+	if len(n.Bounds) != 2 || n.Bounds[0] != 64 || n.Bounds[1] != 64 {
+		t.Fatalf("bounds = %v", n.Bounds)
+	}
+	// Subscript of the write: 64*i + j.
+	w := n.Refs[0]
+	if w.Index.Coeffs[0] != 64 || w.Index.Coeffs[1] != 1 {
+		t.Errorf("write coeffs = %v", w.Index.Coeffs)
+	}
+	// Last read: 64*i + j - 1.
+	last := n.Refs[len(n.Refs)-1]
+	if last.Index.Const != -1 {
+		t.Errorf("last read const = %d, want -1", last.Index.Const)
+	}
+}
+
+func TestParseIrregular(t *testing.T) {
+	src := `
+param N = 256
+param M = 4096
+array X[M]
+array IDX[N]
+array OUT[N]
+parallel for i = 0..N work 2 {
+  OUT[i] = X[IDX[i]]
+}
+`
+	p, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Regular {
+		t.Error("index-array program should be irregular")
+	}
+	n := p.Nests[0]
+	// Refs: write OUT[i], inner read IDX[i], irregular read X[IDX[i]].
+	var irr *loop.Ref
+	sawIdxRead := false
+	for i := range n.Refs {
+		if n.Refs[i].Irregular {
+			irr = &n.Refs[i]
+		}
+		if n.Refs[i].Array.Name == "IDX" && !n.Refs[i].Irregular {
+			sawIdxRead = true
+		}
+	}
+	if irr == nil {
+		t.Fatal("no irregular ref parsed")
+	}
+	if irr.IndexArrayName != "IDX" {
+		t.Errorf("IndexArrayName = %q", irr.IndexArrayName)
+	}
+	if !sawIdxRead {
+		t.Error("the index array itself should be read as a regular ref")
+	}
+
+	// Binding and generation.
+	if err := BindIndexData(p, "IDX", []int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if len(irr.IndexArray) != 3 {
+		t.Error("BindIndexData did not attach")
+	}
+	irr.IndexArray = nil
+	GenerateIndexData(p, 42, 16)
+	if len(irr.IndexArray) != int(n.Iterations()) {
+		t.Errorf("GenerateIndexData length = %d, want %d", len(irr.IndexArray), n.Iterations())
+	}
+	for _, v := range irr.IndexArray {
+		if v < 0 || v >= 4096 {
+			t.Fatalf("generated index %d out of range", v)
+		}
+	}
+	p.Layout(0, 2048)
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown array", `parallel for i = 0..4 { A[i] = A[i] }`},
+		{"empty range", `param N = 0
+array A[4]
+parallel for i = 0..N { A[i] = A[i] }`},
+		{"bad token", `@`},
+		{"unknown param", `array A[N]`},
+		{"redeclared", "array A[4]\narray A[4]"},
+		{"nonzero base", `array A[8]
+parallel for i = 2..8 { A[i] = A[i] }`},
+		{"missing brace", `array A[8]
+parallel for i = 0..8 { A[i] = A[i]`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src, nil); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestBindIndexDataUnknown(t *testing.T) {
+	p, err := Parse(triadSrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BindIndexData(p, "IDX", nil); err == nil {
+		t.Error("expected error binding unknown index array")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "# leading comment\n\n  array A[16]  # trailing\nparallel for i = 0..16 { A[i] = A[i] }\n"
+	if _, err := Parse(src, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,437 @@
+package lang
+
+import (
+	"fmt"
+
+	"locmap/internal/loop"
+)
+
+// Parse compiles source text into a loop.Program. params supplies (or
+// overrides) values for `param` declarations with no literal value in the
+// source; declared literals win over params entries.
+//
+// Irregular references (`A[idx[i]]`) are recorded with the named index
+// array; their contents are unknown at parse time. Call
+// (*loop.Program).Validate after binding index data with BindIndexData,
+// or use GenerateIndexData for synthetic contents.
+func Parse(src string, params map[string]int64) (*loop.Program, error) {
+	p := &parser{lex: newLexer(src), params: map[string]int64{}}
+	for k, v := range params {
+		p.params[k] = v
+	}
+	p.arrays = map[string]*loop.Array{}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &loop.Program{Name: "program", TimingIters: 1}
+	for p.tok.kind != tokEOF {
+		switch {
+		case p.isIdent("param"):
+			if err := p.parseParam(); err != nil {
+				return nil, err
+			}
+		case p.isIdent("array"):
+			if err := p.parseArray(prog); err != nil {
+				return nil, err
+			}
+		case p.isIdent("parallel") || p.isIdent("for"):
+			nest, err := p.parseNest(nil)
+			if err != nil {
+				return nil, err
+			}
+			prog.Nests = append(prog.Nests, nest)
+		default:
+			return nil, fmt.Errorf("line %d: unexpected %s", p.tok.line, p.tok)
+		}
+	}
+	// Regular/irregular classification follows the paper's footnote: a
+	// program is irregular when a large majority of its data accesses
+	// go through index arrays; we classify by any irregular ref.
+	prog.Regular = true
+	for _, n := range prog.Nests {
+		for i := range n.Refs {
+			if n.Refs[i].Irregular {
+				prog.Regular = false
+			}
+		}
+	}
+	return prog, nil
+}
+
+type parser struct {
+	lex    *lexer
+	tok    token
+	params map[string]int64
+	arrays map[string]*loop.Array
+
+	// iters is the stack of enclosing loop iterator names, outermost
+	// first, while parsing a nest body.
+	iters []string
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) isIdent(s string) bool { return p.tok.kind == tokIdent && p.tok.text == s }
+
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != tokPunct || p.tok.text != s {
+		return fmt.Errorf("line %d: expected %q, found %s", p.tok.line, s, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", fmt.Errorf("line %d: expected identifier, found %s", p.tok.line, p.tok)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+// parseParam handles `param N = 4096`.
+func (p *parser) parseParam() error {
+	if err := p.advance(); err != nil { // consume "param"
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	if p.tok.kind != tokInt {
+		// Symbolic: must be supplied externally.
+		if _, ok := p.params[name]; !ok {
+			return fmt.Errorf("line %d: param %s has no value (supply one via Parse params)", p.tok.line, name)
+		}
+		return nil
+	}
+	// A literal in the source wins.
+	p.params[name] = p.tok.num
+	return p.advance()
+}
+
+// parseArray handles `array A[N]` and `array A[4096]`.
+func (p *parser) parseArray(prog *loop.Program) error {
+	if err := p.advance(); err != nil { // consume "array"
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, dup := p.arrays[name]; dup {
+		return fmt.Errorf("array %s redeclared", name)
+	}
+	if err := p.expectPunct("["); err != nil {
+		return err
+	}
+	elems, err := p.parseConstExpr()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return err
+	}
+	if elems <= 0 {
+		return fmt.Errorf("array %s has non-positive size %d", name, elems)
+	}
+	a := &loop.Array{Name: name, ElemSize: 8, Elems: elems}
+	p.arrays[name] = a
+	prog.Arrays = append(prog.Arrays, a)
+	return nil
+}
+
+// parseConstExpr evaluates an integer expression over params.
+func (p *parser) parseConstExpr() (int64, error) {
+	v, err := p.parseConstTerm()
+	if err != nil {
+		return 0, err
+	}
+	for p.tok.kind == tokPunct && (p.tok.text == "+" || p.tok.text == "-") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		w, err := p.parseConstTerm()
+		if err != nil {
+			return 0, err
+		}
+		if op == "+" {
+			v += w
+		} else {
+			v -= w
+		}
+	}
+	return v, nil
+}
+
+func (p *parser) parseConstTerm() (int64, error) {
+	v, err := p.parseConstFactor()
+	if err != nil {
+		return 0, err
+	}
+	for p.tok.kind == tokPunct && p.tok.text == "*" {
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		w, err := p.parseConstFactor()
+		if err != nil {
+			return 0, err
+		}
+		v *= w
+	}
+	return v, nil
+}
+
+func (p *parser) parseConstFactor() (int64, error) {
+	switch {
+	case p.tok.kind == tokInt:
+		v := p.tok.num
+		return v, p.advance()
+	case p.tok.kind == tokIdent:
+		v, ok := p.params[p.tok.text]
+		if !ok {
+			return 0, fmt.Errorf("line %d: unknown parameter %s", p.tok.line, p.tok.text)
+		}
+		return v, p.advance()
+	default:
+		return 0, fmt.Errorf("line %d: expected constant, found %s", p.tok.line, p.tok)
+	}
+}
+
+// parseNest handles `[parallel] for i = lo..hi [work W] { ... }`.
+// Nested `for` loops extend the same nest (perfect nesting).
+func (p *parser) parseNest(outer *loop.Nest) (*loop.Nest, error) {
+	parallel := false
+	if p.isIdent("parallel") {
+		parallel = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if !p.isIdent("for") {
+		return nil, fmt.Errorf("line %d: expected 'for', found %s", p.tok.line, p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	iter, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	lo, err := p.parseConstExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(".."); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseConstExpr()
+	if err != nil {
+		return nil, err
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("loop %s has empty range %d..%d", iter, lo, hi)
+	}
+	if lo != 0 {
+		return nil, fmt.Errorf("loop %s: only 0-based loops are supported (normalize first)", iter)
+	}
+
+	nest := outer
+	if nest == nil {
+		nest = &loop.Nest{Name: iter, Parallel: parallel, WorkCycles: 1}
+	}
+	nest.Bounds = append(nest.Bounds, hi-lo)
+	p.iters = append(p.iters, iter)
+	defer func() { p.iters = p.iters[:len(p.iters)-1] }()
+
+	if p.isIdent("work") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokInt {
+			return nil, fmt.Errorf("line %d: expected work cycles, found %s", p.tok.line, p.tok)
+		}
+		nest.WorkCycles = p.tok.num
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !(p.tok.kind == tokPunct && p.tok.text == "}") {
+		switch {
+		case p.isIdent("for") || p.isIdent("parallel"):
+			if _, err := p.parseNest(nest); err != nil {
+				return nil, err
+			}
+		case p.tok.kind == tokIdent:
+			if err := p.parseAssign(nest); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unexpected %s in loop body", p.tok.line, p.tok)
+		}
+	}
+	return nest, p.advance() // consume "}"
+}
+
+// parseAssign handles `A[expr] = B[expr] + C[expr] * D[expr]`.
+func (p *parser) parseAssign(nest *loop.Nest) error {
+	dst, err := p.parseRef(nest, loop.Write)
+	if err != nil {
+		return err
+	}
+	_ = dst
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	if _, err := p.parseRef(nest, loop.Read); err != nil {
+		return err
+	}
+	for p.tok.kind == tokPunct && (p.tok.text == "+" || p.tok.text == "-" || p.tok.text == "*") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if _, err := p.parseRef(nest, loop.Read); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseRef parses `A[subscript]` (or a bare scalar identifier, which is
+// register-allocated and generates no memory reference) and appends the
+// reference to the nest.
+func (p *parser) parseRef(nest *loop.Nest, kind loop.RefKind) (*loop.Ref, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if !(p.tok.kind == tokPunct && p.tok.text == "[") {
+		return nil, nil // scalar: no memory reference
+	}
+	arr, ok := p.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("line %d: unknown array %s", p.tok.line, name)
+	}
+	if err := p.advance(); err != nil { // consume "["
+		return nil, err
+	}
+	ref := loop.Ref{Array: arr, Kind: kind}
+	if err := p.parseSubscript(nest, &ref); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return nil, err
+	}
+	nest.Refs = append(nest.Refs, ref)
+	return &nest.Refs[len(nest.Refs)-1], nil
+}
+
+// parseSubscript parses an affine subscript over the enclosing iterators,
+// or an index-array reference (`idx[i]`), into ref.
+func (p *parser) parseSubscript(nest *loop.Nest, ref *loop.Ref) error {
+	aff := loop.Affine{Coeffs: make([]int64, len(p.iters))}
+	sign := int64(1)
+	for {
+		coeff := int64(1)
+		switch {
+		case p.tok.kind == tokInt:
+			coeff = p.tok.num
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind == tokPunct && p.tok.text == "*" {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				if err := p.applyVar(nest, ref, &aff, sign*coeff); err != nil {
+					return err
+				}
+			} else {
+				aff.Const += sign * coeff
+			}
+		case p.tok.kind == tokIdent:
+			if err := p.applyVar(nest, ref, &aff, sign); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("line %d: bad subscript term %s", p.tok.line, p.tok)
+		}
+		if p.tok.kind == tokPunct && (p.tok.text == "+" || p.tok.text == "-") {
+			if p.tok.text == "+" {
+				sign = 1
+			} else {
+				sign = -1
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	if !ref.Irregular {
+		ref.Index = aff
+	}
+	return nil
+}
+
+// applyVar folds one variable term into the subscript: a loop iterator
+// adds to its affine coefficient; a param adds a constant; an array name
+// (followed by "[...]") makes the reference irregular through that index
+// array.
+func (p *parser) applyVar(nest *loop.Nest, ref *loop.Ref, aff *loop.Affine, coeff int64) error {
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	for d, it := range p.iters {
+		if it == name {
+			aff.Coeffs[d] += coeff
+			return nil
+		}
+	}
+	if v, ok := p.params[name]; ok {
+		aff.Const += coeff * v
+		return nil
+	}
+	if idxArr, ok := p.arrays[name]; ok {
+		// Index-array reference: idx[ affine ]. The inner subscript is
+		// parsed (and itself becomes a regular read of the index
+		// array), and the outer reference becomes irregular.
+		if !(p.tok.kind == tokPunct && p.tok.text == "[") {
+			return fmt.Errorf("line %d: array %s used without subscript", p.tok.line, name)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		inner := loop.Ref{Array: idxArr, Kind: loop.Read}
+		if err := p.parseSubscript(nest, &inner); err != nil {
+			return err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return err
+		}
+		nest.Refs = append(nest.Refs, inner)
+		ref.Irregular = true
+		ref.IndexArrayName = name
+		return nil
+	}
+	return fmt.Errorf("line %d: unknown identifier %s in subscript", p.tok.line, name)
+}

@@ -1,0 +1,345 @@
+// Package loop defines the compiler's intermediate representation of the
+// programs being optimized: rectangular (possibly symbolic-bound) loop
+// nests over arrays, with affine subscripts for regular references and
+// index-array subscripts for irregular ones.
+//
+// Iterations are identified by iteration vectors (i1,...,in) and, for
+// scheduling, flattened to a linear id in lexicographic order. The unit of
+// computation scheduling is the *iteration set*: a block of consecutive
+// iterations (0.25% of the nest by default, Table 4), chosen because
+// consecutive iterations share spatial locality and therefore share MC and
+// LLC-bank affinity.
+package loop
+
+import (
+	"fmt"
+
+	"locmap/internal/mem"
+)
+
+// Array is a program array laid out contiguously from Base.
+type Array struct {
+	Name     string
+	Base     mem.Addr
+	ElemSize int
+	Elems    int64
+}
+
+// SizeBytes returns the array's footprint.
+func (a *Array) SizeBytes() int64 { return a.Elems * int64(a.ElemSize) }
+
+// AddrOf returns the address of element idx. Out-of-range indices are
+// wrapped into the array, mirroring how the synthetic workload generators
+// keep index arrays in bounds.
+func (a *Array) AddrOf(idx int64) mem.Addr {
+	if a.Elems > 0 {
+		idx %= a.Elems
+		if idx < 0 {
+			idx += a.Elems
+		}
+	}
+	return a.Base + mem.Addr(idx*int64(a.ElemSize))
+}
+
+// Affine is an affine expression over the iteration vector:
+// Const + Σ Coeffs[d] * i_d.
+type Affine struct {
+	Const  int64
+	Coeffs []int64
+}
+
+// Eval evaluates the expression at iteration vector iv.
+func (e Affine) Eval(iv []int64) int64 {
+	v := e.Const
+	for d, c := range e.Coeffs {
+		if c != 0 && d < len(iv) {
+			v += c * iv[d]
+		}
+	}
+	return v
+}
+
+// InnerStride returns the coefficient of the innermost loop — the element
+// stride between consecutive iterations, which drives spatial locality.
+func (e Affine) InnerStride() int64 {
+	if len(e.Coeffs) == 0 {
+		return 0
+	}
+	return e.Coeffs[len(e.Coeffs)-1]
+}
+
+// RefKind distinguishes reads from writes (dependence analysis cares).
+type RefKind int
+
+const (
+	// Read is a load reference.
+	Read RefKind = iota
+	// Write is a store reference.
+	Write
+)
+
+// Ref is one array reference inside a nest body.
+type Ref struct {
+	Array *Array
+	Kind  RefKind
+
+	// Index is the affine subscript for regular references.
+	Index Affine
+
+	// Irregular marks index-array based references (A[idx[i]]). For
+	// those, IndexArray supplies the subscript per flattened iteration
+	// id; its contents are unknown to the compiler and only observable
+	// at run time by the inspector.
+	Irregular  bool
+	IndexArray []int64
+
+	// IndexArrayName records which declared array the subscript reads
+	// through, for front ends that parse `A[idx[i]]` before the index
+	// data exists; binding fills IndexArray later.
+	IndexArrayName string
+}
+
+// ElemIndex returns the element index accessed by the reference at the
+// given iteration vector / flat id.
+func (r *Ref) ElemIndex(iv []int64, flat int64) int64 {
+	if r.Irregular {
+		if len(r.IndexArray) == 0 {
+			return 0
+		}
+		return r.IndexArray[flat%int64(len(r.IndexArray))]
+	}
+	return r.Index.Eval(iv)
+}
+
+// Addr returns the byte address accessed at iteration (iv, flat).
+func (r *Ref) Addr(iv []int64, flat int64) mem.Addr {
+	return r.Array.AddrOf(r.ElemIndex(iv, flat))
+}
+
+// Nest is a (perfectly nested, rectangular) loop nest.
+type Nest struct {
+	Name   string
+	Bounds []int64 // trip count per level, outermost first
+	Refs   []Ref
+
+	// WorkCycles is the non-memory compute cost per iteration, in core
+	// cycles; it positions the nest on the compute- vs memory-bound
+	// spectrum.
+	WorkCycles int64
+
+	// Parallel marks the nest as a parallel loop (set by the front end
+	// or by AnalyzeParallel).
+	Parallel bool
+}
+
+// Iterations returns the nest's total trip count.
+func (n *Nest) Iterations() int64 {
+	total := int64(1)
+	for _, b := range n.Bounds {
+		total *= b
+	}
+	return total
+}
+
+// Unflatten fills iv with the iteration vector of flat id `flat`
+// (lexicographic order, innermost fastest) and returns it.
+func (n *Nest) Unflatten(iv []int64, flat int64) []int64 {
+	iv = iv[:0]
+	for range n.Bounds {
+		iv = append(iv, 0)
+	}
+	for d := len(n.Bounds) - 1; d >= 0; d-- {
+		iv[d] = flat % n.Bounds[d]
+		flat /= n.Bounds[d]
+	}
+	return iv
+}
+
+// IterSet is a contiguous block [Lo, Hi) of flattened iteration ids — the
+// scheduling unit.
+type IterSet struct {
+	ID     int
+	Lo, Hi int64
+}
+
+// Len returns the number of iterations in the set.
+func (s IterSet) Len() int64 { return s.Hi - s.Lo }
+
+// IterationSets partitions the nest into sets of sizeFrac of the total
+// trip count each (e.g. 0.0025 for the paper's 0.25%). Every set has the
+// same size except possibly the last. A sizeFrac that would produce empty
+// or oversized sets is clamped to [1, total].
+func (n *Nest) IterationSets(sizeFrac float64) []IterSet {
+	total := n.Iterations()
+	size := int64(float64(total) * sizeFrac)
+	if size < 1 {
+		size = 1
+	}
+	if size > total {
+		size = total
+	}
+	sets := make([]IterSet, 0, total/size+1)
+	for lo := int64(0); lo < total; lo += size {
+		hi := lo + size
+		if hi > total {
+			hi = total
+		}
+		sets = append(sets, IterSet{ID: len(sets), Lo: lo, Hi: hi})
+	}
+	return sets
+}
+
+// AnalyzeParallel performs a conservative dependence test on the nest's
+// outermost loop: the nest is safely parallel if no array element written
+// by one iteration can be accessed by a different iteration. For affine
+// single-index references this reduces to checking that every written
+// array is accessed only through subscripts that are injective in the
+// outermost iterator with identical outer coefficients and offsets; any
+// irregular write disqualifies the nest (the classic conservative answer —
+// the inspector/executor handles such nests at run time instead).
+func AnalyzeParallel(n *Nest) bool {
+	if len(n.Bounds) == 0 {
+		return false
+	}
+	for i := range n.Refs {
+		w := &n.Refs[i]
+		if w.Kind != Write {
+			continue
+		}
+		if w.Irregular {
+			return false
+		}
+		if len(w.Index.Coeffs) == 0 || w.Index.Coeffs[0] == 0 {
+			// Written subscript does not vary with the parallel
+			// loop: every iteration writes the same element.
+			return false
+		}
+		for j := range n.Refs {
+			r := &n.Refs[j]
+			if i == j || r.Array != w.Array {
+				continue
+			}
+			if r.Irregular {
+				return false
+			}
+			// Same-array reference must have an identical
+			// subscript function, otherwise iterations may touch
+			// each other's written elements.
+			if !sameAffine(w.Index, r.Index) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sameAffine(a, b Affine) bool {
+	if a.Const != b.Const {
+		return false
+	}
+	n := len(a.Coeffs)
+	if len(b.Coeffs) > n {
+		n = len(b.Coeffs)
+	}
+	for d := 0; d < n; d++ {
+		var ca, cb int64
+		if d < len(a.Coeffs) {
+			ca = a.Coeffs[d]
+		}
+		if d < len(b.Coeffs) {
+			cb = b.Coeffs[d]
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Program is a whole application: its arrays, its parallel nests, and the
+// outer timing loop that irregular codes iterate.
+type Program struct {
+	Name  string
+	Nests []*Nest
+
+	// Arrays owns the program's data. Array base addresses are assigned
+	// by Layout.
+	Arrays []*Array
+
+	// Regular classifies the application per the paper's footnote: an
+	// application is "regular" when the large majority of accesses are
+	// affine, "irregular" when they go through index arrays.
+	Regular bool
+
+	// TimingIters is the number of outer timing-loop iterations
+	// (irregular codes re-execute their nests this many times; the
+	// inspector runs after the first).
+	TimingIters int
+
+	// Meta carries the Table 3 bookkeeping for reporting.
+	Meta Table3Row
+}
+
+// Table3Row mirrors one row of the paper's Table 3.
+type Table3Row struct {
+	LoopNests  int
+	Arrays     int
+	IterGroups int
+}
+
+// Layout assigns page-aligned base addresses to the program's arrays,
+// packing them consecutively from `base`. It returns the first address
+// past the data segment.
+func (p *Program) Layout(base mem.Addr, pageSize int) mem.Addr {
+	addr := align(base, mem.Addr(pageSize))
+	for _, a := range p.Arrays {
+		a.Base = addr
+		addr = align(addr+mem.Addr(a.SizeBytes()), mem.Addr(pageSize))
+	}
+	return addr
+}
+
+func align(a, to mem.Addr) mem.Addr {
+	if to == 0 {
+		return a
+	}
+	return (a + to - 1) / to * to
+}
+
+// TotalIterations sums trip counts over all nests (one timing iteration).
+func (p *Program) TotalIterations() int64 {
+	var total int64
+	for _, n := range p.Nests {
+		total += n.Iterations()
+	}
+	return total
+}
+
+// Validate checks structural invariants: positive bounds, refs pointing at
+// program arrays, and index arrays sized for their nests.
+func (p *Program) Validate() error {
+	owned := make(map[*Array]bool, len(p.Arrays))
+	for _, a := range p.Arrays {
+		owned[a] = true
+	}
+	for _, n := range p.Nests {
+		if len(n.Bounds) == 0 {
+			return fmt.Errorf("%s/%s: no loop bounds", p.Name, n.Name)
+		}
+		for _, b := range n.Bounds {
+			if b <= 0 {
+				return fmt.Errorf("%s/%s: non-positive bound %d", p.Name, n.Name, b)
+			}
+		}
+		for i := range n.Refs {
+			r := &n.Refs[i]
+			if r.Array == nil || !owned[r.Array] {
+				return fmt.Errorf("%s/%s: ref %d targets foreign array", p.Name, n.Name, i)
+			}
+			if r.Irregular && len(r.IndexArray) == 0 {
+				return fmt.Errorf("%s/%s: irregular ref %d lacks index array", p.Name, n.Name, i)
+			}
+		}
+	}
+	return nil
+}

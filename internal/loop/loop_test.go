@@ -1,0 +1,208 @@
+package loop
+
+import (
+	"testing"
+	"testing/quick"
+
+	"locmap/internal/mem"
+)
+
+func TestAffineEval(t *testing.T) {
+	e := Affine{Const: 5, Coeffs: []int64{10, 1}}
+	if got := e.Eval([]int64{3, 4}); got != 39 {
+		t.Errorf("Eval = %d, want 39", got)
+	}
+	if e.InnerStride() != 1 {
+		t.Errorf("InnerStride = %d", e.InnerStride())
+	}
+	if (Affine{Const: 7}).Eval([]int64{1, 2}) != 7 {
+		t.Error("constant affine should ignore iv")
+	}
+}
+
+func TestArrayAddrWraps(t *testing.T) {
+	a := &Array{Name: "A", Base: 1000, ElemSize: 8, Elems: 10}
+	if got := a.AddrOf(3); got != 1024 {
+		t.Errorf("AddrOf(3) = %d", got)
+	}
+	if got := a.AddrOf(13); got != a.AddrOf(3) {
+		t.Error("out-of-range index should wrap")
+	}
+	if got := a.AddrOf(-7); got != a.AddrOf(3) {
+		t.Error("negative index should wrap")
+	}
+}
+
+func TestUnflattenRoundTrip(t *testing.T) {
+	n := &Nest{Bounds: []int64{4, 5, 3}}
+	if n.Iterations() != 60 {
+		t.Fatalf("Iterations = %d", n.Iterations())
+	}
+	var iv []int64
+	for flat := int64(0); flat < 60; flat++ {
+		iv = n.Unflatten(iv, flat)
+		re := iv[0]*15 + iv[1]*3 + iv[2]
+		if re != flat {
+			t.Fatalf("Unflatten(%d) = %v, reflattens to %d", flat, iv, re)
+		}
+	}
+}
+
+func TestIterationSetsPartition(t *testing.T) {
+	n := &Nest{Bounds: []int64{1000}}
+	sets := n.IterationSets(0.0025) // 0.25% -> 2-3 iterations per set
+	var covered int64
+	prevHi := int64(0)
+	for i, s := range sets {
+		if s.ID != i {
+			t.Errorf("set %d has ID %d", i, s.ID)
+		}
+		if s.Lo != prevHi {
+			t.Errorf("set %d starts at %d, want %d", i, s.Lo, prevHi)
+		}
+		covered += s.Len()
+		prevHi = s.Hi
+	}
+	if covered != 1000 {
+		t.Errorf("sets cover %d iterations, want 1000", covered)
+	}
+}
+
+func TestIterationSetsProperty(t *testing.T) {
+	f := func(trip uint16, fracRaw uint8) bool {
+		n := &Nest{Bounds: []int64{int64(trip%5000) + 1}}
+		frac := float64(fracRaw%100+1) / 1000
+		sets := n.IterationSets(frac)
+		var total int64
+		for _, s := range sets {
+			if s.Len() <= 0 {
+				return false
+			}
+			total += s.Len()
+		}
+		return total == n.Iterations()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIterationSetsClamp(t *testing.T) {
+	n := &Nest{Bounds: []int64{10}}
+	if sets := n.IterationSets(0); len(sets) != 10 {
+		t.Errorf("zero frac should clamp to 1-iteration sets, got %d sets", len(sets))
+	}
+	if sets := n.IterationSets(5); len(sets) != 1 {
+		t.Errorf("huge frac should clamp to a single set, got %d", len(sets))
+	}
+}
+
+func TestAnalyzeParallel(t *testing.T) {
+	A := &Array{Name: "A", Elems: 100, ElemSize: 8}
+	B := &Array{Name: "B", Elems: 100, ElemSize: 8}
+	id := Affine{Coeffs: []int64{1}}
+
+	// A[i] = B[i]: independent iterations.
+	ok := &Nest{Bounds: []int64{100}, Refs: []Ref{
+		{Array: A, Kind: Write, Index: id},
+		{Array: B, Kind: Read, Index: id},
+	}}
+	if !AnalyzeParallel(ok) {
+		t.Error("A[i]=B[i] should be parallel")
+	}
+
+	// A[i] = A[i-1]: loop-carried dependence.
+	carried := &Nest{Bounds: []int64{100}, Refs: []Ref{
+		{Array: A, Kind: Write, Index: id},
+		{Array: A, Kind: Read, Index: Affine{Const: -1, Coeffs: []int64{1}}},
+	}}
+	if AnalyzeParallel(carried) {
+		t.Error("A[i]=A[i-1] must not be parallel")
+	}
+
+	// A[0] += B[i]: reduction into a single element.
+	reduction := &Nest{Bounds: []int64{100}, Refs: []Ref{
+		{Array: A, Kind: Write, Index: Affine{}},
+		{Array: B, Kind: Read, Index: id},
+	}}
+	if AnalyzeParallel(reduction) {
+		t.Error("scalar reduction must not be parallel")
+	}
+
+	// A[idx[i]] = ...: irregular write is conservatively sequential.
+	irr := &Nest{Bounds: []int64{100}, Refs: []Ref{
+		{Array: A, Kind: Write, Irregular: true, IndexArray: []int64{1, 2}},
+	}}
+	if AnalyzeParallel(irr) {
+		t.Error("irregular write must not be judged parallel statically")
+	}
+
+	// Read-only nests are parallel.
+	ro := &Nest{Bounds: []int64{100}, Refs: []Ref{
+		{Array: A, Kind: Read, Index: id},
+		{Array: B, Kind: Read, Index: Affine{Coeffs: []int64{2}}},
+	}}
+	if !AnalyzeParallel(ro) {
+		t.Error("read-only nest should be parallel")
+	}
+}
+
+func TestLayoutPageAligned(t *testing.T) {
+	p := &Program{
+		Name: "t",
+		Arrays: []*Array{
+			{Name: "A", ElemSize: 8, Elems: 300}, // 2400B -> 2 pages
+			{Name: "B", ElemSize: 8, Elems: 10},
+		},
+	}
+	end := p.Layout(0, 2048)
+	if p.Arrays[0].Base != 0 {
+		t.Errorf("A.Base = %d", p.Arrays[0].Base)
+	}
+	if p.Arrays[1].Base != 4096 {
+		t.Errorf("B.Base = %d, want 4096 (page aligned after 2400B)", p.Arrays[1].Base)
+	}
+	if end != 6144 {
+		t.Errorf("layout end = %d, want 6144", end)
+	}
+}
+
+func TestIrregularRefUsesIndexArray(t *testing.T) {
+	A := &Array{Name: "A", Base: 0, ElemSize: 8, Elems: 100}
+	r := Ref{Array: A, Irregular: true, IndexArray: []int64{42, 7, 9}}
+	if got := r.ElemIndex(nil, 1); got != 7 {
+		t.Errorf("ElemIndex = %d, want 7", got)
+	}
+	if got := r.Addr(nil, 0); got != mem.Addr(42*8) {
+		t.Errorf("Addr = %d", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	A := &Array{Name: "A", Elems: 10, ElemSize: 8}
+	good := &Program{Name: "p", Arrays: []*Array{A}, Nests: []*Nest{
+		{Name: "n", Bounds: []int64{10}, Refs: []Ref{{Array: A, Index: Affine{Coeffs: []int64{1}}}}},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+
+	foreign := &Program{Name: "p", Arrays: nil, Nests: good.Nests}
+	if foreign.Validate() == nil {
+		t.Error("foreign array should be rejected")
+	}
+
+	badBound := &Program{Name: "p", Arrays: []*Array{A}, Nests: []*Nest{
+		{Name: "n", Bounds: []int64{0}},
+	}}
+	if badBound.Validate() == nil {
+		t.Error("zero bound should be rejected")
+	}
+
+	noIdx := &Program{Name: "p", Arrays: []*Array{A}, Nests: []*Nest{
+		{Name: "n", Bounds: []int64{4}, Refs: []Ref{{Array: A, Irregular: true}}},
+	}}
+	if noIdx.Validate() == nil {
+		t.Error("irregular ref without index array should be rejected")
+	}
+}

@@ -1,0 +1,116 @@
+package loop
+
+import "fmt"
+
+// This file implements the conventional loop transformations the paper
+// assumes are already applied to both the default and the optimized codes
+// ("all available conventional data locality (e.g., tiling) and SIMD
+// optimizations; they differ only in how they assign iterations to
+// cores", §5). The transformations rewrite the nest's bounds and affine
+// subscripts; iteration-set mapping then runs on the transformed nest.
+
+// Interchange swaps loop levels a and b of the nest, rewriting every
+// affine subscript accordingly. It returns an error when the nest is too
+// shallow or when the swap is not dependence-safe (checked conservatively
+// with the same test as AnalyzeParallel: interchange of a nest whose
+// writes pass the independence test is always legal).
+func Interchange(n *Nest, a, b int) error {
+	if a < 0 || b < 0 || a >= len(n.Bounds) || b >= len(n.Bounds) {
+		return fmt.Errorf("loop: interchange levels (%d,%d) out of range for depth %d", a, b, len(n.Bounds))
+	}
+	if a == b {
+		return nil
+	}
+	if !AnalyzeParallel(n) {
+		return fmt.Errorf("loop: interchange of %q is not provably safe", n.Name)
+	}
+	n.Bounds[a], n.Bounds[b] = n.Bounds[b], n.Bounds[a]
+	for i := range n.Refs {
+		c := n.Refs[i].Index.Coeffs
+		if len(c) <= a || len(c) <= b {
+			// Extend with zeros so both levels exist.
+			for len(c) < len(n.Bounds) {
+				c = append(c, 0)
+			}
+			n.Refs[i].Index.Coeffs = c
+		}
+		c[a], c[b] = c[b], c[a]
+	}
+	return nil
+}
+
+// Tile strip-mines loop level d with the given tile size and sinks the
+// point loop innermost: a nest [ ... Nd ... ] becomes
+// [ ... Nd/tile ... tile ], with every subscript rewritten so that the
+// accessed addresses are unchanged iteration-for-iteration. Nd must be
+// divisible by tile (rectangular tiling).
+func Tile(n *Nest, d int, tile int64) error {
+	if d < 0 || d >= len(n.Bounds) {
+		return fmt.Errorf("loop: tile level %d out of range", d)
+	}
+	if tile <= 0 || n.Bounds[d]%tile != 0 {
+		return fmt.Errorf("loop: bound %d not divisible by tile %d", n.Bounds[d], tile)
+	}
+	if tile == n.Bounds[d] || tile == 1 {
+		return nil // degenerate
+	}
+	// New bounds: level d becomes the tile loop (Nd/tile); a new
+	// innermost level is the point loop (tile).
+	n.Bounds[d] /= tile
+	n.Bounds = append(n.Bounds, tile)
+	inner := len(n.Bounds) - 1
+	for i := range n.Refs {
+		c := n.Refs[i].Index.Coeffs
+		for len(c) < len(n.Bounds) {
+			c = append(c, 0)
+		}
+		// i_d_old = i_d_new*tile + i_inner, so the coefficient of the
+		// tile loop scales by tile and the point loop inherits the
+		// original coefficient.
+		c[inner] += c[d]
+		c[d] *= tile
+		n.Refs[i].Index.Coeffs = c
+	}
+	return nil
+}
+
+// Normalize pads every subscript's coefficient vector to the nest depth,
+// making transformed nests safe for code that indexes coefficients by
+// level.
+func Normalize(n *Nest) {
+	for i := range n.Refs {
+		c := n.Refs[i].Index.Coeffs
+		for len(c) < len(n.Bounds) {
+			c = append(c, 0)
+		}
+		n.Refs[i].Index.Coeffs = c[:len(n.Bounds)]
+	}
+}
+
+// Fuse concatenates nest b after nest a when both have identical bounds
+// and the combined nest is still provably parallel; the fused nest
+// executes a's references then b's references each iteration. Fusion is
+// the classic locality transformation for producer/consumer nest pairs —
+// and it also merges their iteration-set affinity, letting the mapper
+// keep the producer and the consumer of a value on the same core.
+func Fuse(a, b *Nest) (*Nest, error) {
+	if len(a.Bounds) != len(b.Bounds) {
+		return nil, fmt.Errorf("loop: fuse depth mismatch %d vs %d", len(a.Bounds), len(b.Bounds))
+	}
+	for d := range a.Bounds {
+		if a.Bounds[d] != b.Bounds[d] {
+			return nil, fmt.Errorf("loop: fuse bound mismatch at level %d", d)
+		}
+	}
+	fused := &Nest{
+		Name:       a.Name + "+" + b.Name,
+		Bounds:     append([]int64(nil), a.Bounds...),
+		WorkCycles: a.WorkCycles + b.WorkCycles,
+		Parallel:   a.Parallel && b.Parallel,
+	}
+	fused.Refs = append(append([]Ref(nil), a.Refs...), b.Refs...)
+	if !AnalyzeParallel(fused) {
+		return nil, fmt.Errorf("loop: fusing %q and %q creates a dependence", a.Name, b.Name)
+	}
+	return fused, nil
+}

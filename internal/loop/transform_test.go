@@ -1,0 +1,205 @@
+package loop
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// addrTrace collects the address stream of a nest.
+func addrTrace(n *Nest) []int64 {
+	var out []int64
+	var iv []int64
+	total := n.Iterations()
+	for flat := int64(0); flat < total; flat++ {
+		iv = n.Unflatten(iv, flat)
+		for i := range n.Refs {
+			out = append(out, n.Refs[i].ElemIndex(iv, flat))
+		}
+	}
+	return out
+}
+
+// sortedEq compares two multisets of indices.
+func multisetEq(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[int64]int{}
+	for _, x := range a {
+		m[x]++
+	}
+	for _, x := range b {
+		m[x]--
+	}
+	for _, v := range m {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func matNest(rows, cols int64) *Nest {
+	a := &Array{Name: "A", ElemSize: 8, Elems: rows * cols}
+	return &Nest{
+		Name:   "mat",
+		Bounds: []int64{rows, cols},
+		Refs: []Ref{
+			{Array: a, Kind: Read, Index: Affine{Coeffs: []int64{cols, 1}}},
+		},
+	}
+}
+
+func TestInterchangePreservesAccessSet(t *testing.T) {
+	n := matNest(8, 16)
+	before := addrTrace(n)
+	if err := Interchange(n, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n.Bounds[0] != 16 || n.Bounds[1] != 8 {
+		t.Fatalf("bounds = %v", n.Bounds)
+	}
+	after := addrTrace(n)
+	if !multisetEq(before, after) {
+		t.Fatal("interchange changed the set of accessed elements")
+	}
+	// The stride pattern must have changed: originally row-major
+	// (inner stride 1), now column-major (inner stride 16).
+	if n.Refs[0].Index.InnerStride() != 16 {
+		t.Errorf("inner stride = %d, want 16", n.Refs[0].Index.InnerStride())
+	}
+}
+
+func TestInterchangeRejectsUnsafe(t *testing.T) {
+	a := &Array{Name: "A", ElemSize: 8, Elems: 256}
+	n := &Nest{
+		Name:   "carried",
+		Bounds: []int64{16, 16},
+		Refs: []Ref{
+			{Array: a, Kind: Write, Index: Affine{Coeffs: []int64{16, 1}}},
+			{Array: a, Kind: Read, Index: Affine{Const: -1, Coeffs: []int64{16, 1}}},
+		},
+	}
+	if err := Interchange(n, 0, 1); err == nil {
+		t.Error("interchange of a dependence-carrying nest must fail")
+	}
+	if err := Interchange(matNest(4, 4), 0, 5); err == nil {
+		t.Error("out-of-range levels must fail")
+	}
+}
+
+func TestInterchangeSelfIsNoop(t *testing.T) {
+	n := matNest(4, 8)
+	before := addrTrace(n)
+	if err := Interchange(n, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !multisetEq(before, addrTrace(n)) {
+		t.Error("self interchange changed accesses")
+	}
+}
+
+func TestTilePreservesAccessMultiset(t *testing.T) {
+	n := matNest(8, 32)
+	before := addrTrace(n)
+	if err := Tile(n, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Bounds) != 3 || n.Bounds[1] != 4 || n.Bounds[2] != 8 {
+		t.Fatalf("bounds = %v", n.Bounds)
+	}
+	after := addrTrace(n)
+	if !multisetEq(before, after) {
+		t.Fatal("tiling changed the accessed elements")
+	}
+	if n.Iterations() != 8*32 {
+		t.Errorf("iterations = %d", n.Iterations())
+	}
+}
+
+func TestTileExactTraceOrder(t *testing.T) {
+	// Tiling the inner loop of a 1D stream with tile=4 yields the same
+	// order (strip-mining a 1D loop reorders nothing).
+	a := &Array{Name: "A", ElemSize: 8, Elems: 64}
+	n := &Nest{Bounds: []int64{64}, Refs: []Ref{{Array: a, Index: Affine{Coeffs: []int64{1}}}}}
+	before := addrTrace(n)
+	if err := Tile(n, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	after := addrTrace(n)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("order changed at %d: %d vs %d", i, before[i], after[i])
+		}
+	}
+}
+
+func TestTileRejectsBadArgs(t *testing.T) {
+	n := matNest(8, 30)
+	if err := Tile(n, 1, 7); err == nil {
+		t.Error("non-divisible tile must fail")
+	}
+	if err := Tile(n, 5, 2); err == nil {
+		t.Error("bad level must fail")
+	}
+	if err := Tile(n, 1, 0); err == nil {
+		t.Error("zero tile must fail")
+	}
+}
+
+func TestTileProperty(t *testing.T) {
+	f := func(rowsRaw, tileRaw uint8) bool {
+		rows := int64(rowsRaw%6) + 2
+		tiles := []int64{2, 4, 8}
+		tile := tiles[int(tileRaw)%len(tiles)]
+		cols := tile * (int64(tileRaw%5) + 1)
+		n := matNest(rows, cols)
+		before := addrTrace(n)
+		if err := Tile(n, 1, tile); err != nil {
+			return false
+		}
+		return multisetEq(before, addrTrace(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizePads(t *testing.T) {
+	n := matNest(4, 4)
+	n.Refs[0].Index.Coeffs = []int64{4} // short
+	Normalize(n)
+	if len(n.Refs[0].Index.Coeffs) != 2 {
+		t.Errorf("coeffs = %v", n.Refs[0].Index.Coeffs)
+	}
+}
+
+func TestFuse(t *testing.T) {
+	a := &Array{Name: "A", ElemSize: 8, Elems: 64}
+	b := &Array{Name: "B", ElemSize: 8, Elems: 64}
+	id := Affine{Coeffs: []int64{1}}
+	n1 := &Nest{Name: "p", Bounds: []int64{64}, WorkCycles: 3, Parallel: true,
+		Refs: []Ref{{Array: a, Kind: Write, Index: id}}}
+	n2 := &Nest{Name: "c", Bounds: []int64{64}, WorkCycles: 4, Parallel: true,
+		Refs: []Ref{{Array: a, Kind: Read, Index: id}, {Array: b, Kind: Write, Index: id}}}
+	f, err := Fuse(n1, n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.WorkCycles != 7 || len(f.Refs) != 3 || f.Iterations() != 64 {
+		t.Errorf("fused = %+v", f)
+	}
+
+	// Mismatched bounds refuse.
+	n3 := &Nest{Bounds: []int64{32}, Refs: []Ref{{Array: b, Kind: Read, Index: id}}}
+	if _, err := Fuse(n1, n3); err == nil {
+		t.Error("bound mismatch must fail")
+	}
+
+	// Fusion creating a dependence refuses: consumer reads a at i-1.
+	n4 := &Nest{Name: "skew", Bounds: []int64{64}, Parallel: true,
+		Refs: []Ref{{Array: a, Kind: Read, Index: Affine{Const: -1, Coeffs: []int64{1}}}}}
+	if _, err := Fuse(n1, n4); err == nil {
+		t.Error("dependence-creating fusion must fail")
+	}
+}

@@ -1,0 +1,165 @@
+// Package mem defines the physical address map of the simulated manycore:
+// how a physical address is decoded into a memory-controller id (page- or
+// cacheline-granularity interleaving) and into a home LLC bank id
+// (cacheline- or page-granularity interleaving) for shared S-NUCA caches.
+//
+// The paper's compiler relies on an OS guarantee that the virtual-address
+// bits selecting the MC and the LLC bank survive virtual-to-physical
+// translation, so the compiler can decode them statically. We model that
+// guarantee with an identity VA→PA mapping: every Map in this package is
+// applied directly to program addresses.
+package mem
+
+import "fmt"
+
+// Addr is a (physical == virtual) byte address.
+type Addr uint64
+
+// Granularity selects the unit at which addresses are interleaved across
+// MCs or LLC banks.
+type Granularity int
+
+const (
+	// GranPage interleaves at page granularity (the paper's default for
+	// memory banks: "page granularity round robin for banks").
+	GranPage Granularity = iota
+	// GranCacheLine interleaves at LLC-line granularity (the paper's
+	// default for cache banks: "cache line granularity round robin").
+	GranCacheLine
+)
+
+func (g Granularity) String() string {
+	switch g {
+	case GranPage:
+		return "page"
+	case GranCacheLine:
+		return "cacheline"
+	default:
+		return fmt.Sprintf("Granularity(%d)", int(g))
+	}
+}
+
+// Map decodes addresses into MC ids and home-LLC-bank ids.
+type Map interface {
+	// MC returns the memory controller an LLC miss to addr is routed to.
+	MC(addr Addr) int
+	// HomeBank returns the S-NUCA home LLC bank of addr.
+	HomeBank(addr Addr) int
+	// NumMCs and NumBanks report the sizes of the two interleave spaces.
+	NumMCs() int
+	NumBanks() int
+}
+
+// Interleaved is the default round-robin address map of Table 4: pages
+// round-robin across MCs and cache lines round-robin across LLC banks,
+// with both granularities configurable (Figure 11 sweeps the four
+// combinations).
+type Interleaved struct {
+	PageSize int // bytes; 2KB default, 8KB in the Figure 9 sweep
+	LineSize int // LLC line size; 64 bytes
+
+	MCs   int
+	Banks int
+
+	MCGran   Granularity // unit of MC interleaving
+	BankGran Granularity // unit of LLC-bank interleaving
+}
+
+// NewInterleaved returns the default (cacheline, page) distribution of the
+// paper: MCs interleaved by page, banks interleaved by cache line.
+func NewInterleaved(pageSize, lineSize, mcs, banks int) *Interleaved {
+	return &Interleaved{
+		PageSize: pageSize,
+		LineSize: lineSize,
+		MCs:      mcs,
+		Banks:    banks,
+		MCGran:   GranPage,
+		BankGran: GranCacheLine,
+	}
+}
+
+func (m *Interleaved) gran(g Granularity) Addr {
+	if g == GranPage {
+		return Addr(m.PageSize)
+	}
+	return Addr(m.LineSize)
+}
+
+// MC implements Map.
+func (m *Interleaved) MC(addr Addr) int {
+	return int((addr / m.gran(m.MCGran)) % Addr(m.MCs))
+}
+
+// HomeBank implements Map.
+func (m *Interleaved) HomeBank(addr Addr) int {
+	return int((addr / m.gran(m.BankGran)) % Addr(m.Banks))
+}
+
+// NumMCs implements Map.
+func (m *Interleaved) NumMCs() int { return m.MCs }
+
+// NumBanks implements Map.
+func (m *Interleaved) NumBanks() int { return m.Banks }
+
+// Page returns the page number of addr under this map's page size.
+func (m *Interleaved) Page(addr Addr) Addr { return addr / Addr(m.PageSize) }
+
+// Line returns the LLC line number of addr.
+func (m *Interleaved) Line(addr Addr) Addr { return addr / Addr(m.LineSize) }
+
+// Overlay wraps a base Map with per-page MC overrides. It models data
+// layout transformations (the DO scheme of Figure 13) that relocate a
+// page's physical placement without touching the rest of the map.
+type Overlay struct {
+	Base     Map
+	PageSize int
+	// PageMC maps page number -> MC id for relocated pages.
+	PageMC map[Addr]int
+}
+
+// NewOverlay creates an overlay with no relocations.
+func NewOverlay(base Map, pageSize int) *Overlay {
+	return &Overlay{Base: base, PageSize: pageSize, PageMC: make(map[Addr]int)}
+}
+
+// Relocate pins every address of page to MC mc.
+func (o *Overlay) Relocate(page Addr, mc int) { o.PageMC[page] = mc }
+
+// MC implements Map.
+func (o *Overlay) MC(addr Addr) int {
+	if mc, ok := o.PageMC[addr/Addr(o.PageSize)]; ok {
+		return mc
+	}
+	return o.Base.MC(addr)
+}
+
+// HomeBank implements Map.
+func (o *Overlay) HomeBank(addr Addr) int { return o.Base.HomeBank(addr) }
+
+// NumMCs implements Map.
+func (o *Overlay) NumMCs() int { return o.Base.NumMCs() }
+
+// NumBanks implements Map.
+func (o *Overlay) NumBanks() int { return o.Base.NumBanks() }
+
+// HashFunc adapts arbitrary address-decoding functions to the Map
+// interface. The KNL cluster modes (all-to-all, quadrant, SNC-4) are
+// expressed as HashFuncs over the same simulator.
+type HashFunc struct {
+	MCFn    func(Addr) int
+	BankFn  func(Addr) int
+	MCCount int
+	Banks   int
+}
+
+// MC implements Map.
+func (h HashFunc) MC(addr Addr) int { return h.MCFn(addr) }
+
+// HomeBank implements Map.
+func (h HashFunc) HomeBank(addr Addr) int { return h.BankFn(addr) }
+
+// NumMCs implements Map.
+func (h HashFunc) NumMCs() int { return h.MCCount }
+
+// NumBanks implements Map.
+func (h HashFunc) NumBanks() int { return h.Banks }

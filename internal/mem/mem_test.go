@@ -1,0 +1,110 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleavedDefaults(t *testing.T) {
+	m := NewInterleaved(2048, 64, 4, 36)
+	if m.MCGran != GranPage || m.BankGran != GranCacheLine {
+		t.Fatal("defaults should be (page MC, cacheline bank)")
+	}
+	// Consecutive pages round-robin across MCs.
+	for p := 0; p < 16; p++ {
+		if got := m.MC(Addr(p * 2048)); got != p%4 {
+			t.Errorf("page %d -> MC %d, want %d", p, got, p%4)
+		}
+	}
+	// All addresses within a page share an MC.
+	if m.MC(0) != m.MC(2047) {
+		t.Error("page interior should share the MC")
+	}
+	// Consecutive lines round-robin across banks.
+	for l := 0; l < 72; l++ {
+		if got := m.HomeBank(Addr(l * 64)); got != l%36 {
+			t.Errorf("line %d -> bank %d, want %d", l, got, l%36)
+		}
+	}
+}
+
+func TestGranularitySwap(t *testing.T) {
+	m := NewInterleaved(2048, 64, 4, 36)
+	m.MCGran = GranCacheLine
+	m.BankGran = GranPage
+	if m.MC(0) == m.MC(64) && m.MC(64) == m.MC(128) && m.MC(128) == m.MC(192) {
+		t.Error("cacheline MC interleave should alternate within a page")
+	}
+	if m.HomeBank(0) != m.HomeBank(2047) {
+		t.Error("page bank interleave should keep a page in one bank")
+	}
+}
+
+func TestInterleavedProperties(t *testing.T) {
+	m := NewInterleaved(2048, 64, 4, 36)
+	inRange := func(raw uint32) bool {
+		a := Addr(raw)
+		mc := m.MC(a)
+		b := m.HomeBank(a)
+		return mc >= 0 && mc < 4 && b >= 0 && b < 36
+	}
+	if err := quick.Check(inRange, nil); err != nil {
+		t.Error(err)
+	}
+	deterministic := func(raw uint32) bool {
+		a := Addr(raw)
+		return m.MC(a) == m.MC(a) && m.HomeBank(a) == m.HomeBank(a)
+	}
+	if err := quick.Check(deterministic, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlayRelocation(t *testing.T) {
+	base := NewInterleaved(2048, 64, 4, 36)
+	o := NewOverlay(base, 2048)
+	if o.MC(5*2048) != base.MC(5*2048) {
+		t.Fatal("untouched pages should pass through")
+	}
+	o.Relocate(5, 3)
+	if o.MC(5*2048) != 3 || o.MC(5*2048+100) != 3 {
+		t.Error("relocated page should map to MC 3")
+	}
+	if o.MC(6*2048) != base.MC(6*2048) {
+		t.Error("neighbor pages unaffected")
+	}
+	if o.HomeBank(123) != base.HomeBank(123) {
+		t.Error("overlay must not alter bank mapping")
+	}
+	if o.NumMCs() != 4 || o.NumBanks() != 36 {
+		t.Error("overlay sizes should pass through")
+	}
+}
+
+func TestHashFunc(t *testing.T) {
+	h := HashFunc{
+		MCFn:    func(a Addr) int { return int(a) % 3 },
+		BankFn:  func(a Addr) int { return int(a) % 7 },
+		MCCount: 3,
+		Banks:   7,
+	}
+	if h.MC(10) != 1 || h.HomeBank(10) != 3 {
+		t.Error("hash func should dispatch to the closures")
+	}
+	if h.NumMCs() != 3 || h.NumBanks() != 7 {
+		t.Error("sizes should be reported")
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if GranPage.String() != "page" || GranCacheLine.String() != "cacheline" {
+		t.Error("granularity names")
+	}
+}
+
+func TestPageLineHelpers(t *testing.T) {
+	m := NewInterleaved(2048, 64, 4, 36)
+	if m.Page(4096) != 2 || m.Line(128) != 2 {
+		t.Error("page/line helpers")
+	}
+}

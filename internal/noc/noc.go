@@ -1,0 +1,162 @@
+// Package noc implements the timing model of the 2D-mesh on-chip network:
+// X-Y (dimension-ordered) wormhole routing with per-router pipeline
+// latency, per-link transfer latency and per-link contention.
+//
+// Contention is modelled with busy-until bookkeeping per directed link: a
+// packet arriving at a link that is still occupied by an earlier packet
+// waits until the link frees. Because the system simulator advances cores
+// in near-global-time order, this captures the first-order queueing
+// behaviour the paper's optimization targets — fewer hops both shorten
+// paths and reduce the probability of waiting.
+package noc
+
+import (
+	"locmap/internal/topology"
+)
+
+// Config holds the NoC timing parameters.
+type Config struct {
+	// RouterCycles is the pipeline delay per router traversal
+	// (Table 4: 3 cycles).
+	RouterCycles int64
+	// LinkCycles is the wire delay per link (1 cycle).
+	LinkCycles int64
+	// Ideal makes every transfer free: the zero-latency network used
+	// for the Figure 2 potential study.
+	Ideal bool
+}
+
+// DefaultConfig returns the Table 4 NoC parameters.
+func DefaultConfig() Config {
+	return Config{RouterCycles: 3, LinkCycles: 1}
+}
+
+// PacketClass distinguishes short control packets from data-bearing ones;
+// data packets occupy links longer (more flits).
+type PacketClass int
+
+const (
+	// Request packets carry an address only: 1 flit.
+	Request PacketClass = iota
+	// Data packets carry a cache line: several flits.
+	Data
+)
+
+// flits returns the link occupancy in cycles for a packet class.
+func (p PacketClass) flits() int64 {
+	if p == Data {
+		return 5 // 64B line / 16B flit + head
+	}
+	return 1
+}
+
+// Network is the mesh NoC timing model.
+type Network struct {
+	Mesh *topology.Mesh
+	cfg  Config
+
+	busyUntil []int64
+	linkLoad  []uint64
+
+	packets      uint64
+	totalLatency uint64
+	totalHops    uint64
+	totalQueued  uint64
+
+	routeBuf []topology.LinkID
+}
+
+// New builds a network over the given mesh.
+func New(mesh *topology.Mesh, cfg Config) *Network {
+	return &Network{
+		Mesh:      mesh,
+		cfg:       cfg,
+		busyUntil: make([]int64, mesh.NumLinks()),
+		linkLoad:  make([]uint64, mesh.NumLinks()),
+	}
+}
+
+// Config returns the network's timing configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Send injects a packet from src to dst at time start and returns its
+// arrival time at dst. Co-located src/dst transfer in zero time.
+func (n *Network) Send(src, dst topology.NodeID, start int64, class PacketClass) int64 {
+	if n.cfg.Ideal || src == dst {
+		return start
+	}
+	n.routeBuf = n.Mesh.Route(n.routeBuf[:0], src, dst)
+	t := start
+	perHop := n.cfg.RouterCycles + n.cfg.LinkCycles
+	occupy := class.flits() * n.cfg.LinkCycles
+	for _, l := range n.routeBuf {
+		arrive := t + perHop
+		if b := n.busyUntil[l]; b > arrive {
+			n.totalQueued += uint64(b - arrive)
+			arrive = b
+		}
+		n.busyUntil[l] = arrive + occupy
+		n.linkLoad[l]++
+		t = arrive
+	}
+	n.packets++
+	n.totalHops += uint64(len(n.routeBuf))
+	n.totalLatency += uint64(t - start)
+	return t
+}
+
+// RoundTrip sends a request from src to dst and a data reply back,
+// returning the time the reply arrives at src. extra is added at the
+// destination (e.g. bank access or DRAM service time).
+func (n *Network) RoundTrip(src, dst topology.NodeID, start, extra int64) int64 {
+	t := n.Send(src, dst, start, Request)
+	t += extra
+	return n.Send(dst, src, t, Data)
+}
+
+// Stats is the aggregate network view.
+type Stats struct {
+	Packets      uint64
+	TotalLatency uint64 // sum of per-packet transit times (cycles)
+	TotalHops    uint64
+	QueuedCycles uint64 // cycles spent waiting on busy links
+	MaxLinkLoad  uint64 // packets on the single most-loaded link
+	AvgLatency   float64
+	AvgHops      float64
+}
+
+// Stats returns aggregate statistics since the last Reset.
+func (n *Network) Stats() Stats {
+	s := Stats{
+		Packets:      n.packets,
+		TotalLatency: n.totalLatency,
+		TotalHops:    n.totalHops,
+		QueuedCycles: n.totalQueued,
+	}
+	for _, l := range n.linkLoad {
+		if l > s.MaxLinkLoad {
+			s.MaxLinkLoad = l
+		}
+	}
+	if n.packets > 0 {
+		s.AvgLatency = float64(n.totalLatency) / float64(n.packets)
+		s.AvgHops = float64(n.totalHops) / float64(n.packets)
+	}
+	return s
+}
+
+// LinkLoads returns a copy of the per-directed-link packet counts,
+// indexed by topology.LinkID. Visualization and congestion analyses use
+// it.
+func (n *Network) LinkLoads() []uint64 {
+	return append([]uint64(nil), n.linkLoad...)
+}
+
+// Reset clears link state and statistics.
+func (n *Network) Reset() {
+	for i := range n.busyUntil {
+		n.busyUntil[i] = 0
+		n.linkLoad[i] = 0
+	}
+	n.packets, n.totalLatency, n.totalHops, n.totalQueued = 0, 0, 0, 0
+}

@@ -1,0 +1,139 @@
+package noc
+
+import (
+	"testing"
+
+	"locmap/internal/topology"
+)
+
+func net() *Network {
+	return New(topology.Default6x6(), DefaultConfig())
+}
+
+func TestUncontendedLatencyIsHopsTimesPerHop(t *testing.T) {
+	n := net()
+	src := n.Mesh.NodeAt(topology.Coord{X: 0, Y: 0})
+	dst := n.Mesh.NodeAt(topology.Coord{X: 3, Y: 2})
+	arrive := n.Send(src, dst, 100, Request)
+	wantHops := int64(5)
+	perHop := DefaultConfig().RouterCycles + DefaultConfig().LinkCycles
+	if arrive-100 != wantHops*perHop {
+		t.Errorf("latency = %d, want %d", arrive-100, wantHops*perHop)
+	}
+}
+
+func TestLocalDeliveryIsFree(t *testing.T) {
+	n := net()
+	if got := n.Send(5, 5, 42, Data); got != 42 {
+		t.Errorf("local send took %d cycles", got-42)
+	}
+}
+
+func TestIdealNetworkIsFree(t *testing.T) {
+	n := New(topology.Default6x6(), Config{RouterCycles: 3, LinkCycles: 1, Ideal: true})
+	if got := n.Send(0, 35, 7, Data); got != 7 {
+		t.Errorf("ideal network latency = %d, want 0", got-7)
+	}
+	if s := n.Stats(); s.Packets != 0 {
+		t.Errorf("ideal network should not count packets, got %d", s.Packets)
+	}
+}
+
+func TestContentionDelaysSecondPacket(t *testing.T) {
+	n := net()
+	src := topology.NodeID(0)
+	dst := topology.NodeID(5) // straight east, shared links
+	a := n.Send(src, dst, 0, Data)
+	b := n.Send(src, dst, 0, Data)
+	if b <= a {
+		t.Errorf("second packet on same route should be delayed: %d then %d", a, b)
+	}
+	if s := n.Stats(); s.QueuedCycles == 0 {
+		t.Error("expected queueing cycles to be recorded")
+	}
+}
+
+func TestDisjointRoutesDoNotInterfere(t *testing.T) {
+	n := net()
+	m := n.Mesh
+	a := n.Send(m.NodeAt(topology.Coord{X: 0, Y: 0}), m.NodeAt(topology.Coord{X: 2, Y: 0}), 0, Data)
+	b := n.Send(m.NodeAt(topology.Coord{X: 0, Y: 5}), m.NodeAt(topology.Coord{X: 2, Y: 5}), 0, Data)
+	if a != b {
+		t.Errorf("disjoint routes should have equal latency: %d vs %d", a, b)
+	}
+}
+
+func TestRoundTripAddsExtraAtDestination(t *testing.T) {
+	n := net()
+	src, dst := topology.NodeID(0), topology.NodeID(1)
+	perHop := DefaultConfig().RouterCycles + DefaultConfig().LinkCycles
+	got := n.RoundTrip(src, dst, 0, 10)
+	if got != 2*perHop+10 {
+		t.Errorf("round trip = %d, want %d", got, 2*perHop+10)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	n := net()
+	n.Send(0, 1, 0, Request)
+	n.Send(0, 2, 0, Request)
+	s := n.Stats()
+	if s.Packets != 2 {
+		t.Errorf("Packets = %d, want 2", s.Packets)
+	}
+	if s.TotalHops != 3 {
+		t.Errorf("TotalHops = %d, want 3", s.TotalHops)
+	}
+	if s.AvgHops != 1.5 {
+		t.Errorf("AvgHops = %g, want 1.5", s.AvgHops)
+	}
+}
+
+func TestNearbyTrafficBeatsFarTraffic(t *testing.T) {
+	// The core premise of the paper: localized traffic finishes faster
+	// than cross-chip traffic under identical load.
+	mesh := topology.Default6x6()
+	nearN := New(mesh, DefaultConfig())
+	farN := New(mesh, DefaultConfig())
+	var near, far int64
+	for i := 0; i < 100; i++ {
+		near = nearN.Send(mesh.NodeAt(topology.Coord{X: 0, Y: 0}), mesh.NodeAt(topology.Coord{X: 1, Y: 0}), near, Data)
+		far = farN.Send(mesh.NodeAt(topology.Coord{X: 0, Y: 0}), mesh.NodeAt(topology.Coord{X: 5, Y: 5}), far, Data)
+	}
+	if near >= far {
+		t.Errorf("near traffic (%d) should finish before far traffic (%d)", near, far)
+	}
+	if nearN.Stats().TotalLatency >= farN.Stats().TotalLatency {
+		t.Error("near traffic should accumulate less network latency")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	n := net()
+	n.Send(0, 35, 0, Data)
+	n.Reset()
+	if s := n.Stats(); s.Packets != 0 || s.TotalLatency != 0 || s.MaxLinkLoad != 0 {
+		t.Errorf("Reset should clear stats: %+v", s)
+	}
+}
+
+func TestLinkLoadsExposed(t *testing.T) {
+	n := net()
+	n.Send(0, 5, 0, Data)
+	loads := n.LinkLoads()
+	if len(loads) != n.Mesh.NumLinks() {
+		t.Fatalf("loads = %d, want %d", len(loads), n.Mesh.NumLinks())
+	}
+	var total uint64
+	for _, l := range loads {
+		total += l
+	}
+	if total != 5 {
+		t.Errorf("total link traversals = %d, want 5 (5 hops)", total)
+	}
+	// The copy must not alias internal state.
+	loads[0] = 999
+	if n.LinkLoads()[0] == 999 {
+		t.Error("LinkLoads must return a copy")
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+
+	"locmap/internal/core"
+	"locmap/internal/loop"
+)
+
+// Schedule carries one iteration-set assignment per nest of a program.
+type Schedule struct {
+	Assign []*core.Assignment
+}
+
+// DefaultScheduleFor builds the paper's baseline schedule for p on this
+// system: every nest's iteration sets dealt round-robin over all cores.
+func (s *System) DefaultScheduleFor(p *loop.Program) *Schedule {
+	sched := &Schedule{Assign: make([]*core.Assignment, len(p.Nests))}
+	for i, n := range p.Nests {
+		sched.Assign[i] = core.DefaultSchedule(s.cfg.Mesh, len(s.Sets(n)))
+	}
+	return sched
+}
+
+// ProgramResult reports one execution of a program's nests (one timing
+// iteration).
+type ProgramResult struct {
+	Cycles     int64
+	NetLatency uint64
+	// NestObs[i] holds the per-set observations of nest i.
+	NestObs [][]SetObs
+}
+
+// RunProgram executes every nest of p once, in program order with a
+// barrier between nests, under the given schedule. Microarchitectural
+// state (caches, NoC, DRAM) persists across nests and across calls — use
+// Reset for a cold machine.
+func (s *System) RunProgram(p *loop.Program, sched *Schedule) ProgramResult {
+	if len(sched.Assign) != len(p.Nests) {
+		panic(fmt.Sprintf("sim: schedule has %d nests, program %q has %d",
+			len(sched.Assign), p.Name, len(p.Nests)))
+	}
+	var res ProgramResult
+	res.NestObs = make([][]SetObs, len(p.Nests))
+	for i, n := range p.Nests {
+		nr := s.RunNest(n, s.Sets(n), sched.Assign[i])
+		res.Cycles += nr.Cycles
+		res.NetLatency += nr.NetLatency
+		res.NestObs[i] = nr.Obs
+	}
+	return res
+}
+
+// RunTiming executes p's outer timing loop: the program's nests are run
+// TimingIters times (at least once). scheduleAt picks the schedule for
+// each timing iteration — the inspector–executor runtime uses iteration 0
+// to profile under a default schedule and installs the optimized schedule
+// afterwards. The returned per-iteration results share warm machine
+// state.
+func (s *System) RunTiming(p *loop.Program, scheduleAt func(iter int) *Schedule) []ProgramResult {
+	iters := p.TimingIters
+	if iters < 1 {
+		iters = 1
+	}
+	out := make([]ProgramResult, 0, iters)
+	for it := 0; it < iters; it++ {
+		out = append(out, s.RunProgram(p, scheduleAt(it)))
+	}
+	return out
+}
+
+// TotalCycles sums cycles over timing-iteration results.
+func TotalCycles(results []ProgramResult) int64 {
+	var c int64
+	for i := range results {
+		c += results[i].Cycles
+	}
+	return c
+}
+
+// TotalNetLatency sums network latency over timing-iteration results.
+func TotalNetLatency(results []ProgramResult) uint64 {
+	var c uint64
+	for i := range results {
+		c += results[i].NetLatency
+	}
+	return c
+}

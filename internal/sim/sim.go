@@ -1,0 +1,601 @@
+// Package sim is the manycore system simulator: in-order cores driving
+// per-core L1 caches, a private or shared (S-NUCA) banked L2 LLC, a 2D
+// mesh NoC and DDR memory controllers. It executes loop.Program nests
+// under an iteration-set-to-core schedule and reports execution time,
+// total on-chip network latency and the per-iteration-set access
+// observations (which MC served each miss, which bank region served each
+// hit) that ground-truth the compiler's affinity estimates.
+//
+// Timing model, per data reference:
+//
+//	L1 hit                     -> L1Latency
+//	L1 miss, private LLC hit   -> L1 + L2Latency (local bank, no NoC)
+//	L1 miss, shared  LLC hit   -> L1 + NoC(core→home bank) + L2 + NoC(bank→core)
+//	LLC miss (private)         -> ... + NoC(core→MC) + DRAM + NoC(MC→core)
+//	LLC miss (shared)          -> ... + NoC(bank→MC) + DRAM + NoC(MC→core)
+//
+// Miss responses travel from the MC directly to the requesting core, so
+// the core↔MC proximity matters for misses even under S-NUCA — the
+// property Algorithm 2's η_m term optimizes.
+//
+// Execution is discrete-event at single-reference granularity: every NoC
+// send and DRAM completion is a heap event popped in global time order,
+// which keeps the per-link busy-until contention state causally
+// consistent across cores without flit-level simulation. Each in-order
+// core overlaps the references of one iteration (MSHR-style memory-level
+// parallelism) and commits iterations in order.
+package sim
+
+import (
+	"fmt"
+
+	"locmap/internal/cache"
+	"locmap/internal/core"
+	"locmap/internal/dram"
+	"locmap/internal/loop"
+	"locmap/internal/mem"
+	"locmap/internal/noc"
+	"locmap/internal/topology"
+)
+
+// Config describes the simulated machine (defaults = Table 4).
+type Config struct {
+	Mesh *topology.Mesh
+	NoC  noc.Config
+
+	LLCOrg cache.Organization
+
+	L1Size, L1Line, L1Ways    int
+	L2PerCore, L2Line, L2Ways int
+
+	// L1Latency and L2Latency are access latencies in cycles.
+	L1Latency, L2Latency int64
+
+	PageSize int
+	DRAM     dram.Config
+
+	// MCGran / BankGran set the interleave granularities (Figure 11).
+	MCGran, BankGran mem.Granularity
+
+	// AddrMap overrides the default interleaved map when non-nil (the
+	// KNL cluster modes install custom hashes here).
+	AddrMap mem.Map
+
+	// IterSetFrac is the iteration-set size as a fraction of a nest's
+	// trip count (Table 4: 0.25%).
+	IterSetFrac float64
+}
+
+// DefaultConfig returns the paper's Table 4 machine: 6×6 mesh, 9 regions,
+// 16KB/8-way/32B L1, 512KB/16-way/64B L2 per core, 2KB pages, DDR3 with 4
+// MCs, X-Y routed NoC with 3-cycle routers.
+func DefaultConfig() Config {
+	return Config{
+		Mesh:        topology.Default6x6(),
+		NoC:         noc.DefaultConfig(),
+		LLCOrg:      cache.Private,
+		L1Size:      16 << 10,
+		L1Line:      32,
+		L1Ways:      8,
+		L2PerCore:   512 << 10,
+		L2Line:      64,
+		L2Ways:      16,
+		L1Latency:   1,
+		L2Latency:   6,
+		PageSize:    2 << 10,
+		DRAM:        dram.DefaultConfig(),
+		MCGran:      mem.GranPage,
+		BankGran:    mem.GranCacheLine,
+		IterSetFrac: 0.0025,
+	}
+}
+
+// System is an instantiated machine.
+type System struct {
+	cfg  Config
+	amap mem.Map
+	net  *noc.Network
+	llc  *cache.LLC
+	ddr  *dram.DRAM
+	l1   []*cache.Cache
+
+	coreTime []int64 // per-core local clock
+	mcNode   []topology.NodeID
+
+	// Per-leg network latency accounting (see LegStats).
+	legLat [numLegs]uint64
+	legCnt [numLegs]uint64
+}
+
+// New builds a System. It panics on inconsistent cache geometry, which is
+// always a programming error in a static config.
+func New(cfg Config) *System {
+	if cfg.Mesh == nil {
+		panic("sim: Config.Mesh is nil")
+	}
+	nodes := cfg.Mesh.NumNodes()
+	amap := cfg.AddrMap
+	if amap == nil {
+		im := mem.NewInterleaved(cfg.PageSize, cfg.L2Line, cfg.Mesh.NumMCs(), nodes)
+		im.MCGran = cfg.MCGran
+		im.BankGran = cfg.BankGran
+		amap = im
+	}
+	llc, err := cache.NewLLC(cfg.LLCOrg, nodes, cfg.L2PerCore, cfg.L2Line, cfg.L2Ways, amap)
+	if err != nil {
+		panic(fmt.Sprintf("sim: LLC geometry: %v", err))
+	}
+	dcfg := cfg.DRAM
+	dcfg.MCs = cfg.Mesh.NumMCs()
+	s := &System{
+		cfg:      cfg,
+		amap:     amap,
+		net:      noc.New(cfg.Mesh, cfg.NoC),
+		llc:      llc,
+		ddr:      dram.New(dcfg),
+		l1:       make([]*cache.Cache, nodes),
+		coreTime: make([]int64, nodes),
+		mcNode:   make([]topology.NodeID, cfg.Mesh.NumMCs()),
+	}
+	for i := range s.l1 {
+		s.l1[i] = cache.MustNew(cfg.L1Size, cfg.L1Line, cfg.L1Ways)
+	}
+	for mc := range s.mcNode {
+		s.mcNode[mc] = cfg.Mesh.MCNode(topology.MCID(mc))
+	}
+	return s
+}
+
+// Config returns the machine description.
+func (s *System) Config() Config { return s.cfg }
+
+// AddrMap returns the address map in effect — the same map the compiler
+// inspects (the paper's OS guarantees VA bits survive translation).
+func (s *System) AddrMap() mem.Map { return s.amap }
+
+// Mesh returns the topology.
+func (s *System) Mesh() *topology.Mesh { return s.cfg.Mesh }
+
+// Sets partitions a nest into iteration sets at the configured size.
+func (s *System) Sets(n *loop.Nest) []loop.IterSet {
+	return n.IterationSets(s.cfg.IterSetFrac)
+}
+
+// Reset clears all microarchitectural state and statistics.
+func (s *System) Reset() {
+	s.net.Reset()
+	s.llc.Reset()
+	s.ddr.Reset()
+	for _, c := range s.l1 {
+		c.Reset()
+	}
+	for i := range s.coreTime {
+		s.coreTime[i] = 0
+	}
+	s.legLat = [numLegs]uint64{}
+	s.legCnt = [numLegs]uint64{}
+}
+
+// SetObs is the observed behaviour of one iteration set during one nest
+// execution: the ground truth behind MAI and CAI.
+type SetObs struct {
+	// MCMisses[k] counts LLC misses served by MC k.
+	MCMisses []float64
+	// RegionHits[r] counts shared-LLC hits served by banks in region r
+	// (nil for private LLCs).
+	RegionHits []float64
+	// LLCHits and LLCAccesses give the set's hit fraction (α).
+	LLCHits, LLCAccesses float64
+}
+
+// NestResult reports one nest execution.
+type NestResult struct {
+	Cycles     int64  // wall-clock cycles from nest start to barrier
+	NetLatency uint64 // network transit cycles added by this nest
+	Obs        []SetObs
+}
+
+// RunNest executes one parallel nest under the given iteration-set
+// assignment. Sets must come from s.Sets(n) (or any partition of the
+// nest); assign.Core must have one entry per set. The nest begins after a
+// barrier: every core starts at the current global time.
+//
+// Execution is discrete-event: every NoC send and DRAM completion is a
+// heap event popped in global time order, so per-link busy-until
+// contention state is only ever written at (approximately) the current
+// simulation time. Each in-order core keeps one iteration in flight, with
+// that iteration's references issued concurrently.
+func (s *System) RunNest(n *loop.Nest, sets []loop.IterSet, assign *core.Assignment) NestResult {
+	return s.RunNestOn(n, sets, assign, nil)
+}
+
+// RunNestOn is RunNest with the barrier restricted to the given cores
+// (nil means all cores). Multiprogrammed studies run each application's
+// nests on its own core partition: the partitions share the NoC, LLC and
+// DRAM but synchronize independently.
+func (s *System) RunNestOn(n *loop.Nest, sets []loop.IterSet, assign *core.Assignment, cores []topology.NodeID) NestResult {
+	if len(assign.Core) != len(sets) {
+		panic(fmt.Sprintf("sim: %d cores assigned for %d sets", len(assign.Core), len(sets)))
+	}
+	nodes := s.cfg.Mesh.NumNodes()
+
+	// Barrier: the participating cores synchronize at their maximum
+	// local time.
+	start := int64(0)
+	if cores == nil {
+		for _, t := range s.coreTime {
+			if t > start {
+				start = t
+			}
+		}
+		for i := range s.coreTime {
+			s.coreTime[i] = start
+		}
+	} else {
+		for _, c := range cores {
+			if s.coreTime[c] > start {
+				start = s.coreTime[c]
+			}
+		}
+		for _, c := range cores {
+			s.coreTime[c] = start
+		}
+	}
+	netBefore := s.net.Stats().TotalLatency
+
+	obs := make([]SetObs, len(sets))
+	for k := range obs {
+		obs[k].MCMisses = make([]float64, s.cfg.Mesh.NumMCs())
+		if s.cfg.LLCOrg == cache.SharedSNUCA {
+			obs[k].RegionHits = make([]float64, s.cfg.Mesh.NumRegions())
+		}
+	}
+
+	// Per-core worklists of set indices, preserving set order.
+	work := make([][]int, nodes)
+	for k := range sets {
+		c := int(assign.Core[k])
+		work[c] = append(work[c], k)
+	}
+
+	eng := engine{
+		sys:         s,
+		nest:        n,
+		sets:        sets,
+		obs:         obs,
+		work:        work,
+		next:        make([]int, nodes),
+		cur:         make([]int64, nodes),
+		ivs:         make([][]int64, nodes),
+		outstanding: make([]int, nodes),
+		doneAt:      make([]int64, nodes),
+	}
+	for c := 0; c < nodes; c++ {
+		if len(work[c]) > 0 {
+			eng.cur[c] = sets[work[c][0]].Lo
+			eng.push(event{t: s.coreTime[c], core: c, stage: stIssue})
+		}
+	}
+	eng.run()
+
+	end := start
+	if cores == nil {
+		for _, t := range s.coreTime {
+			if t > end {
+				end = t
+			}
+		}
+	} else {
+		for _, c := range cores {
+			if s.coreTime[c] > end {
+				end = s.coreTime[c]
+			}
+		}
+	}
+	return NestResult{
+		Cycles:     end - start,
+		NetLatency: s.net.Stats().TotalLatency - netBefore,
+		Obs:        obs,
+	}
+}
+
+// Network legs, for per-leg latency attribution.
+const (
+	LegReqToBank = iota // shared: core -> home bank request
+	LegBankReply        // shared hit: bank -> core data
+	LegBankToMC         // shared miss: bank -> MC request
+	LegReqToMC          // private miss: core -> MC request
+	LegMemReply         // MC -> core data
+	numLegs
+)
+
+// LegNames labels the leg indices of Stats.LegLatency.
+var LegNames = [numLegs]string{"req>bank", "bank>core", "bank>mc", "core>mc", "mc>core"}
+
+// Event stages of one data reference's lifetime.
+const (
+	stIssue     = iota // core executes work and issues its next reference
+	stToBank           // shared: request leaves core toward the home bank
+	stBankReply        // shared hit: data leaves the bank toward the core
+	stBankToMC         // shared miss: request leaves the bank toward the MC
+	stToMC             // private miss: request leaves the core toward the MC
+	stMemReply         // data leaves the MC toward the core
+)
+
+type event struct {
+	t     int64
+	core  int
+	stage int
+	addr  mem.Addr
+	bank  int
+	mc    int
+	hit   bool // shared LLC: lookup outcome, decided at issue time
+	k     int  // iteration-set index (for observations)
+}
+
+// engine drives one nest to completion in global time order.
+type engine struct {
+	sys  *System
+	nest *loop.Nest
+	sets []loop.IterSet
+	obs  []SetObs
+	work [][]int
+
+	next []int     // per-core index into work
+	cur  []int64   // per-core current flat iteration
+	ivs  [][]int64 // per-core iteration vector buffer
+
+	// outstanding counts a core's in-flight references (the iteration's
+	// refs issue concurrently — MSHR-style memory-level parallelism);
+	// doneAt accumulates the max completion time of the iteration.
+	outstanding []int
+	doneAt      []int64
+
+	heap []event
+}
+
+func (e *engine) push(ev event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if e.heap[p].t <= e.heap[i].t {
+			break
+		}
+		e.heap[p], e.heap[i] = e.heap[i], e.heap[p]
+		i = p
+	}
+}
+
+func (e *engine) pop() event {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && e.heap[l].t < e.heap[m].t {
+			m = l
+		}
+		if r < n && e.heap[r].t < e.heap[m].t {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		e.heap[i], e.heap[m] = e.heap[m], e.heap[i]
+		i = m
+	}
+	return top
+}
+
+func (e *engine) run() {
+	for len(e.heap) > 0 {
+		ev := e.pop()
+		switch ev.stage {
+		case stIssue:
+			e.issue(ev.core)
+		case stToBank:
+			e.toBank(ev)
+		case stBankReply:
+			e.bankReply(ev)
+		case stBankToMC:
+			e.bankToMC(ev)
+		case stToMC:
+			e.toMC(ev)
+		case stMemReply:
+			e.memReply(ev)
+		}
+	}
+}
+
+// resume records the completion of one in-flight reference at time t;
+// when the iteration's last reference lands, the core commits it and
+// issues the next iteration.
+func (e *engine) resume(c int, t int64) {
+	if t > e.doneAt[c] {
+		e.doneAt[c] = t
+	}
+	e.outstanding[c]--
+	if e.outstanding[c] > 0 {
+		return
+	}
+	s := e.sys
+	s.coreTime[c] = e.doneAt[c]
+	e.cur[c]++
+	k := e.work[c][e.next[c]]
+	if e.cur[c] >= e.sets[k].Hi {
+		e.next[c]++
+		if e.next[c] >= len(e.work[c]) {
+			return // core done with this nest
+		}
+		e.cur[c] = e.sets[e.work[c][e.next[c]]].Lo
+	}
+	e.push(event{t: s.coreTime[c], core: c, stage: stIssue})
+}
+
+// issue commits one iteration's compute and launches all of its data
+// references concurrently (compiler-scheduled loads behind MSHRs). The
+// iteration retires when its slowest reference lands.
+func (e *engine) issue(c int) {
+	s := e.sys
+	n := e.nest
+	k := e.work[c][e.next[c]]
+	e.ivs[c] = n.Unflatten(e.ivs[c], e.cur[c])
+	// Branches and variable-latency arithmetic make real iterations
+	// jitter by a few percent; without it the nest barrier phase-locks
+	// all cores and every "round" slams the DRAM banks simultaneously.
+	work := n.WorkCycles
+	if work >= 8 {
+		h := uint64(c+1)*0x9e3779b97f4a7c15 ^ uint64(e.cur[c])*0xbf58476d1ce4e5b9
+		h ^= h >> 29
+		work += int64(h % uint64(work/4))
+	}
+	t := s.coreTime[c] + work
+	ob := &e.obs[k]
+
+	e.outstanding[c] = len(n.Refs) + 1
+	e.doneAt[c] = t
+	for ri := range n.Refs {
+		r := &n.Refs[ri]
+		addr := r.Addr(e.ivs[c], e.cur[c])
+		tt := t + s.cfg.L1Latency
+		if s.l1[c].Access(addr) {
+			e.resume(c, tt)
+			continue
+		}
+		bank, hit := s.llc.Access(c, addr)
+		ob.LLCAccesses++
+
+		if s.cfg.LLCOrg == cache.Private {
+			tt += s.cfg.L2Latency
+			if hit {
+				ob.LLCHits++
+				e.resume(c, tt)
+				continue
+			}
+			mc := s.amap.MC(addr)
+			ob.MCMisses[mc]++
+			e.push(event{t: tt, core: c, stage: stToMC, addr: addr, mc: mc, k: k})
+			continue
+		}
+
+		// Shared S-NUCA: the request must reach the home bank first.
+		if hit {
+			ob.LLCHits++
+			ob.RegionHits[s.cfg.Mesh.RegionOf(topology.NodeID(bank))]++
+		} else {
+			ob.MCMisses[s.amap.MC(addr)]++
+		}
+		e.push(event{t: tt, core: c, stage: stToBank, addr: addr, bank: bank, hit: hit, k: k})
+	}
+	// The +1 guard retires the iteration even if every ref hit in L1.
+	e.resume(c, t)
+}
+
+func (e *engine) toBank(ev event) {
+	s := e.sys
+	t := s.net.Send(topology.NodeID(ev.core), topology.NodeID(ev.bank), ev.t, noc.Request)
+	s.leg(LegReqToBank, t-ev.t)
+	t += s.cfg.L2Latency
+	if ev.hit {
+		e.push(event{t: t, core: ev.core, stage: stBankReply, addr: ev.addr, bank: ev.bank, k: ev.k})
+	} else {
+		mc := s.amap.MC(ev.addr)
+		e.push(event{t: t, core: ev.core, stage: stBankToMC, addr: ev.addr, bank: ev.bank, mc: mc, k: ev.k})
+	}
+}
+
+func (e *engine) bankReply(ev event) {
+	s := e.sys
+	t := s.net.Send(topology.NodeID(ev.bank), topology.NodeID(ev.core), ev.t, noc.Data)
+	s.leg(LegBankReply, t-ev.t)
+	e.resume(ev.core, t)
+}
+
+func (e *engine) bankToMC(ev event) {
+	s := e.sys
+	t := s.net.Send(topology.NodeID(ev.bank), s.mcNode[ev.mc], ev.t, noc.Request)
+	s.leg(LegBankToMC, t-ev.t)
+	done := s.ddr.Request(ev.mc, ev.addr, t)
+	e.push(event{t: done, core: ev.core, stage: stMemReply, mc: ev.mc, k: ev.k})
+}
+
+func (e *engine) toMC(ev event) {
+	s := e.sys
+	t := s.net.Send(topology.NodeID(ev.core), s.mcNode[ev.mc], ev.t, noc.Request)
+	s.leg(LegReqToMC, t-ev.t)
+	done := s.ddr.Request(ev.mc, ev.addr, t)
+	e.push(event{t: done, core: ev.core, stage: stMemReply, mc: ev.mc, k: ev.k})
+}
+
+func (e *engine) memReply(ev event) {
+	s := e.sys
+	t := s.net.Send(s.mcNode[ev.mc], topology.NodeID(ev.core), ev.t, noc.Data)
+	s.leg(LegMemReply, t-ev.t)
+	e.resume(ev.core, t)
+}
+
+// leg records one network-leg transit.
+func (s *System) leg(kind int, cycles int64) {
+	s.legLat[kind] += uint64(cycles)
+	s.legCnt[kind]++
+}
+
+// LegStats reports total transit cycles and packet count per network leg.
+func (s *System) LegStats() (lat, cnt [numLegs]uint64) {
+	return s.legLat, s.legCnt
+}
+
+// Stats is the machine-level aggregate view after one or more nests.
+type Stats struct {
+	NoC  noc.Stats
+	DRAM dram.Stats
+
+	L1Hits, L1Misses   uint64
+	LLCHits, LLCMisses uint64
+}
+
+// L1MissRate returns the global L1 miss ratio.
+func (st Stats) L1MissRate() float64 {
+	tot := st.L1Hits + st.L1Misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(st.L1Misses) / float64(tot)
+}
+
+// LLCMissRate returns the global LLC miss ratio.
+func (st Stats) LLCMissRate() float64 {
+	tot := st.LLCHits + st.LLCMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(st.LLCMisses) / float64(tot)
+}
+
+// Stats returns aggregate statistics since the last Reset.
+func (s *System) Stats() Stats {
+	st := Stats{NoC: s.net.Stats(), DRAM: s.ddr.Stats()}
+	for _, c := range s.l1 {
+		h, m := c.Stats()
+		st.L1Hits += h
+		st.L1Misses += m
+	}
+	st.LLCHits, st.LLCMisses = s.llc.Stats()
+	return st
+}
+
+// NodeTraffic aggregates each node's outgoing link loads into a
+// row-major W×H grid — the data behind stats.Heatmap congestion views.
+func (s *System) NodeTraffic() []float64 {
+	loads := s.net.LinkLoads()
+	out := make([]float64, s.cfg.Mesh.NumNodes())
+	// Links are numbered node*4+dir (see topology link()).
+	for l, v := range loads {
+		out[l/4] += float64(v)
+	}
+	return out
+}

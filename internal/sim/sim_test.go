@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"testing"
+
+	"locmap/internal/affinity"
+	"locmap/internal/cache"
+	"locmap/internal/core"
+	"locmap/internal/loop"
+	"locmap/internal/topology"
+)
+
+// streamNest builds a simple parallel streaming nest over a fresh array:
+// A[i] touched once per iteration.
+func streamNest(elems int64) (*loop.Program, *loop.Nest) {
+	a := &loop.Array{Name: "A", ElemSize: 8, Elems: elems}
+	n := &loop.Nest{
+		Name:       "stream",
+		Bounds:     []int64{elems},
+		WorkCycles: 4,
+		Parallel:   true,
+		Refs: []loop.Ref{
+			{Array: a, Kind: loop.Read, Index: loop.Affine{Coeffs: []int64{1}}},
+		},
+	}
+	p := &loop.Program{Name: "stream", Arrays: []*loop.Array{a}, Nests: []*loop.Nest{n}, Regular: true}
+	p.Layout(0, 2048)
+	return p, n
+}
+
+func TestDefaultConfigMatchesTable4(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Mesh.NumNodes() != 36 || cfg.Mesh.NumRegions() != 9 {
+		t.Error("default mesh should be 6x6 with 9 regions")
+	}
+	if cfg.L1Size != 16<<10 || cfg.L1Ways != 8 || cfg.L1Line != 32 {
+		t.Error("L1 should be 16KB 8-way 32B")
+	}
+	if cfg.L2PerCore != 512<<10 || cfg.L2Ways != 16 || cfg.L2Line != 64 {
+		t.Error("L2 should be 512KB/core 16-way 64B")
+	}
+	if cfg.PageSize != 2048 {
+		t.Error("page size should be 2KB")
+	}
+	if cfg.NoC.RouterCycles != 3 {
+		t.Error("router overhead should be 3 cycles")
+	}
+	if cfg.IterSetFrac != 0.0025 {
+		t.Error("iteration set size should be 0.25%")
+	}
+	if cfg.DRAM.Timing.Name != "DDR3-1333" {
+		t.Error("default DRAM should be DDR3-1333")
+	}
+}
+
+func TestRunNestExecutesAllIterations(t *testing.T) {
+	s := New(DefaultConfig())
+	p, n := streamNest(8192)
+	sets := s.Sets(n)
+	res := s.RunNest(n, sets, core.DefaultSchedule(s.Mesh(), len(sets)))
+	if res.Cycles <= 0 {
+		t.Fatal("nest should take time")
+	}
+	var accesses float64
+	for _, ob := range res.Obs {
+		accesses += ob.LLCAccesses
+	}
+	st := s.Stats()
+	if st.L1Hits+st.L1Misses != uint64(p.TotalIterations()) {
+		t.Errorf("L1 accesses = %d, want %d", st.L1Hits+st.L1Misses, p.TotalIterations())
+	}
+	if st.LLCHits+st.LLCMisses == 0 {
+		t.Error("expected LLC traffic")
+	}
+}
+
+func TestObservationsRecordMCs(t *testing.T) {
+	s := New(DefaultConfig())
+	_, n := streamNest(65536) // 512KB footprint: cold misses everywhere
+	sets := s.Sets(n)
+	res := s.RunNest(n, sets, core.DefaultSchedule(s.Mesh(), len(sets)))
+	// Every set streams distinct pages; its misses must be recorded,
+	// and each set's dominant MC must match the address map.
+	amap := s.AddrMap()
+	for k, ob := range res.Obs {
+		total := 0.0
+		for _, c := range ob.MCMisses {
+			total += c
+		}
+		if total == 0 {
+			t.Fatalf("set %d recorded no misses", k)
+		}
+		// Rebuild expected histogram from the address map.
+		want := make([]float64, 4)
+		for flat := sets[k].Lo; flat < sets[k].Hi; flat++ {
+			want[amap.MC(n.Refs[0].Array.AddrOf(flat))]++
+		}
+		// Observed misses are a per-LLC-line subsample of the raw
+		// stream, so near-tied sets may flip their argmax; require
+		// the observed dominant MC to hold a substantial share of
+		// the raw per-element histogram.
+		wi, gi := affinity.Vector(want).ArgMax(), affinity.Vector(ob.MCMisses).ArgMax()
+		if want[gi] < 0.4*want[wi] {
+			t.Errorf("set %d dominant MC = %d (raw share %g), address map says %d (%g)",
+				k, gi, want[gi], wi, want[wi])
+		}
+	}
+}
+
+func TestSharedLLCRecordsRegionHits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LLCOrg = cache.SharedSNUCA
+	s := New(cfg)
+	// 1MB footprint: exceeds the per-core L1s (16KB each) even when
+	// split 36 ways, but fits comfortably in the 18MB shared LLC.
+	_, n := streamNest(1 << 17)
+	sets := s.Sets(n)
+	sched := core.DefaultSchedule(s.Mesh(), len(sets))
+	s.RunNest(n, sets, sched)        // warm
+	res := s.RunNest(n, sets, sched) // now LLC hits
+	var hits float64
+	for _, ob := range res.Obs {
+		for _, h := range ob.RegionHits {
+			hits += h
+		}
+	}
+	if hits == 0 {
+		t.Error("warm shared-LLC run should record region hits")
+	}
+}
+
+func TestPrivateVsSharedRouting(t *testing.T) {
+	// With a footprint that fits in the LLC, a private-LLC machine
+	// sends almost no NoC traffic after warmup, while a shared-LLC
+	// machine must cross the network for every L1 miss.
+	run := func(org cache.Organization) Stats {
+		cfg := DefaultConfig()
+		cfg.LLCOrg = org
+		s := New(cfg)
+		_, n := streamNest(4096)
+		sets := s.Sets(n)
+		sched := core.DefaultSchedule(s.Mesh(), len(sets))
+		s.RunNest(n, sets, sched)
+		s.RunNest(n, sets, sched)
+		return s.Stats()
+	}
+	priv, shared := run(cache.Private), run(cache.SharedSNUCA)
+	if priv.NoC.Packets >= shared.NoC.Packets {
+		t.Errorf("private LLC should need fewer packets: %d vs %d",
+			priv.NoC.Packets, shared.NoC.Packets)
+	}
+}
+
+func TestBarrierBetweenNests(t *testing.T) {
+	s := New(DefaultConfig())
+	_, n := streamNest(8192)
+	sets := s.Sets(n)
+	// Assign ALL sets to core 0: one core does all work.
+	skew := &core.Assignment{
+		Region: make([]topology.RegionID, len(sets)),
+		Core:   make([]topology.NodeID, len(sets)),
+	}
+	r1 := s.RunNest(n, sets, skew)
+	// Next nest starts after the barrier; a balanced nest afterwards
+	// still measures only its own cycles.
+	r2 := s.RunNest(n, sets, core.DefaultSchedule(s.Mesh(), len(sets)))
+	if r2.Cycles >= r1.Cycles {
+		t.Errorf("balanced nest (%d cycles) should beat single-core nest (%d)", r2.Cycles, r1.Cycles)
+	}
+}
+
+func TestLocalityMappingReducesNetworkLatency(t *testing.T) {
+	// The headline mechanism: placing each iteration set on the core
+	// region nearest its MC must reduce total network latency versus
+	// the round-robin default.
+	cfg := DefaultConfig()
+	s := New(cfg)
+	_, n := streamNest(1 << 17) // 1MB footprint: heavy LLC missing
+	// Mild compute per iteration: with zero work, execution time is set
+	// entirely by the slowest (most MC-distant) region after count-based
+	// load balancing, which can mask the latency win at the barrier.
+	n.WorkCycles = 40
+	sets := s.Sets(n)
+
+	def := core.DefaultSchedule(s.Mesh(), len(sets))
+	defRes := s.RunNest(n, sets, def)
+
+	// Build ideal per-set affinities straight from the address map and
+	// map with Algorithm 1.
+	amap := s.AddrMap()
+	sa := make([]affinity.SetAffinity, len(sets))
+	for k, set := range sets {
+		b := affinity.NewBuilder(4)
+		for flat := set.Lo; flat < set.Hi; flat++ {
+			b.AddOne(amap.MC(n.Refs[0].Array.AddrOf(flat)))
+		}
+		sa[k] = affinity.SetAffinity{MAI: b.Vector(), Weight: set.Len()}
+	}
+	la := core.NewMapper(core.Config{Mesh: s.Mesh()}).MapPrivate(sa)
+
+	s.Reset()
+	laRes := s.RunNest(n, sets, la)
+
+	if laRes.NetLatency >= defRes.NetLatency {
+		t.Errorf("LA mapping should cut network latency: default=%d la=%d",
+			defRes.NetLatency, laRes.NetLatency)
+	}
+	if laRes.Cycles >= defRes.Cycles {
+		t.Errorf("LA mapping should cut execution time: default=%d la=%d",
+			defRes.Cycles, laRes.Cycles)
+	}
+}
+
+func TestIdealNoCIsLowerBound(t *testing.T) {
+	cfg := DefaultConfig()
+	s := New(cfg)
+	_, n := streamNest(1 << 16)
+	sets := s.Sets(n)
+	sched := core.DefaultSchedule(s.Mesh(), len(sets))
+	real := s.RunNest(n, sets, sched)
+
+	cfg.NoC.Ideal = true
+	si := New(cfg)
+	ideal := si.RunNest(n, sets, sched)
+	if ideal.Cycles >= real.Cycles {
+		t.Errorf("ideal NoC should be faster: %d vs %d", ideal.Cycles, real.Cycles)
+	}
+	if ideal.NetLatency != 0 {
+		t.Errorf("ideal NoC should have zero net latency, got %d", ideal.NetLatency)
+	}
+}
+
+func TestRunProgramAndTiming(t *testing.T) {
+	s := New(DefaultConfig())
+	p, _ := streamNest(8192)
+	p.TimingIters = 3
+	sched := s.DefaultScheduleFor(p)
+	results := s.RunTiming(p, func(int) *Schedule { return sched })
+	if len(results) != 3 {
+		t.Fatalf("RunTiming produced %d results, want 3", len(results))
+	}
+	if TotalCycles(results) <= 0 {
+		t.Error("total cycles should be positive")
+	}
+	// Later iterations run warm: they must not be slower than the first.
+	if results[1].Cycles > results[0].Cycles {
+		t.Errorf("warm iteration slower than cold: %d > %d", results[1].Cycles, results[0].Cycles)
+	}
+	_ = TotalNetLatency(results)
+}
+
+func TestScheduleNestCountValidated(t *testing.T) {
+	s := New(DefaultConfig())
+	p, _ := streamNest(1024)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched schedule")
+		}
+	}()
+	s.RunProgram(p, &Schedule{})
+}
+
+func TestLegStatsAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LLCOrg = cache.SharedSNUCA
+	s := New(cfg)
+	_, n := streamNest(1 << 15)
+	sets := s.Sets(n)
+	s.RunNest(n, sets, core.DefaultSchedule(s.Mesh(), len(sets)))
+	lat, cnt := s.LegStats()
+	if cnt[LegReqToBank] == 0 {
+		t.Error("shared runs must record request->bank legs")
+	}
+	if cnt[LegMemReply] == 0 {
+		t.Error("misses must record MC->core legs")
+	}
+	if cnt[LegReqToMC] != 0 {
+		t.Error("shared runs never use the private core->MC leg")
+	}
+	var total uint64
+	for i := range lat {
+		total += lat[i]
+	}
+	if st := s.Stats(); total != st.NoC.TotalLatency {
+		t.Errorf("leg latencies (%d) should sum to total NoC latency (%d)", total, st.NoC.TotalLatency)
+	}
+	s.Reset()
+	_, cnt = s.LegStats()
+	for i := range cnt {
+		if cnt[i] != 0 {
+			t.Error("Reset must clear leg stats")
+		}
+	}
+}
+
+func TestNodeTrafficGrid(t *testing.T) {
+	s := New(DefaultConfig())
+	_, n := streamNest(1 << 15)
+	sets := s.Sets(n)
+	s.RunNest(n, sets, core.DefaultSchedule(s.Mesh(), len(sets)))
+	traffic := s.NodeTraffic()
+	if len(traffic) != 36 {
+		t.Fatalf("traffic cells = %d", len(traffic))
+	}
+	var total float64
+	for _, v := range traffic {
+		total += v
+	}
+	if total == 0 {
+		t.Error("expected NoC traffic")
+	}
+}
+
+func TestRunNestOnSubsetBarrier(t *testing.T) {
+	s := New(DefaultConfig())
+	_, n := streamNest(4096)
+	sets := s.Sets(n)
+	// Run only on cores 0..8; cores outside must keep their clocks.
+	var cores []topology.NodeID
+	for c := topology.NodeID(0); c < 9; c++ {
+		cores = append(cores, c)
+	}
+	assign := &core.Assignment{
+		Region: make([]topology.RegionID, len(sets)),
+		Core:   make([]topology.NodeID, len(sets)),
+	}
+	for k := range sets {
+		assign.Core[k] = cores[k%len(cores)]
+		assign.Region[k] = s.Mesh().RegionOf(assign.Core[k])
+	}
+	res := s.RunNestOn(n, sets, assign, cores)
+	if res.Cycles <= 0 {
+		t.Fatal("subset run should take time")
+	}
+}

@@ -1,0 +1,39 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Heatmap renders a W×H grid of values as ASCII art: each cell shows a
+// shade from " .:-=+*#%@" scaled to the maximum value, so NoC hotspot
+// structure is visible in a terminal. Values are row-major.
+func Heatmap(title string, values []float64, w, h int) string {
+	const shades = " .:-=+*#%@"
+	maxV := 0.0
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s (max=%.0f)\n", title, maxV)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 0.0
+			if i := y*w + x; i < len(values) {
+				v = values[i]
+			}
+			idx := 0
+			if maxV > 0 {
+				idx = int(v / maxV * float64(len(shades)-1))
+			}
+			b.WriteByte(shades[idx])
+			b.WriteByte(shades[idx]) // double width: terminal cells are tall
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,199 @@
+// Package stats provides the small statistical and reporting helpers used
+// by the benchmark harness: geometric means, percentage deltas, and
+// fixed-width text tables that mirror the rows/series of the paper's
+// figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs. Non-positive values are
+// clamped to a tiny positive epsilon so that a single zero sample (e.g. a
+// 0% improvement) does not collapse the whole mean; this matches how the
+// paper reports geometric means over percentage improvements.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	const eps = 1e-9
+	sum := 0.0
+	for _, x := range xs {
+		if x < eps {
+			x = eps
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// PctReduction returns the percentage reduction from base to opt:
+// 100*(base-opt)/base. It returns 0 when base is 0.
+func PctReduction(base, opt float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - opt) / base
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Table accumulates rows and renders a fixed-width text table. It is the
+// output format of cmd/paperbench: one Table per paper table/figure.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped and
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v for strings and %.1f for float64.
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out = append(out, fmt.Sprintf("%.1f", v))
+		case string:
+			out = append(out, v)
+		default:
+			out = append(out, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(out...)
+}
+
+// NumRows reports how many data rows the table holds.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is a named sequence of (label, value) points — one bar group of a
+// paper figure.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Add appends a point to the series.
+func (s *Series) Add(label string, value float64) {
+	s.Labels = append(s.Labels, label)
+	s.Values = append(s.Values, value)
+}
+
+// Geomean returns the geometric mean of the series values.
+func (s *Series) Geomean() float64 { return Geomean(s.Values) }
+
+// String renders the series as "name: label=value ...".
+func (s *Series) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteString(":")
+	for i := range s.Labels {
+		fmt.Fprintf(&b, " %s=%.1f", s.Labels[i], s.Values[i])
+	}
+	return b.String()
+}
+
+// GeomeanPct aggregates percentage improvements the multiplicative way:
+// it geometric-means the growth factors (1 + x/100) and converts back to
+// a percentage. Unlike a plain geometric mean of the percentages it is
+// well-defined for zero and (moderately) negative entries, which occur
+// when an optimization loses on some application.
+func GeomeanPct(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		f := 1 + x/100
+		if f < 0.01 {
+			f = 0.01
+		}
+		sum += math.Log(f)
+	}
+	return 100 * (math.Exp(sum/float64(len(xs))) - 1)
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("Geomean(2,8) = %g", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %g", g)
+	}
+	// A zero sample is clamped, not fatal.
+	if g := Geomean([]float64{0, 4}); g <= 0 {
+		t.Errorf("Geomean with zero = %g", g)
+	}
+}
+
+func TestGeomeanBounds(t *testing.T) {
+	f := func(raw [4]uint8) bool {
+		xs := make([]float64, 4)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean nil")
+	}
+	if Median([]float64{5, 1, 3}) != 3 {
+		t.Error("Median odd")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Error("Median even")
+	}
+	if Median(nil) != 0 {
+		t.Error("Median nil")
+	}
+}
+
+func TestPctReduction(t *testing.T) {
+	if PctReduction(200, 150) != 25 {
+		t.Error("PctReduction(200,150)")
+	}
+	if PctReduction(0, 10) != 0 {
+		t.Error("PctReduction with zero base")
+	}
+	if PctReduction(100, 120) != -20 {
+		t.Error("negative reduction")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRowf("beta", 2.5)
+	tab.AddRow("gamma") // short row pads
+	out := tab.String()
+	for _, want := range []string{"Title", "name", "alpha", "2.5", "gamma"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tab.NumRows() != 3 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+	// Columns align: every line has the same prefix width up to col 2.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "exec"
+	s.Add("a", 2)
+	s.Add("b", 8)
+	if math.Abs(s.Geomean()-4) > 1e-9 {
+		t.Errorf("series geomean = %g", s.Geomean())
+	}
+	if !strings.Contains(s.String(), "a=2.0") {
+		t.Errorf("series string = %q", s.String())
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("t", []float64{0, 1, 2, 4}, 2, 2)
+	if !strings.Contains(out, "t (max=4)") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The zero cell renders as spaces, the max cell as the top shade.
+	if lines[1][:2] != "  " {
+		t.Errorf("zero cell = %q", lines[1][:2])
+	}
+	if lines[2][2] != '@' {
+		t.Errorf("max cell = %q", lines[2])
+	}
+	// Empty input doesn't panic.
+	_ = Heatmap("", nil, 3, 3)
+}
+
+func TestGeomeanPct(t *testing.T) {
+	if g := GeomeanPct([]float64{10, 10}); math.Abs(g-10) > 1e-9 {
+		t.Errorf("GeomeanPct(10,10) = %g", g)
+	}
+	// Handles zero and negative entries without collapsing.
+	g := GeomeanPct([]float64{20, 0, -2})
+	if g < 5 || g > 10 {
+		t.Errorf("GeomeanPct(20,0,-2) = %g, want ~5.7", g)
+	}
+	if GeomeanPct(nil) != 0 {
+		t.Error("empty input")
+	}
+}

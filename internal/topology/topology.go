@@ -1,0 +1,346 @@
+// Package topology models the physical layout of an on-chip-network based
+// manycore: a 2D mesh of nodes (core + private L1 + LLC bank + router), a
+// set of memory controllers attached at fixed positions, and a logical
+// partitioning of the mesh into rectangular regions.
+//
+// The package is purely geometric: it answers questions such as "what is
+// the Manhattan distance between node 7 and MC 2", "which region does node
+// 13 belong to", and "which links does an X-Y-routed packet from node A to
+// node B traverse". Everything else in the system (the NoC timing model,
+// the affinity vectors, the mapping algorithm) is built on these answers.
+package topology
+
+import (
+	"fmt"
+)
+
+// NodeID identifies a mesh node. Nodes are numbered row-major:
+// node = y*Width + x, with (0,0) the top-left corner.
+type NodeID int
+
+// MCID identifies a memory controller.
+type MCID int
+
+// RegionID identifies a logical region of the mesh.
+type RegionID int
+
+// Coord is a position on the 2D mesh.
+type Coord struct {
+	X, Y int
+}
+
+// Manhattan returns the Manhattan (L1) distance between two coordinates.
+func (c Coord) Manhattan(o Coord) int {
+	return abs(c.X-o.X) + abs(c.Y-o.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// MCPlacement selects where the memory controllers sit on the mesh edge.
+type MCPlacement int
+
+const (
+	// MCCorners places one MC at each corner of the mesh: MC0 top-left,
+	// MC1 top-right, MC2 bottom-right, MC3 bottom-left. This is the
+	// default placement in the paper (Figure 3).
+	MCCorners MCPlacement = iota
+	// MCEdgeMiddles places one MC at the middle of each side: MC0 top,
+	// MC1 right, MC2 bottom, MC3 left. This is the alternate placement
+	// used by the paper's sensitivity study (Figure 9).
+	MCEdgeMiddles
+)
+
+func (p MCPlacement) String() string {
+	switch p {
+	case MCCorners:
+		return "corners"
+	case MCEdgeMiddles:
+		return "edge-middles"
+	default:
+		return fmt.Sprintf("MCPlacement(%d)", int(p))
+	}
+}
+
+// Mesh describes a W×H 2D mesh with regions and memory controllers.
+type Mesh struct {
+	Width, Height int
+
+	// Wrap turns the mesh into a 2D torus: links wrap around at the
+	// edges and dimension-ordered routing takes the shorter way around
+	// each dimension. The paper's approach only needs relative
+	// positions exposed (§3.9), so all affinity machinery works
+	// unchanged on top of torus distances.
+	Wrap bool
+
+	// RegionsX, RegionsY give the logical region grid. Each region is a
+	// (Width/RegionsX)×(Height/RegionsY) rectangle of nodes. Regions are
+	// numbered row-major like nodes.
+	RegionsX, RegionsY int
+
+	Placement MCPlacement
+
+	mcs []Coord // position of each MC's attachment node
+}
+
+// New constructs a mesh. Width must be divisible by regionsX and Height by
+// regionsY so that regions tile the mesh exactly.
+func New(width, height, regionsX, regionsY int, placement MCPlacement) (*Mesh, error) {
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("topology: invalid mesh %dx%d", width, height)
+	}
+	if regionsX <= 0 || regionsY <= 0 || width%regionsX != 0 || height%regionsY != 0 {
+		return nil, fmt.Errorf("topology: region grid %dx%d does not tile mesh %dx%d",
+			regionsX, regionsY, width, height)
+	}
+	m := &Mesh{
+		Width:     width,
+		Height:    height,
+		RegionsX:  regionsX,
+		RegionsY:  regionsY,
+		Placement: placement,
+	}
+	switch placement {
+	case MCCorners:
+		m.mcs = []Coord{
+			{0, 0},
+			{width - 1, 0},
+			{width - 1, height - 1},
+			{0, height - 1},
+		}
+	case MCEdgeMiddles:
+		m.mcs = []Coord{
+			{width / 2, 0},
+			{width - 1, height / 2},
+			{width / 2, height - 1},
+			{0, height / 2},
+		}
+	default:
+		return nil, fmt.Errorf("topology: unknown MC placement %v", placement)
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on error; intended for static configurations.
+func MustNew(width, height, regionsX, regionsY int, placement MCPlacement) *Mesh {
+	m, err := New(width, height, regionsX, regionsY, placement)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Default6x6 returns the paper's default target: a 6×6 mesh partitioned
+// into 9 regions of 2×2 nodes with corner MCs (Table 4).
+func Default6x6() *Mesh { return MustNew(6, 6, 3, 3, MCCorners) }
+
+// NumNodes returns the number of mesh nodes (and cores, and LLC banks).
+func (m *Mesh) NumNodes() int { return m.Width * m.Height }
+
+// NumRegions returns the number of logical regions.
+func (m *Mesh) NumRegions() int { return m.RegionsX * m.RegionsY }
+
+// NumMCs returns the number of memory controllers.
+func (m *Mesh) NumMCs() int { return len(m.mcs) }
+
+// NodeAt returns the node at coordinate c.
+func (m *Mesh) NodeAt(c Coord) NodeID { return NodeID(c.Y*m.Width + c.X) }
+
+// CoordOf returns the coordinate of node n.
+func (m *Mesh) CoordOf(n NodeID) Coord {
+	return Coord{X: int(n) % m.Width, Y: int(n) / m.Width}
+}
+
+// MCCoord returns the attachment coordinate of memory controller mc.
+func (m *Mesh) MCCoord(mc MCID) Coord { return m.mcs[mc] }
+
+// MCNode returns the mesh node a memory controller is attached to.
+func (m *Mesh) MCNode(mc MCID) NodeID { return m.NodeAt(m.mcs[mc]) }
+
+// RegionOf returns the region containing node n.
+func (m *Mesh) RegionOf(n NodeID) RegionID {
+	c := m.CoordOf(n)
+	rw := m.Width / m.RegionsX
+	rh := m.Height / m.RegionsY
+	return RegionID((c.Y/rh)*m.RegionsX + c.X/rw)
+}
+
+// RegionNodes returns the nodes belonging to region r, row-major.
+func (m *Mesh) RegionNodes(r RegionID) []NodeID {
+	rw := m.Width / m.RegionsX
+	rh := m.Height / m.RegionsY
+	rx := int(r) % m.RegionsX
+	ry := int(r) / m.RegionsX
+	nodes := make([]NodeID, 0, rw*rh)
+	for y := ry * rh; y < (ry+1)*rh; y++ {
+		for x := rx * rw; x < (rx+1)*rw; x++ {
+			nodes = append(nodes, m.NodeAt(Coord{x, y}))
+		}
+	}
+	return nodes
+}
+
+// RegionCenter returns the geometric center of region r. Centers lie on
+// half-integer coordinates for even-sized regions, which is why the result
+// is scaled by 2: the returned coordinate is in "double units" so it stays
+// integral. Use RegionDistance/RegionMCDistance for distances.
+func (m *Mesh) regionCenter2x(r RegionID) Coord {
+	rw := m.Width / m.RegionsX
+	rh := m.Height / m.RegionsY
+	rx := int(r) % m.RegionsX
+	ry := int(r) / m.RegionsX
+	return Coord{X: 2*rx*rw + rw - 1, Y: 2*ry*rh + rh - 1}
+}
+
+// RegionMCDistance returns twice the Manhattan distance between the center
+// of region r and memory controller mc. (Twice, so that half-integer region
+// centers still yield an exact integer.)
+func (m *Mesh) RegionMCDistance(r RegionID, mc MCID) int {
+	c := m.regionCenter2x(r)
+	p := m.mcs[mc]
+	return abs(c.X-2*p.X) + abs(c.Y-2*p.Y)
+}
+
+// RegionDistance returns twice the Manhattan distance between the centers
+// of regions a and b.
+func (m *Mesh) RegionDistance(a, b RegionID) int {
+	ca := m.regionCenter2x(a)
+	cb := m.regionCenter2x(b)
+	return abs(ca.X-cb.X) + abs(ca.Y-cb.Y)
+}
+
+// RegionNeighbors returns the regions that share an edge with r in the
+// logical region grid (4-neighborhood), in N, S, W, E order (present ones).
+func (m *Mesh) RegionNeighbors(r RegionID) []RegionID {
+	rx := int(r) % m.RegionsX
+	ry := int(r) / m.RegionsX
+	var out []RegionID
+	if ry > 0 {
+		out = append(out, r-RegionID(m.RegionsX))
+	}
+	if ry < m.RegionsY-1 {
+		out = append(out, r+RegionID(m.RegionsX))
+	}
+	if rx > 0 {
+		out = append(out, r-1)
+	}
+	if rx < m.RegionsX-1 {
+		out = append(out, r+1)
+	}
+	return out
+}
+
+// Distance returns the routing distance between two nodes: Manhattan on
+// a mesh, wrap-aware Manhattan on a torus.
+func (m *Mesh) Distance(a, b NodeID) int {
+	ca, cb := m.CoordOf(a), m.CoordOf(b)
+	if !m.Wrap {
+		return ca.Manhattan(cb)
+	}
+	return m.wrapDelta(ca.X, cb.X, m.Width) + m.wrapDelta(ca.Y, cb.Y, m.Height)
+}
+
+// wrapDelta returns the shorter directed distance between two coordinates
+// on a ring of the given size.
+func (m *Mesh) wrapDelta(a, b, size int) int {
+	d := abs(a - b)
+	if w := size - d; w < d {
+		return w
+	}
+	return d
+}
+
+// DistanceToMC returns the Manhattan distance between node n and MC mc.
+func (m *Mesh) DistanceToMC(n NodeID, mc MCID) int {
+	return m.CoordOf(n).Manhattan(m.mcs[mc])
+}
+
+// NearestMC returns the MC closest (Manhattan) to node n. Ties are broken
+// toward the lower MC id, which is deterministic and matches X-Y routing's
+// deterministic nature.
+func (m *Mesh) NearestMC(n NodeID) MCID {
+	best, bestD := MCID(0), m.DistanceToMC(n, 0)
+	for mc := 1; mc < len(m.mcs); mc++ {
+		if d := m.DistanceToMC(n, MCID(mc)); d < bestD {
+			best, bestD = MCID(mc), d
+		}
+	}
+	return best
+}
+
+// LinkID identifies a directed link between two adjacent routers. Links are
+// numbered so that every (node, direction) pair has a unique id.
+type LinkID int
+
+// Directions for link numbering.
+const (
+	dirEast = iota
+	dirWest
+	dirSouth
+	dirNorth
+	numDirs
+)
+
+// NumLinks returns an upper bound on the number of directed links, suitable
+// for sizing per-link state arrays.
+func (m *Mesh) NumLinks() int { return m.NumNodes() * numDirs }
+
+func (m *Mesh) link(from Coord, dir int) LinkID {
+	return LinkID(int(m.NodeAt(from))*numDirs + dir)
+}
+
+// Route appends to dst the directed links traversed by an X-Y-routed packet
+// from node a to node b, and returns the extended slice. The X leg is
+// walked first, then the Y leg, matching the deterministic X-Y routing
+// policy in Table 4. On a torus the shorter way around each dimension is
+// taken. A route between co-located nodes is empty.
+func (m *Mesh) Route(dst []LinkID, a, b NodeID) []LinkID {
+	ca, cb := m.CoordOf(a), m.CoordOf(b)
+	dst = m.routeDim(dst, &ca.X, cb.X, m.Width, func(c Coord, fwd bool) (LinkID, Coord) {
+		if fwd {
+			c2 := c
+			c2.X = (c.X + 1) % m.Width
+			return m.link(c, dirEast), c2
+		}
+		c2 := c
+		c2.X = (c.X - 1 + m.Width) % m.Width
+		return m.link(c, dirWest), c2
+	}, &ca)
+	dst = m.routeDim(dst, &ca.Y, cb.Y, m.Height, func(c Coord, fwd bool) (LinkID, Coord) {
+		if fwd {
+			c2 := c
+			c2.Y = (c.Y + 1) % m.Height
+			return m.link(c, dirSouth), c2
+		}
+		c2 := c
+		c2.Y = (c.Y - 1 + m.Height) % m.Height
+		return m.link(c, dirNorth), c2
+	}, &ca)
+	return dst
+}
+
+// routeDim walks one dimension from *cur to target, appending links.
+func (m *Mesh) routeDim(dst []LinkID, cur *int, target, size int, step func(Coord, bool) (LinkID, Coord), pos *Coord) []LinkID {
+	for *cur != target {
+		fwd := *cur < target
+		if m.Wrap {
+			// Take the shorter way around the ring.
+			d := target - *cur
+			if d < 0 {
+				d += size
+			}
+			fwd = d <= size-d
+		}
+		l, next := step(*pos, fwd)
+		dst = append(dst, l)
+		*pos = next
+	}
+	return dst
+}
+
+// Hops returns the number of links an X-Y packet from a to b traverses.
+func (m *Mesh) Hops(a, b NodeID) int { return m.Distance(a, b) }

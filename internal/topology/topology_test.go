@@ -1,0 +1,265 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefault6x6Shape(t *testing.T) {
+	m := Default6x6()
+	if m.NumNodes() != 36 {
+		t.Fatalf("NumNodes = %d, want 36", m.NumNodes())
+	}
+	if m.NumRegions() != 9 {
+		t.Fatalf("NumRegions = %d, want 9", m.NumRegions())
+	}
+	if m.NumMCs() != 4 {
+		t.Fatalf("NumMCs = %d, want 4", m.NumMCs())
+	}
+}
+
+func TestNodeCoordRoundTrip(t *testing.T) {
+	m := Default6x6()
+	for n := NodeID(0); n < NodeID(m.NumNodes()); n++ {
+		if got := m.NodeAt(m.CoordOf(n)); got != n {
+			t.Errorf("NodeAt(CoordOf(%d)) = %d", n, got)
+		}
+	}
+}
+
+func TestRegionOfPaperLayout(t *testing.T) {
+	// On the 6x6 mesh with 2x2 regions, node (0,0) is in R1 (index 0),
+	// node (5,0) in R3 (index 2), node (2,3) in R5 (index 4), node (5,5)
+	// in R9 (index 8) — matching Figure 6a's R1..R9 layout.
+	m := Default6x6()
+	cases := []struct {
+		c Coord
+		r RegionID
+	}{
+		{Coord{0, 0}, 0},
+		{Coord{1, 1}, 0},
+		{Coord{2, 0}, 1},
+		{Coord{5, 0}, 2},
+		{Coord{0, 2}, 3},
+		{Coord{2, 3}, 4},
+		{Coord{5, 2}, 5},
+		{Coord{0, 5}, 6},
+		{Coord{3, 5}, 7},
+		{Coord{5, 5}, 8},
+	}
+	for _, c := range cases {
+		if got := m.RegionOf(m.NodeAt(c.c)); got != c.r {
+			t.Errorf("RegionOf(%v) = %d, want %d", c.c, got, c.r)
+		}
+	}
+}
+
+func TestRegionNodesPartition(t *testing.T) {
+	m := Default6x6()
+	seen := make(map[NodeID]RegionID)
+	for r := RegionID(0); r < RegionID(m.NumRegions()); r++ {
+		nodes := m.RegionNodes(r)
+		if len(nodes) != 4 {
+			t.Fatalf("region %d has %d nodes, want 4", r, len(nodes))
+		}
+		for _, n := range nodes {
+			if prev, dup := seen[n]; dup {
+				t.Fatalf("node %d in both region %d and %d", n, prev, r)
+			}
+			seen[n] = r
+			if m.RegionOf(n) != r {
+				t.Errorf("RegionOf(%d) = %d, want %d", n, m.RegionOf(n), r)
+			}
+		}
+	}
+	if len(seen) != m.NumNodes() {
+		t.Fatalf("regions cover %d nodes, want %d", len(seen), m.NumNodes())
+	}
+}
+
+func TestMCPlacementCorners(t *testing.T) {
+	m := Default6x6()
+	want := []Coord{{0, 0}, {5, 0}, {5, 5}, {0, 5}}
+	for i, w := range want {
+		if got := m.MCCoord(MCID(i)); got != w {
+			t.Errorf("MC%d at %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestMCPlacementEdgeMiddles(t *testing.T) {
+	m := MustNew(6, 6, 3, 3, MCEdgeMiddles)
+	want := []Coord{{3, 0}, {5, 3}, {3, 5}, {0, 3}}
+	for i, w := range want {
+		if got := m.MCCoord(MCID(i)); got != w {
+			t.Errorf("MC%d at %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestRegionNeighbors(t *testing.T) {
+	m := Default6x6()
+	// Region indices: 0 1 2 / 3 4 5 / 6 7 8.
+	cases := map[RegionID][]RegionID{
+		0: {3, 1},
+		1: {4, 0, 2},
+		4: {1, 7, 3, 5},
+		8: {5, 7},
+	}
+	for r, want := range cases {
+		got := m.RegionNeighbors(r)
+		if len(got) != len(want) {
+			t.Fatalf("RegionNeighbors(%d) = %v, want %v", r, got, want)
+		}
+		set := map[RegionID]bool{}
+		for _, g := range got {
+			set[g] = true
+		}
+		for _, w := range want {
+			if !set[w] {
+				t.Errorf("RegionNeighbors(%d) = %v, missing %d", r, got, w)
+			}
+		}
+	}
+}
+
+func TestRouteLengthEqualsManhattan(t *testing.T) {
+	m := Default6x6()
+	var buf []LinkID
+	for a := NodeID(0); a < 36; a++ {
+		for b := NodeID(0); b < 36; b++ {
+			buf = m.Route(buf[:0], a, b)
+			if len(buf) != m.Distance(a, b) {
+				t.Fatalf("route %d->%d has %d links, distance %d",
+					a, b, len(buf), m.Distance(a, b))
+			}
+		}
+	}
+}
+
+func TestRouteIsXThenY(t *testing.T) {
+	m := Default6x6()
+	// From (0,0) to (2,1): expect east, east, south.
+	r := m.Route(nil, m.NodeAt(Coord{0, 0}), m.NodeAt(Coord{2, 1}))
+	want := []LinkID{
+		m.link(Coord{0, 0}, dirEast),
+		m.link(Coord{1, 0}, dirEast),
+		m.link(Coord{2, 0}, dirSouth),
+	}
+	if len(r) != len(want) {
+		t.Fatalf("route = %v, want %v", r, want)
+	}
+	for i := range r {
+		if r[i] != want[i] {
+			t.Fatalf("route[%d] = %v, want %v", i, r[i], want[i])
+		}
+	}
+}
+
+func TestRouteLinksDistinct(t *testing.T) {
+	// X-Y routing never revisits a link.
+	m := MustNew(8, 8, 4, 4, MCCorners)
+	var buf []LinkID
+	for a := NodeID(0); a < 64; a += 7 {
+		for b := NodeID(0); b < 64; b += 5 {
+			buf = m.Route(buf[:0], a, b)
+			seen := map[LinkID]bool{}
+			for _, l := range buf {
+				if seen[l] {
+					t.Fatalf("route %d->%d repeats link %d", a, b, l)
+				}
+				seen[l] = true
+			}
+		}
+	}
+}
+
+func TestManhattanSymmetricProperty(t *testing.T) {
+	m := Default6x6()
+	f := func(a, b uint8) bool {
+		na := NodeID(int(a) % m.NumNodes())
+		nb := NodeID(int(b) % m.NumNodes())
+		return m.Distance(na, nb) == m.Distance(nb, na)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManhattanTriangleInequality(t *testing.T) {
+	m := Default6x6()
+	f := func(a, b, c uint8) bool {
+		na := NodeID(int(a) % m.NumNodes())
+		nb := NodeID(int(b) % m.NumNodes())
+		nc := NodeID(int(c) % m.NumNodes())
+		return m.Distance(na, nc) <= m.Distance(na, nb)+m.Distance(nb, nc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionMCDistanceMatchesPaperTies(t *testing.T) {
+	// The paper's MAC vectors (Figure 6a) follow from which MCs are
+	// nearest to each region center. Check the underlying distances:
+	// R1 (top-left) is strictly closest to MC0; R2 (top-middle) ties
+	// MC0/MC1; R5 (center) ties all four.
+	m := Default6x6()
+	d := func(r RegionID, mc MCID) int { return m.RegionMCDistance(r, mc) }
+	if !(d(0, 0) < d(0, 1) && d(0, 0) < d(0, 2) && d(0, 0) < d(0, 3)) {
+		t.Errorf("R1 should be strictly closest to MC0: %d %d %d %d",
+			d(0, 0), d(0, 1), d(0, 2), d(0, 3))
+	}
+	if d(1, 0) != d(1, 1) || d(1, 0) >= d(1, 2) {
+		t.Errorf("R2 should tie MC0/MC1: %d %d %d %d",
+			d(1, 0), d(1, 1), d(1, 2), d(1, 3))
+	}
+	for mc := MCID(1); mc < 4; mc++ {
+		if d(4, 0) != d(4, mc) {
+			t.Errorf("R5 should be equidistant from all MCs: %d vs %d",
+				d(4, 0), d(4, mc))
+		}
+	}
+}
+
+func TestNearestMC(t *testing.T) {
+	m := Default6x6()
+	cases := []struct {
+		c  Coord
+		mc MCID
+	}{
+		{Coord{0, 0}, 0},
+		{Coord{5, 0}, 1},
+		{Coord{5, 5}, 2},
+		{Coord{0, 5}, 3},
+		{Coord{1, 1}, 0},
+		{Coord{4, 4}, 2},
+	}
+	for _, c := range cases {
+		if got := m.NearestMC(m.NodeAt(c.c)); got != c.mc {
+			t.Errorf("NearestMC(%v) = %d, want %d", c.c, got, c.mc)
+		}
+	}
+}
+
+func TestNewRejectsBadRegionGrid(t *testing.T) {
+	if _, err := New(6, 6, 4, 3, MCCorners); err == nil {
+		t.Error("expected error for 4x3 regions on 6x6 mesh")
+	}
+	if _, err := New(0, 6, 1, 1, MCCorners); err == nil {
+		t.Error("expected error for zero width")
+	}
+}
+
+func TestRegionGridVariants(t *testing.T) {
+	// The region-count sweep of Figure 10 uses 4(3x3), 6(2x3), 9(2x2),
+	// 18(2x1) and 36(1x1) region grids on the 6x6 mesh.
+	for _, g := range []struct{ rx, ry, n int }{
+		{2, 2, 4}, {2, 3, 6}, {3, 3, 9}, {3, 6, 18}, {6, 6, 36},
+	} {
+		m := MustNew(6, 6, g.rx, g.ry, MCCorners)
+		if m.NumRegions() != g.n {
+			t.Errorf("grid %dx%d: NumRegions = %d, want %d", g.rx, g.ry, m.NumRegions(), g.n)
+		}
+	}
+}

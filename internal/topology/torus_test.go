@@ -1,0 +1,106 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func torus() *Mesh {
+	m := MustNew(6, 6, 3, 3, MCCorners)
+	m.Wrap = true
+	return m
+}
+
+func TestTorusDistanceWraps(t *testing.T) {
+	m := torus()
+	a := m.NodeAt(Coord{0, 0})
+	b := m.NodeAt(Coord{5, 0})
+	if d := m.Distance(a, b); d != 1 {
+		t.Errorf("wrap distance = %d, want 1", d)
+	}
+	c := m.NodeAt(Coord{5, 5})
+	if d := m.Distance(a, c); d != 2 {
+		t.Errorf("corner-to-corner on torus = %d, want 2", d)
+	}
+	// Mid-distance pairs are unchanged.
+	if d := m.Distance(a, m.NodeAt(Coord{3, 0})); d != 3 {
+		t.Errorf("distance = %d, want 3", d)
+	}
+}
+
+func TestTorusRouteLengthMatchesDistance(t *testing.T) {
+	m := torus()
+	var buf []LinkID
+	for a := NodeID(0); a < 36; a++ {
+		for b := NodeID(0); b < 36; b++ {
+			buf = m.Route(buf[:0], a, b)
+			if len(buf) != m.Distance(a, b) {
+				t.Fatalf("route %d->%d has %d links, distance %d", a, b, len(buf), m.Distance(a, b))
+			}
+		}
+	}
+}
+
+func TestTorusRouteShorterThanMesh(t *testing.T) {
+	mesh := Default6x6()
+	tor := torus()
+	// Across the whole node set, average torus distance must be lower.
+	var dm, dt int
+	for a := NodeID(0); a < 36; a++ {
+		for b := NodeID(0); b < 36; b++ {
+			dm += mesh.Distance(a, b)
+			dt += tor.Distance(a, b)
+			if tor.Distance(a, b) > mesh.Distance(a, b) {
+				t.Fatalf("torus distance %d->%d exceeds mesh", a, b)
+			}
+		}
+	}
+	if dt >= dm {
+		t.Errorf("total torus distance %d should beat mesh %d", dt, dm)
+	}
+}
+
+func TestTorusDistanceProperties(t *testing.T) {
+	m := torus()
+	sym := func(a, b uint8) bool {
+		na, nb := NodeID(a%36), NodeID(b%36)
+		return m.Distance(na, nb) == m.Distance(nb, na)
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+	tri := func(a, b, c uint8) bool {
+		na, nb, nc := NodeID(a%36), NodeID(b%36), NodeID(c%36)
+		return m.Distance(na, nc) <= m.Distance(na, nb)+m.Distance(nb, nc)
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorusRouteLinksValid(t *testing.T) {
+	m := torus()
+	var buf []LinkID
+	for a := NodeID(0); a < 36; a += 5 {
+		for b := NodeID(0); b < 36; b += 7 {
+			buf = m.Route(buf[:0], a, b)
+			for _, l := range buf {
+				if int(l) < 0 || int(l) >= m.NumLinks() {
+					t.Fatalf("route %d->%d produced link %d outside [0,%d)", a, b, l, m.NumLinks())
+				}
+			}
+		}
+	}
+}
+
+func TestMeshRoutingUnaffectedByWrapFlagDefault(t *testing.T) {
+	// Sanity: the default mesh (Wrap=false) is unchanged by the torus
+	// additions.
+	m := Default6x6()
+	if m.Wrap {
+		t.Fatal("default mesh must not wrap")
+	}
+	if d := m.Distance(m.NodeAt(Coord{0, 0}), m.NodeAt(Coord{5, 0})); d != 5 {
+		t.Errorf("mesh distance = %d, want 5", d)
+	}
+}

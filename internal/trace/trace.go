@@ -1,0 +1,235 @@
+// Package trace extracts, encodes and analyzes the reference streams of
+// loop programs. A trace is the flat sequence of (nest, iteration,
+// reference, address) records a program's schedule-independent execution
+// touches — the raw material the compiler analyses (CME, affinity
+// construction, DO profiling) are defined over, made inspectable.
+//
+// Traces serialize to a compact varint-delta binary format so large
+// streams can be dumped and diffed; Summarize computes the
+// locality statistics (per-MC/page/line histograms, stride profile) that
+// explain why a given program maps well or badly.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"locmap/internal/loop"
+	"locmap/internal/mem"
+)
+
+// Record is one memory reference.
+type Record struct {
+	Nest int32
+	Flat int64
+	Ref  int32
+	Addr mem.Addr
+	// Write marks store references.
+	Write bool
+}
+
+// Extract walks program p and calls emit for every reference in program
+// order. It allocates nothing per record.
+func Extract(p *loop.Program, emit func(Record)) {
+	var iv []int64
+	for ni, n := range p.Nests {
+		total := n.Iterations()
+		for flat := int64(0); flat < total; flat++ {
+			iv = n.Unflatten(iv, flat)
+			for ri := range n.Refs {
+				r := &n.Refs[ri]
+				emit(Record{
+					Nest:  int32(ni),
+					Flat:  flat,
+					Ref:   int32(ri),
+					Addr:  r.Addr(iv, flat),
+					Write: r.Kind == loop.Write,
+				})
+			}
+		}
+	}
+}
+
+// magic identifies the trace file format.
+const magic = "LOCMAPT1"
+
+// Write encodes records to w: a header followed by varint-encoded deltas
+// (nest and ref as raw varints, flat and address as zig-zag deltas from
+// the previous record — consecutive references are nearby, so deltas
+// compress well).
+type Writer struct {
+	w        *bufio.Writer
+	buf      [binary.MaxVarintLen64]byte
+	lastAddr int64
+	lastFlat int64
+	count    int64
+	err      error
+}
+
+// NewWriter starts a trace stream on w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func (t *Writer) putUvarint(v uint64) {
+	if t.err != nil {
+		return
+	}
+	n := binary.PutUvarint(t.buf[:], v)
+	_, t.err = t.w.Write(t.buf[:n])
+}
+
+func (t *Writer) putVarint(v int64) {
+	if t.err != nil {
+		return
+	}
+	n := binary.PutVarint(t.buf[:], v)
+	_, t.err = t.w.Write(t.buf[:n])
+}
+
+// Add appends one record.
+func (t *Writer) Add(r Record) {
+	t.putUvarint(uint64(r.Nest))
+	t.putUvarint(uint64(r.Ref))
+	flags := uint64(0)
+	if r.Write {
+		flags = 1
+	}
+	t.putUvarint(flags)
+	t.putVarint(r.Flat - t.lastFlat)
+	t.putVarint(int64(r.Addr) - t.lastAddr)
+	t.lastFlat = r.Flat
+	t.lastAddr = int64(r.Addr)
+	t.count++
+}
+
+// Close flushes the stream and returns the record count.
+func (t *Writer) Close() (int64, error) {
+	if t.err != nil {
+		return t.count, t.err
+	}
+	return t.count, t.w.Flush()
+}
+
+// Read decodes a trace stream, calling emit per record.
+func Read(r io.Reader, emit func(Record)) error {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return fmt.Errorf("trace: bad magic %q", head)
+	}
+	var lastAddr, lastFlat int64
+	for {
+		nest, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		ref, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		flags, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		dFlat, err := binary.ReadVarint(br)
+		if err != nil {
+			return err
+		}
+		dAddr, err := binary.ReadVarint(br)
+		if err != nil {
+			return err
+		}
+		lastFlat += dFlat
+		lastAddr += dAddr
+		emit(Record{
+			Nest:  int32(nest),
+			Ref:   int32(ref),
+			Write: flags&1 != 0,
+			Flat:  lastFlat,
+			Addr:  mem.Addr(lastAddr),
+		})
+	}
+}
+
+// Summary aggregates a trace's locality statistics.
+type Summary struct {
+	Records int64
+	Writes  int64
+	Pages   int     // distinct 2KB pages
+	Lines   int     // distinct 64B lines
+	PerMC   []int64 // references per MC under the given map
+	PerBank []int64 // references per home bank
+	// StrideHist buckets |addr delta| between consecutive records:
+	// [0]=same line, [1]=≤page, [2]=≤64KB, [3]=larger.
+	StrideHist [4]int64
+}
+
+// Summarize scans a program's trace and computes its Summary under the
+// given address map.
+func Summarize(p *loop.Program, amap mem.Map) Summary {
+	s := Summary{
+		PerMC:   make([]int64, amap.NumMCs()),
+		PerBank: make([]int64, amap.NumBanks()),
+	}
+	pages := make(map[mem.Addr]struct{})
+	lines := make(map[mem.Addr]struct{})
+	var last mem.Addr
+	first := true
+	Extract(p, func(r Record) {
+		s.Records++
+		if r.Write {
+			s.Writes++
+		}
+		pages[r.Addr/2048] = struct{}{}
+		lines[r.Addr/64] = struct{}{}
+		s.PerMC[amap.MC(r.Addr)]++
+		s.PerBank[amap.HomeBank(r.Addr)%amap.NumBanks()]++
+		if !first {
+			d := int64(r.Addr) - int64(last)
+			if d < 0 {
+				d = -d
+			}
+			switch {
+			case d < 64:
+				s.StrideHist[0]++
+			case d < 2048:
+				s.StrideHist[1]++
+			case d < 64<<10:
+				s.StrideHist[2]++
+			default:
+				s.StrideHist[3]++
+			}
+		}
+		first = false
+		last = r.Addr
+	})
+	s.Pages = len(pages)
+	s.Lines = len(lines)
+	return s
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	out := fmt.Sprintf("records %d (writes %d), %d pages, %d lines\n",
+		s.Records, s.Writes, s.Pages, s.Lines)
+	out += "per-MC:"
+	for mc, c := range s.PerMC {
+		out += fmt.Sprintf(" MC%d=%d", mc, c)
+	}
+	out += fmt.Sprintf("\nstrides: line=%d page=%d 64K=%d far=%d\n",
+		s.StrideHist[0], s.StrideHist[1], s.StrideHist[2], s.StrideHist[3])
+	return out
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"locmap/internal/loop"
+	"locmap/internal/mem"
+)
+
+func smallProgram() *loop.Program {
+	a := &loop.Array{Name: "A", ElemSize: 8, Elems: 256}
+	b := &loop.Array{Name: "B", ElemSize: 8, Elems: 256}
+	n := &loop.Nest{
+		Name:   "n",
+		Bounds: []int64{128},
+		Refs: []loop.Ref{
+			{Array: a, Kind: loop.Write, Index: loop.Affine{Coeffs: []int64{1}}},
+			{Array: b, Kind: loop.Read, Index: loop.Affine{Coeffs: []int64{2}}},
+		},
+	}
+	p := &loop.Program{Name: "p", Arrays: []*loop.Array{a, b}, Nests: []*loop.Nest{n}}
+	p.Layout(0, 2048)
+	return p
+}
+
+func TestExtractOrderAndCount(t *testing.T) {
+	p := smallProgram()
+	var recs []Record
+	Extract(p, func(r Record) { recs = append(recs, r) })
+	if len(recs) != 256 {
+		t.Fatalf("records = %d, want 256", len(recs))
+	}
+	if !recs[0].Write || recs[1].Write {
+		t.Error("first ref is the write, second the read")
+	}
+	// Iteration 1's write goes to A[1].
+	if recs[2].Addr != p.Arrays[0].AddrOf(1) {
+		t.Errorf("record 2 addr = %d", recs[2].Addr)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := smallProgram()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orig []Record
+	Extract(p, func(r Record) {
+		orig = append(orig, r)
+		w.Add(r)
+	})
+	count, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != int64(len(orig)) {
+		t.Fatalf("count = %d", count)
+	}
+
+	var got []Record
+	if err := Read(&buf, func(r Record) { got = append(got, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("decoded %d of %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i] != orig[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if err := Read(strings.NewReader("NOTATRACE"), func(Record) {}); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if err := Read(strings.NewReader(""), func(Record) {}); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestEncodingIsCompact(t *testing.T) {
+	// Sequential streams should cost only a few bytes per record.
+	p := smallProgram()
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	n := int64(0)
+	Extract(p, func(r Record) { w.Add(r); n++ })
+	w.Close()
+	perRec := float64(buf.Len()) / float64(n)
+	if perRec > 8 {
+		t.Errorf("encoding too fat: %.1f bytes/record", perRec)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	p := smallProgram()
+	amap := mem.NewInterleaved(2048, 64, 4, 36)
+	s := Summarize(p, amap)
+	if s.Records != 256 || s.Writes != 128 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Pages == 0 || s.Lines == 0 {
+		t.Error("page/line counts missing")
+	}
+	var mcTotal int64
+	for _, c := range s.PerMC {
+		mcTotal += c
+	}
+	if mcTotal != s.Records {
+		t.Error("per-MC histogram should cover all records")
+	}
+	out := s.String()
+	if !strings.Contains(out, "records 256") || !strings.Contains(out, "MC0=") {
+		t.Errorf("summary string = %q", out)
+	}
+}

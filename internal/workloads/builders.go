@@ -1,0 +1,361 @@
+package workloads
+
+import (
+	"fmt"
+
+	"locmap/internal/loop"
+)
+
+// Locality presets for index arrays. An iteration set is ~10 iterations
+// (0.25% of a 4K-iteration nest), so presets are tuned to how many
+// distinct pages and lines a set touches:
+var (
+	// strongIdx: a set stays inside one run that spans less than a
+	// page — single-MC affinity (spatially sorted meshes, neighbor
+	// lists). 32 line-bytes per iteration.
+	strongIdx = indexOpts{RunLen: 48, Step: 4}
+	// medIdx: a set sees 1–2 page-sized runs — one or two dominant
+	// MCs. 64 line-bytes per iteration.
+	medIdx = indexOpts{RunLen: 24, Step: 8}
+	// weakIdx: many short runs at random pages — near-uniform MAI, the
+	// behaviour where the default mapping is already competitive.
+	weakIdx = indexOpts{RunLen: 6, Step: 48}
+	// denseIdx: runs of consecutive elements drawn from a few hot
+	// pages — few lines per set, heavy reuse: the concentrated-CAI
+	// pattern for shared LLCs.
+	denseIdx = indexOpts{RunLen: 48, Step: 1, HotPages: 24}
+)
+
+// dataElems is the default size of a gathered-from data array: 2M
+// elements = 16MB — far beyond a 512KB private LLC share, so gathers keep
+// missing across timing iterations like the paper's 451MB–1.4GB inputs.
+const dataElems = 2 << 20
+
+// ni is the canonical nest trip count: 4K iterations → 400 iteration sets
+// of ~10 iterations at the default 0.25% set size. Small sets touch only
+// a handful of pages and lines, which is what makes MAI and CAI sharp.
+const ni = 4096
+
+// phases adds `count` gather nests over the same data arrays, each with a
+// fresh index stream — the repeated force/update/interaction sweeps that
+// give irregular codes their dozens of loop nests (Table 3).
+func phases(g *gen, prefix string, count int, iters, work int64, o indexOpts, withOut bool, data ...*loop.Array) {
+	for k := 0; k < count; k++ {
+		idx := g.array(fmt.Sprintf("%s_idx%d", prefix, k), iters)
+		var out *loop.Array
+		if withOut {
+			out = g.array(fmt.Sprintf("%s_out%d", prefix, k), iters)
+		}
+		g.gather(fmt.Sprintf("%s%d", prefix, k), iters, work, idx, o, out, data...)
+	}
+}
+
+// --- Irregular (inspector–executor) benchmarks -------------------------
+
+func buildBarnes(g *gen) *loop.Program {
+	// N-body tree walk: scattered child pointers, compute-heavy force
+	// kernel. Weak locality — the default mapping already does well.
+	bodies := g.array("bodies", dataElems*g.scale)
+	tree := g.array("tree", dataElems*g.scale)
+	cells := g.array("cells", dataElems*g.scale)
+	g.useVecs(g.array("vpos", ni*g.scale), g.array("vvel", ni*g.scale))
+	phases(g, "treewalk", 22, ni*g.scale, 96, weakIdx, false, tree, bodies, cells)
+	phases(g, "force", 14, ni*g.scale, 104, weakIdx, true, bodies)
+	return g.prog(3)
+}
+
+func buildFMM(g *gen) *loop.Program {
+	// Fast multipole: interaction lists with medium spatial locality.
+	cells := g.array("cells", dataElems*g.scale)
+	mpoles := g.array("mpoles", dataElems*g.scale)
+	locals := g.array("locals", dataElems*g.scale)
+	g.useVecs(g.array("vpos", ni*g.scale), g.array("vvel", ni*g.scale))
+	phases(g, "upward", 18, ni*g.scale, 64, medIdx, false, cells, mpoles, locals)
+	phases(g, "interact", 18, ni*g.scale, 72, medIdx, true, cells, mpoles)
+	phases(g, "lists", 4, ni*g.scale, 48, denseIdx, false, cells)
+	return g.prog(3)
+}
+
+func buildRadiosity(g *gen) *loop.Program {
+	// Hierarchical radiosity: medium-locality visibility sweeps plus
+	// hot patch-interaction gathers (reuse → concentrated CAI).
+	patches := g.array("patches", dataElems*g.scale)
+	ff := g.array("formfactors", dataElems*g.scale)
+	bsp := g.array("bsp", dataElems*g.scale)
+	g.useVecs(g.array("vpos", ni*g.scale), g.array("vvel", ni*g.scale))
+	phases(g, "visibility", 26, ni*g.scale, 56, medIdx, false, patches, ff, bsp)
+	phases(g, "refine", 8, ni*g.scale, 48, denseIdx, true, patches)
+	return g.prog(3)
+}
+
+func buildRaytrace(g *gen) *loop.Program {
+	// Ray casting: BVH traversal with partial ray coherence.
+	bvh := g.array("bvh", dataElems*g.scale)
+	prims := g.array("prims", dataElems*g.scale)
+	mats := g.array("mats", dataElems*g.scale)
+	g.useVecs(g.array("vpos", ni*g.scale), g.array("vvel", ni*g.scale))
+	phases(g, "traverse", 28, ni*g.scale, 72, medIdx, false, bvh, prims, mats)
+	phases(g, "shade", 6, ni*g.scale, 80, weakIdx, true, prims)
+	return g.prog(3)
+}
+
+func buildVolrend(g *gen) *loop.Program {
+	// Volume rendering: near-random volume sampling; small savings in
+	// the paper because the default mapping is already fine.
+	vol := g.array("volume", dataElems*g.scale)
+	oct := g.array("octree", dataElems*g.scale)
+	grad := g.array("gradients", dataElems*g.scale)
+	g.useVecs(g.array("vpos", ni*g.scale), g.array("vvel", ni*g.scale))
+	phases(g, "sample", 22, ni*g.scale, 96, weakIdx, false, vol, oct, grad)
+	phases(g, "composite", 8, ni*g.scale, 80, weakIdx, true, vol)
+	return g.prog(3)
+}
+
+func buildWater(g *gen) *loop.Program {
+	// Water-nsquared: regular molecule-block stencils plus pairwise
+	// interaction windows over a large force field.
+	grid := g.array("grid", rowW*64)
+	forces := g.array("forces", rowW*64)
+	g.sweep2d("intra1", grid, forces, 64, 4, 72)
+	g.sweep2d("intra2", forces, grid, 64, 4, 72)
+	field := g.array("field", (1<<20)*g.scale)
+	for k := int64(0); k < 6; k++ {
+		out := g.array(fmt.Sprintf("vel%d", k), ni*g.scale)
+		g.window(fmt.Sprintf("inter%d", k), ni*g.scale, k*ni*g.scale, 88, field, out)
+	}
+	return g.prog(1)
+}
+
+func buildCholesky(g *gen) *loop.Program {
+	// Sparse Cholesky: supernode column updates (page-strided walks)
+	// plus scattered subtree gathers.
+	nz := g.array("nonzeros", dataElems*g.scale)
+	etree := g.array("etree", dataElems*g.scale)
+	for k := int64(0); k < 2; k++ {
+		panel := g.array(fmt.Sprintf("panel%d", k), 256*rowW)
+		out := g.array(fmt.Sprintf("snout%d", k), ni*g.scale)
+		g.window(fmt.Sprintf("frontal%d", k), ni*g.scale, k*ni*g.scale*8, 56, panel, out)
+		g.colwalk(fmt.Sprintf("supernode%d", k), panel, 256, 16*g.scale, 0, 56)
+	}
+	g.useVecs(g.array("vpos", ni*g.scale), g.array("vvel", ni*g.scale))
+	phases(g, "subtree", 24, ni*g.scale, 64, medIdx, true, nz, etree, g.array("frontmap", dataElems*g.scale))
+	return g.prog(3)
+}
+
+// --- Regular (compile-time) benchmarks ----------------------------------
+
+func buildFFT(g *gen) *loop.Program {
+	// 1D FFT: butterfly phases walk columns of the row-major working
+	// arrays — the strong page-strided pattern.
+	work := g.array("work", 256*rowW)
+	twid := g.array("twiddles", 256*rowW)
+	// Early (unit-stride) butterfly stages sweep page-aligned windows of
+	// the working arrays; the late stages are the hard page-strided
+	// column walks.
+	for k := int64(0); k < 6; k++ {
+		out := g.array(fmt.Sprintf("stageW%d", k), ni*g.scale)
+		g.window(fmt.Sprintf("earlyW%d", k), ni*g.scale, k*ni*g.scale*8, 56, work, out)
+		out2 := g.array(fmt.Sprintf("stageT%d", k), ni*g.scale)
+		g.window(fmt.Sprintf("earlyT%d", k), ni*g.scale, k*ni*g.scale*8, 56, twid, out2)
+	}
+	for k := int64(0); k < 2; k++ {
+		g.colwalk(fmt.Sprintf("late%d", k), work, 256, 16*g.scale, k*16, 56)
+	}
+	src := g.array("src", ni*g.scale)
+	dst := g.array("dst", ni*g.scale)
+	g.stream("bitrev", ni*g.scale, 40, dst, src)
+	return g.prog(1)
+}
+
+func buildLU(g *gen) *loop.Program {
+	// Dense LU: column elimination walks + trailing-matrix updates.
+	for k := int64(0); k < 3; k++ {
+		mat := g.array(fmt.Sprintf("mat%d", k), 256*rowW)
+		for c := int64(0); c < 4; c++ {
+			out := g.array(fmt.Sprintf("panel%d_%d", k, c), ni*g.scale)
+			g.window(fmt.Sprintf("update%d_%d", k, c), ni*g.scale, c*ni*g.scale*8, 56, mat, out)
+		}
+		g.colwalk(fmt.Sprintf("eliminate%d", k), mat, 256, 16*g.scale, 0, 56)
+	}
+	n := 64 * g.scale
+	a := g.array("a", n*n)
+	b := g.array("b", n*n)
+	c := g.array("c", n*n)
+	g.tiledMM("trailing1", a, b, c, n, 88)
+	g.tiledMM("trailing2", c, a, b, n, 88)
+	return g.prog(1)
+}
+
+func buildRadix(g *gen) *loop.Program {
+	// Radix sort: counting passes (regular) and permutation scatters
+	// with page-scale locality per digit bucket.
+	keys := g.array("keys", dataElems*g.scale)
+	ranks := g.array("ranks", dataElems*g.scale)
+	field := g.array("field", (1<<20)*g.scale)
+	for k := int64(0); k < 4; k++ {
+		hist := g.array(fmt.Sprintf("hist%d", k), ni*g.scale)
+		g.window(fmt.Sprintf("count%d", k), ni*g.scale, k*ni*g.scale, 32, field, hist)
+	}
+	for k := 0; k < 12; k++ {
+		idx := g.array(fmt.Sprintf("permidx%d", k), ni*g.scale)
+		src := g.array(fmt.Sprintf("src%d", k), ni*g.scale)
+		g.scatter(fmt.Sprintf("permute%d", k), ni*g.scale, 40, idx, medIdx, src, keys)
+	}
+	phases(g, "rank", 20, ni*g.scale, 36, medIdx, false, keys, ranks, g.array("digits", dataElems*g.scale))
+	return g.prog(3)
+}
+
+func buildJacobi3D(g *gen) *loop.Program {
+	// 3D Jacobi: ping-pong 7-point sweeps. Plane neighbors sit 4 rows
+	// (= 16KB = 8 pages) away, staying on the center row's MC.
+	a := g.array("a", rowW*96)
+	b := g.array("b", rowW*96)
+	for lo := int64(4); lo+8 < 92; lo += 8 {
+		g.stencilRows(fmt.Sprintf("sweepAB_r%d", lo), a, b, lo, 8, 36, -1, 1, -4, 4)
+	}
+	for lo := int64(4); lo+8 < 92; lo += 8 {
+		g.stencilRows(fmt.Sprintf("sweepBA_r%d", lo), b, a, lo, 8, 36, -1, 1, -4, 4)
+	}
+	return g.prog(1)
+}
+
+func buildLulesh(g *gen) *loop.Program {
+	// Unstructured shock hydro: spatially sorted element→node gathers
+	// (strong locality) over a large mesh; memory bound, so the
+	// default mapping leaves a lot on the table.
+	nodes := g.array("nodes", dataElems*g.scale)
+	elems := g.array("elems", dataElems*g.scale)
+	press := g.array("press", dataElems*g.scale)
+	g.useVecs(g.array("vpos", ni*g.scale), g.array("vvel", ni*g.scale))
+	phases(g, "stress", 28, ni*g.scale, 28, strongIdx, true, nodes, elems, press)
+	phases(g, "hourglass", 28, ni*g.scale, 32, strongIdx, false, nodes, elems, press)
+	phases(g, "material", 6, ni*g.scale, 24, denseIdx, false, press)
+	return g.prog(3)
+}
+
+func buildMinighost(g *gen) *loop.Program {
+	// Structured halo-exchange stencil.
+	grid := g.array("grid", rowW*64)
+	next := g.array("next", rowW*64)
+	g.sweep2d("sweep1", grid, next, 64, 4, 32)
+	g.sweep2d("sweep2", next, grid, 64, 4, 32)
+	field := g.array("halo", (1<<19)*g.scale)
+	buf := g.array("buf", ni*g.scale)
+	g.window("exchange", ni*g.scale, 0, 28, field, buf)
+	return g.prog(1)
+}
+
+func buildSwim(g *gen) *loop.Program {
+	// Shallow-water stencils over u/v/p grids; memory bound with long
+	// unit-stride runs — big wins for location-aware mapping.
+	u := g.array("u", rowW*64)
+	v := g.array("v", rowW*64)
+	p := g.array("p", rowW*64)
+	unew := g.array("unew", rowW*64)
+	vnew := g.array("vnew", rowW*64)
+	pnew := g.array("pnew", rowW*64)
+	g.sweep2d("calc1", u, unew, 64, 4, 20)
+	g.sweep2d("calc2", v, vnew, 64, 4, 20)
+	g.sweep2d("calc3", p, pnew, 64, 4, 20)
+	return g.prog(1)
+}
+
+func buildMXM(g *gen) *loop.Program {
+	// Dense matrix multiply (tiled): row streams and hot column reuse.
+	n := 64 * g.scale
+	a := g.array("a", n*n)
+	b := g.array("b", n*n)
+	c := g.array("c", n*n)
+	d := g.array("d", n*n)
+	g.stream("init", ni*g.scale, 24, g.array("zero", ni*g.scale))
+	g.tiledMM("mxm1", a, b, c, n, 96)
+	g.tiledMM("mxm2", c, b, d, n, 96)
+	g.tiledMM("mxm3", a, d, b, n, 96)
+	return g.prog(1)
+}
+
+func buildArt(g *gen) *loop.Program {
+	// Adaptive resonance neural net: weight-matrix sweeps with reuse.
+	n := 64 * g.scale
+	w1 := g.array("w1", n*n)
+	w2 := g.array("w2", n*n)
+	y := g.array("y", n*n)
+	g.tiledMM("match", w1, w2, y, n, 72)
+	g.tiledMM("learn", y, w1, w2, n, 72)
+	field := g.array("f", (1<<19)*g.scale)
+	for k := int64(0); k < 6; k++ {
+		out := g.array(fmt.Sprintf("act%d", k), ni*g.scale)
+		g.window(fmt.Sprintf("activate%d", k), ni*g.scale, k*ni*g.scale/2, 56, field, out)
+	}
+	return g.prog(1)
+}
+
+func buildNBF(g *gen) *loop.Program {
+	// Non-bonded force kernel (CHAOS): pair-list gathers with good
+	// spatial sorting, plus exclusion-list sweeps.
+	coords := g.array("coords", dataElems*g.scale)
+	charge := g.array("charge", dataElems*g.scale)
+	lj := g.array("lj", dataElems*g.scale)
+	g.useVecs(g.array("vpos", ni*g.scale), g.array("vvel", ni*g.scale))
+	phases(g, "pairs", 26, ni*g.scale, 40, medIdx, true, coords, charge, lj)
+	phases(g, "excl", 8, ni*g.scale, 36, strongIdx, false, coords, charge)
+	return g.prog(3)
+}
+
+func buildHPCCG(g *gen) *loop.Program {
+	// Sparse CG: CSR matvec gathers plus regular vector updates.
+	vals := g.array("vals", dataElems*g.scale)
+	xv := g.array("x", dataElems*g.scale)
+	g.useVecs(g.array("vpos", ni*g.scale), g.array("vvel", ni*g.scale))
+	phases(g, "matvec", 32, ni*g.scale, 36, medIdx, true, vals, xv)
+	r := g.array("r", ni*g.scale)
+	pv := g.array("p", ni*g.scale)
+	w := g.array("w", ni*g.scale)
+	g.stream("axpy", ni*g.scale, 28, r, pv, w)
+	g.stream("dot", ni*g.scale, 28, nil, r, w)
+	return g.prog(3)
+}
+
+func buildEquake(g *gen) *loop.Program {
+	// Earthquake FEM: unstructured sparse matvec with poor locality
+	// (small savings in the paper) and a compute-heavy element kernel.
+	stiff := g.array("stiffness", dataElems*g.scale)
+	mesh := g.array("mesh", dataElems*g.scale)
+	conn := g.array("conn", dataElems*g.scale)
+	g.useVecs(g.array("vpos", ni*g.scale), g.array("vvel", ni*g.scale))
+	phases(g, "smvp", 26, ni*g.scale, 88, weakIdx, true, stiff, mesh, conn)
+	disp := g.array("disp", ni*g.scale)
+	velo := g.array("velo", ni*g.scale)
+	g.stream("integrate", ni*g.scale, 72, velo, disp)
+	return g.prog(3)
+}
+
+func buildMoldyn(g *gen) *loop.Program {
+	// Molecular dynamics (CHAOS): spatially sorted neighbor lists —
+	// the paper's best case. Memory bound.
+	coords := g.array("coords", dataElems*g.scale)
+	forces := g.array("forces", dataElems*g.scale)
+	velos := g.array("velos", dataElems*g.scale)
+	g.useVecs(g.array("vpos", ni*g.scale), g.array("vvel", ni*g.scale))
+	phases(g, "force", 56, ni*g.scale, 24, strongIdx, true, coords, forces, velos)
+	phases(g, "neighbors", 6, ni*g.scale, 20, denseIdx, false, coords)
+	return g.prog(3)
+}
+
+func buildDiff(g *gen) *loop.Program {
+	// ADI-style differential equation solver: row sweeps then column
+	// sweeps.
+	grid := g.array("grid", rowW*64)
+	rhs := g.array("rhs", rowW*64)
+	g.sweep2d("rowsweep1", grid, rhs, 64, 4, 44)
+	g.sweep2d("rowsweep2", rhs, grid, 64, 4, 44)
+	for k := int64(0); k < 2; k++ {
+		cmat := g.array(fmt.Sprintf("cmat%d", k), 256*rowW)
+		for c := int64(0); c < 3; c++ {
+			out := g.array(fmt.Sprintf("adi%d_%d", k, c), ni*g.scale)
+			g.window(fmt.Sprintf("halfstep%d_%d", k, c), ni*g.scale, c*ni*g.scale*8, 48, cmat, out)
+		}
+		g.colwalk(fmt.Sprintf("colsweep%d", k), cmat, 256, 16*g.scale, 0, 48)
+	}
+	return g.prog(1)
+}

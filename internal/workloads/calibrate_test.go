@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"locmap/internal/cache"
+	"locmap/internal/cme"
+	corepkg "locmap/internal/core"
+	"locmap/internal/inspector"
+	"locmap/internal/sim"
+)
+
+// TestCalibrationSnapshot runs a few representative benchmarks through the
+// full pipeline and logs the headline metrics. Run with -v to inspect.
+func TestCalibrationSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration snapshot")
+	}
+	for _, name := range []string{"moldyn", "swim", "equake", "fft", "lulesh"} {
+		for _, org := range []cache.Organization{cache.Private, cache.SharedSNUCA} {
+			p := MustNew(name, 1)
+			cfg := sim.DefaultConfig()
+			cfg.LLCOrg = org
+			start := time.Now()
+
+			// Default mapping.
+			sys := sim.New(cfg)
+			defRes := inspector.RunBaseline(sys, p)
+			defCycles := sim.TotalCycles(defRes)
+			defNet := sim.TotalNetLatency(defRes)
+			defStats := sys.Stats()
+
+			// Ideal network.
+			icfg := cfg
+			icfg.NoC.Ideal = true
+			isys := sim.New(icfg)
+			idealCycles := sim.TotalCycles(inspector.RunBaseline(isys, p))
+
+			// LA mapping.
+			mapper := corepkg.NewMapper(corepkg.Config{Mesh: cfg.Mesh})
+			var laCycles int64
+			var laNet uint64
+			sys2 := sim.New(cfg)
+			if p.Regular {
+				est := cme.New(cme.Config{
+					Mesh: cfg.Mesh, Org: org, AMap: sys2.AddrMap(),
+					L1Line: cfg.L1Line, ModelBytes: cfg.L2PerCore,
+					ModelLine: cfg.L2Line, ModelWays: cfg.L2Ways,
+					IterSetFrac: cfg.IterSetFrac,
+					Accuracy:    cme.AccuracyFor(name),
+				})
+				perNest := est.EstimateProgram(p)
+				sched := &sim.Schedule{}
+				for i := range p.Nests {
+					if org == cache.SharedSNUCA {
+						sched.Assign = append(sched.Assign, mapper.MapShared(perNest[i]))
+					} else {
+						sched.Assign = append(sched.Assign, mapper.MapPrivate(perNest[i]))
+					}
+				}
+				res := sys2.RunTiming(p, func(int) *sim.Schedule { return sched })
+				laCycles = sim.TotalCycles(res)
+				laNet = sim.TotalNetLatency(res)
+			} else {
+				r := inspector.Run(sys2, p, mapper, inspector.DefaultOverhead())
+				laCycles = r.TotalCycles()
+				laNet = r.NetLatency()
+			}
+
+			elapsed := time.Since(start)
+			netRed := 100 * (float64(defNet) - float64(laNet)) / float64(defNet)
+			execRed := 100 * (float64(defCycles) - float64(laCycles)) / float64(defCycles)
+			idealRed := 100 * (float64(defCycles) - float64(idealCycles)) / float64(defCycles)
+			t.Logf("%-8s %-7v llcMiss=%.1f%% l1Miss=%.1f%% ideal=%.1f%% netRed=%.1f%% execRed=%.1f%% defNetShare=%.1f%% wall=%v",
+				name, org, 100*defStats.LLCMissRate(), 100*defStats.L1MissRate(),
+				idealRed, netRed, execRed,
+				100*float64(defNet)/float64(defCycles*36), elapsed)
+		}
+	}
+}

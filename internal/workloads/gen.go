@@ -1,0 +1,273 @@
+package workloads
+
+import (
+	"fmt"
+
+	"locmap/internal/loop"
+)
+
+// gen is the deterministic program builder: a splitmix64 stream seeded by
+// (benchmark, scale) plus helpers for the recurring access patterns.
+type gen struct {
+	name  string
+	scale int64
+	state uint64
+
+	arrays []*loop.Array
+	nests  []*loop.Nest
+	vecs   []*loop.Array
+}
+
+func newGen(name string, scale int) *gen {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return &gen{name: name, scale: int64(scale), state: h ^ uint64(scale)<<32}
+}
+
+func (g *gen) rand() uint64 {
+	g.state += 0x9e3779b97f4a7c15
+	x := g.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// randN returns a uniform value in [0, n).
+func (g *gen) randN(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(g.rand() % uint64(n))
+}
+
+// array allocates a program array of `elems` 8-byte elements.
+func (g *gen) array(name string, elems int64) *loop.Array {
+	a := &loop.Array{Name: name, ElemSize: 8, Elems: elems}
+	g.arrays = append(g.arrays, a)
+	return a
+}
+
+// workScale converts the builders' nominal per-iteration work ratings
+// into core cycles. It is calibrated so that, on the Table 4 machine, the
+// on-chip network accounts for roughly the share of execution time the
+// paper's ideal-network study reports (14% private / 17% shared LLC,
+// Figure 2): real iterations do hundreds of cycles of arithmetic per
+// handful of memory references, and without this factor the synthetic
+// kernels would be DRAM-throughput-bound, which the paper's testbed is
+// not.
+const workScale = 5
+
+// nest registers a nest.
+func (g *gen) nest(n *loop.Nest) *loop.Nest {
+	n.Parallel = true
+	n.WorkCycles *= workScale
+	g.nests = append(g.nests, n)
+	return n
+}
+
+// prog assembles the program.
+func (g *gen) prog(timingIters int) *loop.Program {
+	return &loop.Program{
+		Name:        g.name,
+		Arrays:      g.arrays,
+		Nests:       g.nests,
+		TimingIters: timingIters,
+	}
+}
+
+// --- Regular patterns -------------------------------------------------
+
+// stream adds a stride-1 triad nest: dst[i] = f(srcs[i]...). Iteration
+// sets span a few consecutive pages, giving each set a small dominant
+// group of MCs.
+func (g *gen) stream(name string, iters int64, work int64, dst *loop.Array, srcs ...*loop.Array) *loop.Nest {
+	id := loop.Affine{Coeffs: []int64{1}}
+	refs := make([]loop.Ref, 0, 1+len(srcs))
+	if dst != nil {
+		refs = append(refs, loop.Ref{Array: dst, Kind: loop.Write, Index: id})
+	}
+	for _, s := range srcs {
+		refs = append(refs, loop.Ref{Array: s, Kind: loop.Read, Index: id})
+	}
+	return g.nest(&loop.Nest{Name: name, Bounds: []int64{iters}, Refs: refs, WorkCycles: work})
+}
+
+// rowW is the canonical stencil/matrix row width: 1024 elements = 8KB =
+// exactly 4 pages. Vertically adjacent rows are 4 pages apart and
+// therefore land on the SAME memory controller under 4-way page
+// round-robin — the geometric property that gives regular sweeps sharp
+// per-set MC affinity.
+const rowW = 1024
+
+// colwalk adds a column-major walk over a row-major array with rowW-wide
+// rows: bounds [cols, rows], subscript i*rowW + j + colOff with i
+// innermost. Since rowW*8B is a multiple of 4 pages, an entire column
+// stays on one MC — the strong-affinity pattern of transposes, FFT
+// butterflies and LU column updates.
+func (g *gen) colwalk(name string, arr *loop.Array, rows, cols, colOff, work int64) *loop.Nest {
+	refs := []loop.Ref{
+		{Array: arr, Kind: loop.Read, Index: loop.Affine{Const: colOff, Coeffs: []int64{1, rowW}}},
+	}
+	return g.nest(&loop.Nest{Name: name, Bounds: []int64{cols, rows}, Refs: refs, WorkCycles: work})
+}
+
+// stencilRows adds a sweep over rows [rowLo, rowLo+rows) of a rowW-wide
+// grid: dst[r][i] = f(src[r][i±1], src[r+v][i] for v in vert). Vertical
+// neighbor rows share the center row's MC (rowW = 4 pages); a 2D 5-point
+// stencil passes vert (-1, 1), a 3D 7-point sweep passes (-1, 1, -4, 4)
+// with planes 4 rows apart.
+func (g *gen) stencilRows(name string, src, dst *loop.Array, rowLo, rows, work int64, vert ...int64) *loop.Nest {
+	at := func(c int64) loop.Affine {
+		return loop.Affine{Const: rowLo*rowW + c, Coeffs: []int64{rowW, 1}}
+	}
+	refs := []loop.Ref{
+		{Array: dst, Kind: loop.Write, Index: at(0)},
+		{Array: src, Kind: loop.Read, Index: at(0)},
+		{Array: src, Kind: loop.Read, Index: at(1)},
+		{Array: src, Kind: loop.Read, Index: at(-1)},
+	}
+	for _, v := range vert {
+		refs = append(refs, loop.Ref{Array: src, Kind: loop.Read, Index: at(v * rowW)})
+	}
+	return g.nest(&loop.Nest{Name: name, Bounds: []int64{rows, rowW}, Refs: refs, WorkCycles: work})
+}
+
+// sweep2d covers grid rows [0, totalRows) with 5-point stencilRows nests
+// of rowsPerNest rows each.
+func (g *gen) sweep2d(name string, src, dst *loop.Array, totalRows, rowsPerNest, work int64) {
+	for lo := int64(1); lo+rowsPerNest < totalRows; lo += rowsPerNest {
+		g.stencilRows(fmt.Sprintf("%s_r%d", name, lo), src, dst, lo, rowsPerNest, work, -1, 1)
+	}
+}
+
+// tiledMM adds a register-tiled matrix-multiply-like nest over [n, n]:
+// C[i*n+j] accumulates A row × B column; the inner dot product is folded
+// into WorkCycles, and the B column walk provides hot-line reuse.
+func (g *gen) tiledMM(name string, a, b, c *loop.Array, n, work int64) *loop.Nest {
+	refs := []loop.Ref{
+		{Array: c, Kind: loop.Write, Index: loop.Affine{Coeffs: []int64{n, 1}}},
+		{Array: a, Kind: loop.Read, Index: loop.Affine{Coeffs: []int64{n, 1}}},
+		{Array: b, Kind: loop.Read, Index: loop.Affine{Coeffs: []int64{1, n}}},
+	}
+	return g.nest(&loop.Nest{Name: name, Bounds: []int64{n, n}, Refs: refs, WorkCycles: work})
+}
+
+// --- Irregular patterns ------------------------------------------------
+
+// indexOpts shapes a clustered-random-walk index array.
+type indexOpts struct {
+	// RunLen is how many consecutive iterations stay inside one
+	// cluster before jumping to a random new base.
+	RunLen int64
+	// Step is the element distance between consecutive accesses inside
+	// a run; ~8 steps a new LLC line each iteration (streaming
+	// misses), 1 packs a line (hits after the first).
+	Step int64
+	// HotPages, when non-zero, draws run bases from this many page-
+	// sized hot spots instead of the whole array — heavy reuse, the
+	// pattern behind concentrated CAI vectors.
+	HotPages int64
+}
+
+// indexArray generates a clustered index stream over [0, elems).
+func (g *gen) indexArray(iters, elems int64, o indexOpts) []int64 {
+	if o.RunLen <= 0 {
+		o.RunLen = 128
+	}
+	if o.Step == 0 {
+		o.Step = 8
+	}
+	const pageElems = 256 // 2KB page / 8B elements
+	idx := make([]int64, iters)
+	var base int64
+	var hot []int64
+	if o.HotPages > 0 {
+		hot = make([]int64, o.HotPages)
+		for i := range hot {
+			hot[i] = g.randN(elems/pageElems) * pageElems
+		}
+	}
+	for i := int64(0); i < iters; i++ {
+		if i%o.RunLen == 0 {
+			if hot != nil {
+				base = hot[g.randN(int64(len(hot)))]
+			} else {
+				base = g.randN(elems/pageElems) * pageElems
+			}
+		}
+		idx[i] = (base + (i%o.RunLen)*o.Step) % elems
+	}
+	return idx
+}
+
+// gather adds an irregular nest: out[i] = f(data[idx[i]]...), with the
+// index array itself streamed as a regular read. All data arrays share
+// ONE index stream — physically faithful (force[j] and coord[j] use the
+// same neighbor id j) and it keeps each iteration set's footprint in the
+// same relative pages of every array.
+func (g *gen) gather(name string, iters, work int64, idxArr *loop.Array, o indexOpts, out *loop.Array, data ...*loop.Array) *loop.Nest {
+	if idxArr.Elems < iters {
+		panic(fmt.Sprintf("workloads: %s index array too small", name))
+	}
+	minElems := int64(1) << 62
+	for _, d := range data {
+		if d.Elems < minElems {
+			minElems = d.Elems
+		}
+	}
+	shared := g.indexArray(iters, minElems, o)
+	id := loop.Affine{Coeffs: []int64{1}}
+	refs := []loop.Ref{
+		{Array: idxArr, Kind: loop.Read, Index: id},
+	}
+	for _, v := range g.vecs {
+		refs = append(refs, loop.Ref{Array: v, Kind: loop.Read, Index: id})
+	}
+	for _, d := range data {
+		refs = append(refs, loop.Ref{
+			Array:      d,
+			Kind:       loop.Read,
+			Irregular:  true,
+			IndexArray: shared,
+		})
+	}
+	if out != nil {
+		refs = append(refs, loop.Ref{Array: out, Kind: loop.Write, Index: id})
+	}
+	return g.nest(&loop.Nest{Name: name, Bounds: []int64{iters}, Refs: refs, WorkCycles: work})
+}
+
+// useVecs installs per-element vector arrays (positions, velocities, …)
+// that every subsequent gather nest also streams with stride 1. The
+// arrays are small enough to stay LLC-resident, so these reads become
+// shared-LLC hits concentrated on one or two lines per iteration set —
+// the access structure behind the paper's concentrated CAI vectors.
+func (g *gen) useVecs(vecs ...*loop.Array) { g.vecs = vecs }
+
+// window adds a stride-1 sweep over a distinct window of a large array:
+// dst[i] = f(big[off+i]). Successive windows let many small nests cover a
+// footprint far beyond the LLC while each iteration set stays within a
+// page or two.
+func (g *gen) window(name string, iters, off, work int64, big *loop.Array, out *loop.Array) *loop.Nest {
+	refs := []loop.Ref{
+		{Array: big, Kind: loop.Read, Index: loop.Affine{Const: off, Coeffs: []int64{1}}},
+	}
+	if out != nil {
+		refs = append(refs, loop.Ref{Array: out, Kind: loop.Write, Index: loop.Affine{Coeffs: []int64{1}}})
+	}
+	return g.nest(&loop.Nest{Name: name, Bounds: []int64{iters}, Refs: refs, WorkCycles: work})
+}
+
+// scatter adds an irregular write nest: data[perm[i]] = src[i].
+func (g *gen) scatter(name string, iters, work int64, idxArr *loop.Array, o indexOpts, src, data *loop.Array) *loop.Nest {
+	id := loop.Affine{Coeffs: []int64{1}}
+	refs := []loop.Ref{
+		{Array: idxArr, Kind: loop.Read, Index: id},
+		{Array: src, Kind: loop.Read, Index: id},
+		{Array: data, Kind: loop.Write, Irregular: true, IndexArray: g.indexArray(iters, data.Elems, o)},
+	}
+	return g.nest(&loop.Nest{Name: name, Bounds: []int64{iters}, Refs: refs, WorkCycles: work})
+}
