@@ -1,0 +1,25 @@
+GO ?= go
+
+# `make check` is the tier-1 CI gate (see ROADMAP.md): formatting,
+# vet, and the full test suite under the race detector.
+.PHONY: check fmt vet test race build
+
+check: fmt vet race
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

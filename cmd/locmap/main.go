@@ -16,6 +16,9 @@
 //	-param N=V     set a symbolic parameter (repeatable)
 //	-run           also execute the program on the simulator and report
 //	               the improvement over the default mapping
+//
+// On any parse, validation or mapping error locmap prints the error to
+// stderr and exits non-zero without emitting a partial listing.
 package main
 
 import (
@@ -26,14 +29,13 @@ import (
 	"strconv"
 	"strings"
 
-	"locmap/internal/cache"
 	"locmap/internal/compiler"
 	"locmap/internal/core"
 	"locmap/internal/inspector"
 	"locmap/internal/lang"
+	"locmap/internal/server"
 	"locmap/internal/sim"
 	"locmap/internal/stats"
-	"locmap/internal/topology"
 )
 
 type paramList map[string]int64
@@ -53,30 +55,17 @@ func (p paramList) Set(s string) error {
 	return nil
 }
 
-func parseGrid(s string) (int, int, error) {
-	a, b, ok := strings.Cut(s, "x")
-	if !ok {
-		return 0, 0, fmt.Errorf("expected WxH, got %q", s)
-	}
-	w, err := strconv.Atoi(a)
-	if err != nil {
-		return 0, 0, err
-	}
-	h, err := strconv.Atoi(b)
-	if err != nil {
-		return 0, 0, err
-	}
-	return w, h, nil
-}
-
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "locmap:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run compiles (and optionally simulates) the requested program and
+// writes the full output to w only once everything has succeeded, so a
+// late error can never leave a truncated listing behind.
+func run(w io.Writer) error {
 	shared := flag.Bool("shared", false, "target a shared (S-NUCA) LLC")
 	meshStr := flag.String("mesh", "6x6", "mesh size WxH")
 	regStr := flag.String("regions", "3x3", "region grid XxY")
@@ -99,51 +88,45 @@ func run() error {
 		return err
 	}
 
-	w, h, err := parseGrid(*meshStr)
-	if err != nil {
-		return err
-	}
-	rx, ry, err := parseGrid(*regStr)
-	if err != nil {
-		return err
-	}
-	mesh, err := topology.New(w, h, rx, ry, topology.MCCorners)
-	if err != nil {
-		return err
-	}
-	cfg := sim.DefaultConfig()
-	cfg.Mesh = mesh
+	// The target description goes through the same validation helpers
+	// locmapd applies to request bodies.
+	llc := "private"
 	if *shared {
-		cfg.LLCOrg = cache.SharedSNUCA
+		llc = "shared"
+	}
+	cfg, err := server.BuildTarget(*meshStr, *regStr, llc)
+	if err != nil {
+		return err
 	}
 
 	res, err := compiler.CompileSource(string(src), compiler.Options{Cfg: cfg, Params: params})
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Listing())
+	var out strings.Builder
+	out.WriteString(res.Listing())
 
-	if !*doRun {
-		return nil
+	if *doRun {
+		p := res.Program
+		lang.GenerateIndexData(p, 1, 64) // demo inputs for unbound index arrays
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		sysD := sim.New(cfg)
+		defCycles := sim.TotalCycles(inspector.RunBaseline(sysD, p))
+		var laCycles int64
+		if res.NeedsInspector {
+			sys := sim.New(cfg)
+			mapper := core.NewMapper(core.Config{Mesh: cfg.Mesh})
+			r := inspector.Run(sys, p, mapper, inspector.DefaultOverhead())
+			laCycles = r.TotalCycles()
+		} else {
+			sys := sim.New(cfg)
+			laCycles = sim.TotalCycles(sys.RunTiming(p, func(int) *sim.Schedule { return res.Schedule }))
+		}
+		fmt.Fprintf(&out, "\n/* simulated: default=%d cycles, locmap=%d cycles, improvement=%.1f%% */\n",
+			defCycles, laCycles, stats.PctReduction(float64(defCycles), float64(laCycles)))
 	}
-	p := res.Program
-	lang.GenerateIndexData(p, 1, 64) // demo inputs for unbound index arrays
-	if err := p.Validate(); err != nil {
-		return err
-	}
-	sysD := sim.New(cfg)
-	defCycles := sim.TotalCycles(inspector.RunBaseline(sysD, p))
-	var laCycles int64
-	if res.NeedsInspector {
-		sys := sim.New(cfg)
-		mapper := core.NewMapper(core.Config{Mesh: cfg.Mesh})
-		r := inspector.Run(sys, p, mapper, inspector.DefaultOverhead())
-		laCycles = r.TotalCycles()
-	} else {
-		sys := sim.New(cfg)
-		laCycles = sim.TotalCycles(sys.RunTiming(p, func(int) *sim.Schedule { return res.Schedule }))
-	}
-	fmt.Printf("\n/* simulated: default=%d cycles, locmap=%d cycles, improvement=%.1f%% */\n",
-		defCycles, laCycles, stats.PctReduction(float64(defCycles), float64(laCycles)))
-	return nil
+	_, err = io.WriteString(w, out.String())
+	return err
 }

@@ -1,0 +1,85 @@
+// Command locmapd is the long-running mapping service: the locmap
+// compile pipeline behind an HTTP/JSON API with a schedule-plan cache,
+// so recurring workloads get their location-aware schedules without
+// re-running the pipeline.
+//
+// Usage:
+//
+//	locmapd [flags]
+//
+// Flags:
+//
+//	-addr ADDR     listen address (default :8347)
+//	-workers N     max concurrent mapping/simulation jobs (default GOMAXPROCS)
+//	-cache N       plan-cache capacity in entries (default 1024)
+//	-timeout D     per-request timeout, queueing included (default 30s)
+//
+// Endpoints: POST /v1/map, POST /v1/simulate, GET /v1/stats,
+// GET /healthz. The process drains in-flight requests and exits
+// cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"locmap/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "locmapd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8347", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent jobs (0 = GOMAXPROCS)")
+	cacheCap := flag.Int("cache", 1024, "plan-cache capacity in entries")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		CacheCapacity:  *cacheCap,
+		RequestTimeout: *timeout,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("locmapd listening on %s", *addr)
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("locmapd shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	return hs.Shutdown(shutCtx)
+}

@@ -87,6 +87,13 @@ func CompileSource(src string, opts Options) (*Result, error) {
 
 // CompileProgram runs the pipeline over an already-built IR program. The
 // program's arrays are laid out (page-aligned) if they are not already.
+//
+// CompileProgram (and CompileSource) is safe to call concurrently —
+// every call builds its own architecture description, estimator and
+// mapper, and no package-global state is touched. The one caveat is
+// the program itself: the layout pass mutates array base addresses, so
+// callers must not share a single *loop.Program across concurrent
+// compilations (CompileSource callers get a fresh program per call).
 func CompileProgram(p *loop.Program, opts Options) (*Result, error) {
 	if opts.Cfg.Mesh == nil {
 		opts.Cfg = sim.DefaultConfig()

@@ -58,10 +58,19 @@ type Config struct {
 }
 
 // Mapper holds precomputed per-region affinity vectors.
+//
+// All randomness (the IntraRandom shuffle) comes from a per-instance
+// *rand.Rand seeded with Config.Seed — no package touches the global
+// math/rand state. Two mappers with the same config therefore produce
+// identical assignments, independent of what runs on other goroutines.
+// The Map* methods mutate that per-instance state, so a single Mapper
+// must not be shared by concurrent goroutines; construction is cheap —
+// create one per goroutine (as locmapd does per request).
 type Mapper struct {
 	cfg  Config
 	macs []affinity.Vector
 	cacs []affinity.Vector
+	rng  *rand.Rand
 }
 
 // NewMapper builds a mapper for the given configuration.
@@ -69,7 +78,7 @@ func NewMapper(cfg Config) *Mapper {
 	if cfg.Mesh == nil {
 		panic("core: Config.Mesh is nil")
 	}
-	m := &Mapper{cfg: cfg}
+	m := &Mapper{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 	if cfg.FineMAC {
 		m.macs = affinity.MACFineAll(cfg.Mesh)
 	} else {
@@ -260,11 +269,15 @@ func (m *Mapper) assignCores(a *Assignment) {
 	for k, r := range a.Region {
 		byRegion[r] = append(byRegion[r], k)
 	}
-	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	// Re-seed per nest so every mapping drawn from this instance sees
+	// the same shuffle stream a fresh Mapper would — assignments stay
+	// reproducible per call, not dependent on how many nests were
+	// mapped before.
+	m.rng.Seed(m.cfg.Seed)
 	for r := 0; r < nr; r++ {
 		ids := byRegion[r]
 		if m.cfg.Intra == IntraRandom {
-			rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+			m.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 		}
 		cores := m.cfg.Mesh.RegionNodes(topology.RegionID(r))
 		for i, k := range ids {

@@ -313,3 +313,52 @@ func TestEmptyAffinityVectorsStillMap(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentMappersIndependent runs many Mapper instances (one per
+// goroutine, as locmapd creates them per request) over the same inputs
+// and checks every goroutine gets the identical assignment. Under
+// -race this proves mapping draws no shared (global math/rand) state.
+func TestConcurrentMappersIndependent(t *testing.T) {
+	sets := uniformSets(120, 4)
+	want := NewMapper(Config{Mesh: topology.Default6x6(), Seed: 3}).MapPrivate(sets)
+	const goroutines = 8
+	results := make([]*Assignment, goroutines)
+	done := make(chan int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			m := NewMapper(Config{Mesh: topology.Default6x6(), Seed: 3})
+			in := append([]affinity.SetAffinity(nil), sets...)
+			results[g] = m.MapPrivate(in)
+			done <- g
+		}(g)
+	}
+	for i := 0; i < goroutines; i++ {
+		<-done
+	}
+	for g, got := range results {
+		for k := range want.Core {
+			if got.Core[k] != want.Core[k] || got.Region[k] != want.Region[k] {
+				t.Fatalf("goroutine %d: set %d -> (R%d, core %d), want (R%d, core %d)",
+					g, k, got.Region[k], got.Core[k], want.Region[k], want.Core[k])
+			}
+		}
+	}
+}
+
+// TestMapperRepeatedCallsReproducible: every Map* call on one instance
+// must see the same shuffle stream a fresh Mapper would, so mapping N
+// nests through one Mapper equals mapping them through N fresh ones.
+func TestMapperRepeatedCallsReproducible(t *testing.T) {
+	sets := uniformSets(90, 4)
+	shared := NewMapper(Config{Mesh: topology.Default6x6(), Seed: 11})
+	for call := 0; call < 3; call++ {
+		got := shared.MapPrivate(sets)
+		want := NewMapper(Config{Mesh: topology.Default6x6(), Seed: 11}).MapPrivate(sets)
+		for k := range want.Core {
+			if got.Core[k] != want.Core[k] {
+				t.Fatalf("call %d: set %d on core %d, fresh mapper says %d",
+					call, k, got.Core[k], want.Core[k])
+			}
+		}
+	}
+}

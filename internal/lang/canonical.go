@@ -1,0 +1,45 @@
+package lang
+
+import (
+	"io"
+
+	"locmap/internal/loop"
+)
+
+// Canonical returns the canonical spelling of src: the token stream
+// joined by single spaces, with comments and all other whitespace
+// discarded. Two sources that differ only in layout (indentation, line
+// breaks, comments) canonicalize identically, which is what makes it a
+// stable cache-key ingredient for internal/plancache.
+//
+// Canonicalization stops at the first lexical error, so a source that
+// cannot be tokenized cannot be fingerprinted either.
+func Canonical(src string) (string, error) {
+	lex := newLexer(src)
+	var b []byte
+	for {
+		t, err := lex.next()
+		if err != nil {
+			return "", err
+		}
+		if t.kind == tokEOF {
+			break
+		}
+		if len(b) > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, t.text...)
+	}
+	return string(b), nil
+}
+
+// ParseReader reads all of r and parses it like Parse. It is the
+// entry point used by request-serving callers (locmapd) that receive
+// source text in an HTTP body rather than a file.
+func ParseReader(r io.Reader, params map[string]int64) (*loop.Program, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(string(src), params)
+}

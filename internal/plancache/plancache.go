@@ -1,0 +1,246 @@
+// Package plancache memoizes finished mapping plans for locmapd, the
+// long-running mapping service. Recurring workloads resubmit the same
+// loop nest against the same target over and over; once a plan is
+// cached, a repeated request skips the whole affinity-estimation +
+// mapping + balancing pipeline and is answered from memory.
+//
+// The cache is a sharded, size-bounded LRU. Keys are fingerprints of
+// everything that determines the plan: the canonicalized loop-nest
+// source (token stream — whitespace and comments do not change the
+// key), the symbolic parameters (order-independent), the mesh and
+// region geometry, the LLC organization, and the α/accuracy and
+// mapper knobs. Values are opaque byte slices (the service stores the
+// serialized plan), copied on both Put and Get so cached bytes can
+// never be aliased by callers.
+package plancache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+
+	"locmap/internal/lang"
+)
+
+// Spec is everything that determines a plan's content. Fingerprint
+// folds it into a cache key.
+type Spec struct {
+	// Source is the loop-nest program text. It is canonicalized
+	// (lexed) before hashing, so formatting differences do not
+	// fragment the cache.
+	Source string
+
+	// Params are the symbolic loop-bound values. Map iteration order
+	// is irrelevant: entries are hashed in sorted name order.
+	Params map[string]int64
+
+	// Mesh/region geometry of the target.
+	MeshW, MeshH       int
+	RegionsX, RegionsY int
+
+	// SharedLLC selects Algorithm 2 (S-NUCA) over Algorithm 1.
+	SharedLLC bool
+
+	// Alpha is the cache-miss-estimator accuracy knob (the compiler's
+	// CMEAccuracy; 0 means the per-application default band).
+	Alpha float64
+
+	// Seed, FineMAC and Intra are the mapper knobs that change the
+	// resulting schedule.
+	Seed    int64
+	FineMAC bool
+	Intra   int
+
+	// Kind namespaces different result types computed from the same
+	// inputs (e.g. "map" vs "simulate").
+	Kind string
+}
+
+// Fingerprint returns the canonical cache key for the spec: a hex
+// SHA-256 over the canonicalized source and every plan-determining
+// field. Sources that differ only in whitespace/comments, and specs
+// that differ only in Params map order, fingerprint identically. It
+// fails only when the source cannot be tokenized.
+func (s Spec) Fingerprint() (string, error) {
+	canon, err := lang.Canonical(s.Source)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	writeStr := func(str string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(str)))
+		h.Write(n[:])
+		h.Write([]byte(str))
+	}
+	writeInt := func(v int64) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(v))
+		h.Write(n[:])
+	}
+	writeStr(s.Kind)
+	writeStr(canon)
+	names := make([]string, 0, len(s.Params))
+	for name := range s.Params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeInt(int64(len(names)))
+	for _, name := range names {
+		writeStr(name)
+		writeInt(s.Params[name])
+	}
+	writeInt(int64(s.MeshW))
+	writeInt(int64(s.MeshH))
+	writeInt(int64(s.RegionsX))
+	writeInt(int64(s.RegionsY))
+	if s.SharedLLC {
+		writeInt(1)
+	} else {
+		writeInt(0)
+	}
+	var alpha [8]byte
+	binary.LittleEndian.PutUint64(alpha[:], math.Float64bits(s.Alpha))
+	h.Write(alpha[:])
+	writeInt(s.Seed)
+	if s.FineMAC {
+		writeInt(1)
+	} else {
+		writeInt(0)
+	}
+	writeInt(int64(s.Intra))
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// numShards spreads lock contention; must be a power of two.
+const numShards = 16
+
+// Cache is a sharded LRU of serialized plans, bounded by a total entry
+// count. All methods are safe for concurrent use.
+type Cache struct {
+	shards [numShards]shard
+}
+
+type shard struct {
+	mu        sync.Mutex
+	ll        *list.List // front = most recent
+	items     map[string]*list.Element
+	capacity  int
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// New builds a cache holding at most capacity entries in total
+// (rounded up to a multiple of the shard count; capacity < 1 gets a
+// minimal one-entry-per-shard cache).
+func New(capacity int) *Cache {
+	per := (capacity + numShards - 1) / numShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i] = shard{
+			ll:       list.New(),
+			items:    make(map[string]*list.Element),
+			capacity: per,
+		}
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	f := fnv.New32a()
+	f.Write([]byte(key))
+	return &c.shards[f.Sum32()&(numShards-1)]
+}
+
+// Get returns a copy of the value cached under key, marking the entry
+// most-recently-used, or (nil, false) on a miss.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.ll.MoveToFront(el)
+	v := el.Value.(*entry).val
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Put stores a copy of val under key, evicting the shard's
+// least-recently-used entries if it is over capacity. Putting an
+// existing key refreshes its value and recency.
+func (c *Cache) Put(key string, val []byte) {
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*entry).val = cp
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&entry{key: key, val: cp})
+	for s.ll.Len() > s.capacity {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*entry).key)
+		s.evictions++
+	}
+}
+
+// Len reports the current number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Stats sums the per-shard counters.
+func (c *Cache) Stats() Stats {
+	var st Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Entries += s.ll.Len()
+		st.Capacity += s.capacity
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,223 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+const triadSrc = `
+param N = 65536
+array A[N]
+array B[N]
+array C[N]
+parallel for i = 0..N work 64 {
+  A[i] = B[i] + C[i]
+}
+`
+
+func baseSpec() Spec {
+	return Spec{
+		Source: triadSrc,
+		Params: map[string]int64{"N": 65536},
+		MeshW:  6, MeshH: 6,
+		RegionsX: 3, RegionsY: 3,
+		Kind: "map",
+	}
+}
+
+func mustFP(t *testing.T, s Spec) string {
+	t.Helper()
+	fp, err := s.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+	return fp
+}
+
+func TestFingerprintStability(t *testing.T) {
+	base := mustFP(t, baseSpec())
+
+	tests := []struct {
+		name   string
+		mutate func(*Spec)
+		same   bool
+	}{
+		{"identical spec", func(s *Spec) {}, true},
+		{"whitespace-only source change", func(s *Spec) {
+			s.Source = "param N=65536\narray A[N]\narray B[N]\narray C[N]\nparallel for i=0..N work 64 { A[i]=B[i]+C[i] }"
+		}, true},
+		{"comments stripped", func(s *Spec) {
+			s.Source = "# a triad\n" + triadSrc + "\n# trailing comment"
+		}, true},
+		{"different param set", func(s *Spec) {
+			s.Params = map[string]int64{"Z": 1, "N": 65536, "A": 2}
+		}, false},
+		{"different mesh", func(s *Spec) { s.MeshW = 8 }, false},
+		{"different regions", func(s *Spec) { s.RegionsY = 2 }, false},
+		{"different LLC mode", func(s *Spec) { s.SharedLLC = true }, false},
+		{"different alpha", func(s *Spec) { s.Alpha = 0.9 }, false},
+		{"different seed", func(s *Spec) { s.Seed = 7 }, false},
+		{"different kind", func(s *Spec) { s.Kind = "simulate" }, false},
+		{"different source tokens", func(s *Spec) {
+			s.Source = triadSrc + "\nparallel for i = 0..N work 64 { C[i] = A[i] }"
+		}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := baseSpec()
+			tc.mutate(&s)
+			got := mustFP(t, s)
+			if (got == base) != tc.same {
+				t.Errorf("fingerprint equality = %v, want %v", got == base, tc.same)
+			}
+		})
+	}
+}
+
+// TestFingerprintParamOrder checks that two maps holding the same
+// entries fingerprint identically regardless of construction order.
+func TestFingerprintParamOrder(t *testing.T) {
+	a := baseSpec()
+	a.Params = map[string]int64{}
+	b := baseSpec()
+	b.Params = map[string]int64{}
+	keys := []string{"N", "M", "K", "J", "H", "G"}
+	for i, k := range keys {
+		a.Params[k] = int64(i)
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		b.Params[keys[i]] = int64(i)
+	}
+	if mustFP(t, a) != mustFP(t, b) {
+		t.Errorf("param insertion order changed the fingerprint")
+	}
+}
+
+func TestFingerprintRejectsUnlexableSource(t *testing.T) {
+	s := baseSpec()
+	s.Source = "parallel for i = 0..N { A[i] = B[i] ; }" // ';' is not a token
+	if _, err := s.Fingerprint(); err == nil {
+		t.Fatalf("expected error for unlexable source")
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := New(64)
+	if _, ok := c.Get("k1"); ok {
+		t.Fatalf("unexpected hit on empty cache")
+	}
+	c.Put("k1", []byte("plan-1"))
+	got, ok := c.Get("k1")
+	if !ok || string(got) != "plan-1" {
+		t.Fatalf("Get(k1) = %q, %v; want plan-1, true", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestCacheCopiesValues(t *testing.T) {
+	c := New(8)
+	v := []byte("original")
+	c.Put("k", v)
+	v[0] = 'X' // caller mutates after Put
+	got, _ := c.Get("k")
+	if string(got) != "original" {
+		t.Fatalf("Put did not copy: got %q", got)
+	}
+	got[0] = 'Y' // caller mutates the returned slice
+	again, _ := c.Get("k")
+	if string(again) != "original" {
+		t.Fatalf("Get did not copy: got %q", again)
+	}
+}
+
+func TestCacheUpdateRefreshesValue(t *testing.T) {
+	c := New(8)
+	c.Put("k", []byte("v1"))
+	c.Put("k", []byte("v2"))
+	got, _ := c.Get("k")
+	if string(got) != "v2" {
+		t.Fatalf("got %q, want v2", got)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+func TestCacheEvictsAtCapacity(t *testing.T) {
+	const capacity = 64
+	c := New(capacity)
+	n := capacity * 4
+	for i := 0; i < n; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), []byte{byte(i)})
+	}
+	if got := c.Len(); got > capacity {
+		t.Fatalf("Len = %d after %d inserts, want <= %d", got, n, capacity)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions after overfilling: %+v", st)
+	}
+	if st.Entries+int(st.Evictions) != n {
+		t.Errorf("entries(%d) + evictions(%d) != inserts(%d)", st.Entries, st.Evictions, n)
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	// A capacity-16 cache has 1-entry shards: two keys in the same
+	// shard can't coexist, and the newer key must win.
+	c := New(16)
+	var k1, k2 string
+	// Find two keys that land in the same shard.
+	s0 := c.shardFor("probe-0")
+outer:
+	for i := 1; ; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if c.shardFor(k) == s0 {
+			k1, k2 = "probe-0", k
+			break outer
+		}
+	}
+	c.Put(k1, []byte("a"))
+	c.Put(k2, []byte("b"))
+	if _, ok := c.Get(k1); ok {
+		t.Errorf("oldest entry %q survived a same-shard insert at capacity 1", k1)
+	}
+	if v, ok := c.Get(k2); !ok || string(v) != "b" {
+		t.Errorf("newest entry %q lost: %q, %v", k2, v, ok)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines; run
+// under -race it proves the sharded locking is sound.
+func TestCacheConcurrent(t *testing.T) {
+	c := New(128)
+	const goroutines = 16
+	const ops = 400
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("key-%d", (g*ops+i)%200)
+				if i%3 == 0 {
+					c.Put(key, []byte(key))
+				} else if v, ok := c.Get(key); ok && string(v) != key {
+					t.Errorf("Get(%q) = %q", key, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 128 {
+		t.Fatalf("Len = %d, want <= 128", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatalf("no Get traffic recorded: %+v", st)
+	}
+}

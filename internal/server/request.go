@@ -1,0 +1,167 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"locmap/internal/cache"
+	"locmap/internal/compiler"
+	"locmap/internal/plancache"
+	"locmap/internal/sim"
+	"locmap/internal/topology"
+)
+
+// MapRequest is the body of POST /v1/map: a loop-nest program plus the
+// target description. Zero values select the paper's Table 4 defaults
+// (6x6 mesh, 3x3 regions, private LLC).
+type MapRequest struct {
+	// Source is the program in the locmap input language. Required.
+	Source string `json:"source"`
+
+	// Params supplies values for symbolic loop bounds.
+	Params map[string]int64 `json:"params,omitempty"`
+
+	// Mesh is the mesh geometry as "WxH" (default "6x6").
+	Mesh string `json:"mesh,omitempty"`
+
+	// Regions is the region grid as "XxY" (default "3x3").
+	Regions string `json:"regions,omitempty"`
+
+	// LLC selects the last-level-cache organization: "private"
+	// (default) or "shared" (S-NUCA, Algorithm 2).
+	LLC string `json:"llc,omitempty"`
+
+	// CMEAccuracy sets the cache-miss-estimator accuracy / α knob
+	// (0 → the per-application default band, 1 → oracle).
+	CMEAccuracy float64 `json:"cme_accuracy,omitempty"`
+
+	// Seed drives the intra-region shuffle (default 0).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// SimulateRequest is the body of POST /v1/simulate: a mapping request
+// plus simulation controls.
+type SimulateRequest struct {
+	MapRequest
+
+	// TimingIters overrides the program's timing-loop trip count
+	// (0 keeps the source's value).
+	TimingIters int `json:"timing_iters,omitempty"`
+}
+
+// ParseGrid parses a "WxH" geometry string into its two positive
+// dimensions. It is the shared validation helper behind the server's
+// mesh/regions fields and cmd/locmap's -mesh/-regions flags.
+func ParseGrid(s string) (int, int, error) {
+	a, b, ok := strings.Cut(s, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("expected WxH, got %q", s)
+	}
+	w, err := strconv.Atoi(a)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad width in %q: %v", s, err)
+	}
+	h, err := strconv.Atoi(b)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad height in %q: %v", s, err)
+	}
+	if w <= 0 || h <= 0 {
+		return 0, 0, fmt.Errorf("dimensions must be positive, got %q", s)
+	}
+	return w, h, nil
+}
+
+// ParseLLC validates an LLC-organization name. The empty string means
+// private.
+func ParseLLC(s string) (cache.Organization, error) {
+	switch s {
+	case "", "private":
+		return cache.Private, nil
+	case "shared":
+		return cache.SharedSNUCA, nil
+	default:
+		return 0, fmt.Errorf("llc must be %q or %q, got %q", "private", "shared", s)
+	}
+}
+
+// BuildTarget validates a (mesh, regions, llc) triple and builds the
+// simulator config describing that machine. Empty strings select the
+// defaults. It is shared by the server handlers and cmd/locmap.
+func BuildTarget(mesh, regions, llc string) (sim.Config, error) {
+	if mesh == "" {
+		mesh = "6x6"
+	}
+	if regions == "" {
+		regions = "3x3"
+	}
+	w, h, err := ParseGrid(mesh)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("mesh: %v", err)
+	}
+	rx, ry, err := ParseGrid(regions)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("regions: %v", err)
+	}
+	org, err := ParseLLC(llc)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	m, err := topology.New(w, h, rx, ry, topology.MCCorners)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Mesh = m
+	cfg.LLCOrg = org
+	return cfg, nil
+}
+
+// Validate checks the request without building anything.
+func (r *MapRequest) Validate() error {
+	if strings.TrimSpace(r.Source) == "" {
+		return fmt.Errorf("source is required")
+	}
+	if r.CMEAccuracy < 0 || r.CMEAccuracy > 1 {
+		return fmt.Errorf("cme_accuracy must be in [0,1], got %g", r.CMEAccuracy)
+	}
+	_, err := BuildTarget(r.Mesh, r.Regions, r.LLC)
+	return err
+}
+
+// options builds the compiler options for the request's target.
+func (r *MapRequest) options() (sim.Config, compiler.Options, error) {
+	cfg, err := BuildTarget(r.Mesh, r.Regions, r.LLC)
+	if err != nil {
+		return sim.Config{}, compiler.Options{}, err
+	}
+	opts := compiler.Options{
+		Cfg:         cfg,
+		CMEAccuracy: r.CMEAccuracy,
+		Params:      r.Params,
+	}
+	opts.Mapper.Mesh = cfg.Mesh
+	opts.Mapper.Seed = r.Seed
+	return cfg, opts, nil
+}
+
+// spec derives the plan-cache spec (fingerprint ingredients) for the
+// request under the given result namespace.
+func (r *MapRequest) spec(kind string) (plancache.Spec, error) {
+	cfg, err := BuildTarget(r.Mesh, r.Regions, r.LLC)
+	if err != nil {
+		return plancache.Spec{}, err
+	}
+	return plancache.Spec{
+		Source:    r.Source,
+		Params:    r.Params,
+		MeshW:     cfg.Mesh.Width,
+		MeshH:     cfg.Mesh.Height,
+		RegionsX:  cfg.Mesh.RegionsX,
+		RegionsY:  cfg.Mesh.RegionsY,
+		SharedLLC: cfg.LLCOrg == cache.SharedSNUCA,
+		Alpha:     r.CMEAccuracy,
+		Seed:      r.Seed,
+		Kind:      kind,
+	}, nil
+}

@@ -1,0 +1,423 @@
+// Package server implements locmapd's HTTP/JSON API: the paper's
+// location-aware mapping pipeline exposed as a long-running service.
+//
+// Endpoints:
+//
+//	POST /v1/map       compile a loop-nest program, return the schedule
+//	POST /v1/simulate  additionally execute it on the simulator and
+//	                   report the improvement over the default mapping
+//	GET  /v1/stats     service counters (requests, cache, latency)
+//	GET  /healthz      liveness probe
+//
+// Mapping and simulation jobs run on a bounded worker pool; finished
+// plans are memoized in internal/plancache keyed by a canonical
+// fingerprint of the request, so a repeated identical request is
+// answered from memory without re-running the pipeline.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"locmap/internal/compiler"
+	"locmap/internal/core"
+	"locmap/internal/inspector"
+	"locmap/internal/lang"
+	"locmap/internal/plancache"
+	"locmap/internal/sim"
+	"locmap/internal/stats"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Workers bounds the number of concurrently executing mapping or
+	// simulation jobs (default GOMAXPROCS). Requests beyond the bound
+	// queue until a worker frees up or their timeout expires.
+	Workers int
+
+	// CacheCapacity bounds the plan cache entry count (default 1024).
+	CacheCapacity int
+
+	// RequestTimeout bounds one request's total time in the handler,
+	// queueing included (default 30s).
+	RequestTimeout time.Duration
+
+	// MaxBodyBytes bounds a request body (default 1MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the locmapd service state. Create with New; all methods
+// are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	cache *plancache.Cache
+	sem   chan struct{}
+	lat   *stats.Recorder
+	start time.Time
+
+	requests atomic.Uint64 // all API requests
+	errors   atomic.Uint64 // 4xx/5xx responses
+	timeouts atomic.Uint64 // requests that hit RequestTimeout
+	inflight atomic.Int64  // jobs currently holding a worker slot
+}
+
+// New builds a Server, applying defaults for zero config fields.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = 1024
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	return &Server{
+		cfg:   cfg,
+		cache: plancache.New(cfg.CacheCapacity),
+		sem:   make(chan struct{}, cfg.Workers),
+		lat:   stats.NewRecorder(4096),
+		start: time.Now(),
+	}
+}
+
+// Handler returns the service's HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/map", s.handleMap)
+	mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// MapResponse is the body of a successful /v1/map or /v1/simulate
+// response. Plan carries the cached payload verbatim: a repeated
+// identical request returns byte-identical Plan contents.
+type MapResponse struct {
+	// Fingerprint is the canonical plan-cache key for the request.
+	Fingerprint string `json:"fingerprint"`
+
+	// Cached reports whether Plan was served from the plan cache.
+	Cached bool `json:"cached"`
+
+	// Plan is the serialized Plan (for /v1/map) or SimResult (for
+	// /v1/simulate).
+	Plan json.RawMessage `json:"plan"`
+}
+
+// Plan is the JSON shape of one compiled mapping plan.
+type Plan struct {
+	Program        string        `json:"program"`
+	NeedsInspector bool          `json:"needs_inspector"`
+	Nests          []NestSummary `json:"nests"`
+
+	// Schedule[i][k] is the core assigned to iteration set k of nest
+	// i; null for nests deferred to the inspector–executor runtime.
+	Schedule [][]int `json:"schedule"`
+
+	// Listing is the annotated output code (what cmd/locmap prints).
+	Listing string `json:"listing"`
+}
+
+// NestSummary describes the mapping of one nest.
+type NestSummary struct {
+	Name         string  `json:"name"`
+	Iterations   int64   `json:"iterations"`
+	Sets         int     `json:"sets"`
+	ParallelSafe bool    `json:"parallel_safe"`
+	Inspector    bool    `json:"inspector"`
+	RegionCounts []int   `json:"region_counts,omitempty"`
+	Moved        int     `json:"moved,omitempty"`
+	TotalError   float64 `json:"total_error,omitempty"`
+}
+
+// SimResult is the JSON shape of one simulation verification run.
+type SimResult struct {
+	Plan           *Plan   `json:"plan"`
+	DefaultCycles  int64   `json:"default_cycles"`
+	LocmapCycles   int64   `json:"locmap_cycles"`
+	ImprovementPct float64 `json:"improvement_pct"`
+}
+
+// errorResponse is the JSON error envelope for non-2xx responses.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	if code >= 400 {
+		s.errors.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode reads and validates a JSON request body into dst.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// runJob executes job on the bounded worker pool under the request
+// timeout. It returns the job's serialized payload, or an error plus
+// the HTTP status to report.
+func (s *Server) runJob(ctx context.Context, job func() ([]byte, error)) ([]byte, int, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.timeouts.Add(1)
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("no worker available: %v", ctx.Err())
+	}
+	s.inflight.Add(1)
+	type jobResult struct {
+		payload []byte
+		err     error
+	}
+	done := make(chan jobResult, 1)
+	go func() {
+		defer func() {
+			s.inflight.Add(-1)
+			<-s.sem
+		}()
+		payload, err := job()
+		done <- jobResult{payload, err}
+	}()
+	select {
+	case res := <-done:
+		if res.err != nil {
+			return nil, http.StatusUnprocessableEntity, res.err
+		}
+		return res.payload, http.StatusOK, nil
+	case <-ctx.Done():
+		// The job goroutine keeps running to completion in the
+		// background; it only holds a worker slot, never the request.
+		s.timeouts.Add(1)
+		return nil, http.StatusGatewayTimeout, fmt.Errorf("request timed out after %v", s.cfg.RequestTimeout)
+	}
+}
+
+// serve is the shared handler body: validate, consult the cache, run
+// the job on a worker if needed, respond.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, req *MapRequest, kind string, job func() ([]byte, error)) {
+	s.requests.Add(1)
+	started := time.Now()
+	defer func() { s.lat.Observe(time.Since(started).Seconds()) }()
+
+	if err := req.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+	spec, err := req.spec(kind)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+	key, err := spec.Fingerprint()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid source: %v", err)
+		return
+	}
+	if payload, ok := s.cache.Get(key); ok {
+		s.writeJSON(w, http.StatusOK, MapResponse{Fingerprint: key, Cached: true, Plan: payload})
+		return
+	}
+	payload, code, err := s.runJob(r.Context(), job)
+	if err != nil {
+		s.writeError(w, code, "%v", err)
+		return
+	}
+	s.cache.Put(key, payload)
+	s.writeJSON(w, http.StatusOK, MapResponse{Fingerprint: key, Cached: false, Plan: payload})
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	var req MapRequest
+	if !s.decode(w, r, &req) {
+		s.requests.Add(1)
+		return
+	}
+	s.serve(w, r, &req, "map", func() ([]byte, error) {
+		plan, err := compilePlan(&req)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(plan)
+	})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !s.decode(w, r, &req) {
+		s.requests.Add(1)
+		return
+	}
+	s.serve(w, r, &req.MapRequest, "simulate", func() ([]byte, error) {
+		res, err := simulate(&req)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	})
+}
+
+// compilePlan runs the compile pipeline for one request. It is safe to
+// call concurrently: every call parses its own program and builds its
+// own estimator, mapper and simulator.
+func compilePlan(req *MapRequest) (*Plan, error) {
+	_, opts, err := req.options()
+	if err != nil {
+		return nil, err
+	}
+	res, err := compiler.CompileSource(req.Source, opts)
+	if err != nil {
+		return nil, err
+	}
+	return planFromResult(res), nil
+}
+
+// planFromResult flattens a compilation result into the wire shape.
+func planFromResult(res *compiler.Result) *Plan {
+	plan := &Plan{
+		Program:        res.Program.Name,
+		NeedsInspector: res.NeedsInspector,
+		Nests:          make([]NestSummary, 0, len(res.Plans)),
+		Schedule:       make([][]int, len(res.Plans)),
+		Listing:        res.Listing(),
+	}
+	for i, np := range res.Plans {
+		sum := NestSummary{
+			Name:         np.Nest.Name,
+			Iterations:   np.Nest.Iterations(),
+			Sets:         len(np.Sets),
+			ParallelSafe: np.ParallelSafe,
+			Inspector:    np.NeedsInspector,
+		}
+		if np.Assignment != nil {
+			nr := 0
+			for _, r := range np.Assignment.Region {
+				if int(r)+1 > nr {
+					nr = int(r) + 1
+				}
+			}
+			sum.RegionCounts = np.Assignment.RegionCounts(nr)
+			sum.Moved = np.Assignment.Moved
+			sum.TotalError = np.Assignment.TotalError
+			cores := make([]int, len(np.Assignment.Core))
+			for k, c := range np.Assignment.Core {
+				cores[k] = int(c)
+			}
+			plan.Schedule[i] = cores
+		}
+		plan.Nests = append(plan.Nests, sum)
+	}
+	return plan
+}
+
+// simulate compiles the request and verifies the schedule on the
+// simulator, mirroring cmd/locmap's -run path.
+func simulate(req *SimulateRequest) (*SimResult, error) {
+	cfg, opts, err := req.options()
+	if err != nil {
+		return nil, err
+	}
+	res, err := compiler.CompileSource(req.Source, opts)
+	if err != nil {
+		return nil, err
+	}
+	p := res.Program
+	if req.TimingIters > 0 {
+		p.TimingIters = req.TimingIters
+	}
+	lang.GenerateIndexData(p, 1, 64) // demo inputs for unbound index arrays
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sysD := sim.New(cfg)
+	defCycles := sim.TotalCycles(inspector.RunBaseline(sysD, p))
+	var laCycles int64
+	if res.NeedsInspector {
+		sys := sim.New(cfg)
+		mapper := core.NewMapper(opts.Mapper)
+		laCycles = inspector.Run(sys, p, mapper, inspector.DefaultOverhead()).TotalCycles()
+	} else {
+		sys := sim.New(cfg)
+		laCycles = sim.TotalCycles(sys.RunTiming(p, func(int) *sim.Schedule { return res.Schedule }))
+	}
+	return &SimResult{
+		Plan:           planFromResult(res),
+		DefaultCycles:  defCycles,
+		LocmapCycles:   laCycles,
+		ImprovementPct: stats.PctReduction(float64(defCycles), float64(laCycles)),
+	}, nil
+}
+
+// StatsSnapshot is the body of GET /v1/stats.
+type StatsSnapshot struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Requests      uint64          `json:"requests"`
+	Errors        uint64          `json:"errors"`
+	Timeouts      uint64          `json:"timeouts"`
+	Workers       int             `json:"workers"`
+	Inflight      int64           `json:"inflight"`
+	Cache         plancache.Stats `json:"cache"`
+	LatencyCount  uint64          `json:"latency_count"`
+	LatencyP50Ms  float64         `json:"latency_p50_ms"`
+	LatencyP99Ms  float64         `json:"latency_p99_ms"`
+}
+
+// Snapshot collects the current counters.
+func (s *Server) Snapshot() StatsSnapshot {
+	qs := s.lat.Quantiles(0.50, 0.99)
+	return StatsSnapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Errors:        s.errors.Load(),
+		Timeouts:      s.timeouts.Load(),
+		Workers:       s.cfg.Workers,
+		Inflight:      s.inflight.Load(),
+		Cache:         s.cache.Stats(),
+		LatencyCount:  s.lat.Count(),
+		LatencyP50Ms:  qs[0] * 1000,
+		LatencyP99Ms:  qs[1] * 1000,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte("{\"status\":\"ok\"}\n"))
+}

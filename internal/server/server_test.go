@@ -1,0 +1,357 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const triadSrc = `
+param N = 16384
+array A[N]
+array B[N]
+array C[N]
+parallel for i = 0..N work 64 {
+  A[i] = B[i] + C[i]
+}
+`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, out.Bytes()
+}
+
+func decodeMapResponse(t *testing.T, body []byte) MapResponse {
+	t.Helper()
+	var mr MapResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	return mr
+}
+
+// TestMapRepeatedRequestHitsCache is the acceptance test: a repeated
+// identical /v1/map request must be served from the plan cache with a
+// byte-identical plan (schedule included).
+func TestMapRepeatedRequestHitsCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := MapRequest{Source: triadSrc}
+
+	resp1, body1 := postJSON(t, ts.URL+"/v1/map", req)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d, body %s", resp1.StatusCode, body1)
+	}
+	mr1 := decodeMapResponse(t, body1)
+	if mr1.Cached {
+		t.Fatalf("first request reported cached=true")
+	}
+	before := s.cache.Stats()
+
+	resp2, body2 := postJSON(t, ts.URL+"/v1/map", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second request: status %d, body %s", resp2.StatusCode, body2)
+	}
+	mr2 := decodeMapResponse(t, body2)
+	if !mr2.Cached {
+		t.Fatalf("second identical request not served from cache")
+	}
+	after := s.cache.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Errorf("cache hits went %d -> %d, want +1", before.Hits, after.Hits)
+	}
+	if mr1.Fingerprint != mr2.Fingerprint {
+		t.Errorf("fingerprints differ: %s vs %s", mr1.Fingerprint, mr2.Fingerprint)
+	}
+	if !bytes.Equal(mr1.Plan, mr2.Plan) {
+		t.Errorf("cached plan is not byte-identical to the original")
+	}
+
+	var plan Plan
+	if err := json.Unmarshal(mr2.Plan, &plan); err != nil {
+		t.Fatalf("plan does not decode: %v", err)
+	}
+	if len(plan.Schedule) != 1 || len(plan.Schedule[0]) == 0 {
+		t.Fatalf("plan has no schedule: %+v", plan.Nests)
+	}
+	if plan.NeedsInspector {
+		t.Errorf("regular program flagged for the inspector")
+	}
+	if !strings.Contains(plan.Listing, "locmap output") {
+		t.Errorf("listing missing header: %q", plan.Listing)
+	}
+}
+
+// TestMapWhitespaceVariantHitsCache: reformatting the source must not
+// fragment the cache.
+func TestMapWhitespaceVariantHitsCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, body1 := postJSON(t, ts.URL+"/v1/map", MapRequest{Source: triadSrc})
+	mr1 := decodeMapResponse(t, body1)
+
+	reformatted := "# same program, reformatted\n" + strings.ReplaceAll(triadSrc, "\n", " ")
+	_, body2 := postJSON(t, ts.URL+"/v1/map", MapRequest{Source: reformatted})
+	mr2 := decodeMapResponse(t, body2)
+	if !mr2.Cached {
+		t.Fatalf("reformatted source missed the cache")
+	}
+	if !bytes.Equal(mr1.Plan, mr2.Plan) {
+		t.Errorf("plans differ across reformatting")
+	}
+}
+
+func TestMapMalformedRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tests := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"bad json", "{not json", http.StatusBadRequest},
+		{"unknown field", `{"source":"x","bogus":1}`, http.StatusBadRequest},
+		{"empty source", `{"source":""}`, http.StatusBadRequest},
+		{"bad mesh", `{"source":"param N = 4","mesh":"6by6"}`, http.StatusBadRequest},
+		{"bad llc", `{"source":"param N = 4","llc":"l4"}`, http.StatusBadRequest},
+		{"bad accuracy", `{"source":"param N = 4","cme_accuracy":2}`, http.StatusBadRequest},
+		{"unlexable source", `{"source":"parallel for i = 0..N { A[i] = B[i] ; }"}`, http.StatusBadRequest},
+		{"unparsable source", `{"source":"for for for"}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/map", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatalf("POST: %v", err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type = %q, want application/json", ct)
+			}
+			var er errorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error == "" {
+				t.Errorf("error body not JSON with non-empty error: %v", err)
+			}
+		})
+	}
+}
+
+func TestMapRejectsGet(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/map")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestMapConcurrent issues a mix of distinct and repeated requests in
+// parallel; under -race this exercises the worker pool, the cache and
+// the concurrent compile pipeline.
+func TestMapConcurrent(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	const goroutines = 12
+	var wg sync.WaitGroup
+	plans := make([][]byte, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Three distinct programs (work sizes), repeated across
+			// goroutines.
+			src := fmt.Sprintf(`
+param N = 8192
+array A[N]
+array B[N]
+parallel for i = 0..N work %d {
+  A[i] = B[i]
+}
+`, 32<<(g%3))
+			resp, body := postJSON(t, ts.URL+"/v1/map", MapRequest{Source: src})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("goroutine %d: status %d: %s", g, resp.StatusCode, body)
+				return
+			}
+			plans[g] = decodeMapResponse(t, body).Plan
+		}(g)
+	}
+	wg.Wait()
+	// Same program -> byte-identical plan, no matter which goroutine
+	// or cache state produced it.
+	for g := 3; g < goroutines; g++ {
+		if plans[g] == nil || plans[g-3] == nil {
+			continue
+		}
+		if !bytes.Equal(plans[g], plans[g-3]) {
+			t.Errorf("plan for program %d differs between goroutines %d and %d", g%3, g-3, g)
+		}
+	}
+	if st := s.cache.Stats(); st.Entries != 3 {
+		t.Errorf("cache entries = %d, want 3 distinct programs", st.Entries)
+	}
+}
+
+func TestSimulateReportsImprovementAndCaches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	_, ts := newTestServer(t, Config{})
+	req := SimulateRequest{MapRequest: MapRequest{Source: triadSrc}}
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	mr := decodeMapResponse(t, body)
+	var sr SimResult
+	if err := json.Unmarshal(mr.Plan, &sr); err != nil {
+		t.Fatalf("bad sim result: %v", err)
+	}
+	if sr.DefaultCycles <= 0 || sr.LocmapCycles <= 0 {
+		t.Fatalf("non-positive cycle counts: %+v", sr)
+	}
+	if sr.Plan == nil || len(sr.Plan.Schedule) != 1 {
+		t.Fatalf("sim result missing plan")
+	}
+
+	resp2, body2 := postJSON(t, ts.URL+"/v1/simulate", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d", resp2.StatusCode)
+	}
+	mr2 := decodeMapResponse(t, body2)
+	if !mr2.Cached {
+		t.Errorf("repeated simulation not cached")
+	}
+	if !bytes.Equal(mr.Plan, mr2.Plan) {
+		t.Errorf("cached sim result not byte-identical")
+	}
+
+	// /v1/map and /v1/simulate must not collide in the cache.
+	respM, bodyM := postJSON(t, ts.URL+"/v1/map", MapRequest{Source: triadSrc})
+	if respM.StatusCode != http.StatusOK {
+		t.Fatalf("map status %d", respM.StatusCode)
+	}
+	if mrM := decodeMapResponse(t, bodyM); mrM.Fingerprint == mr.Fingerprint {
+		t.Errorf("map and simulate share a fingerprint")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3})
+	postJSON(t, ts.URL+"/v1/map", MapRequest{Source: triadSrc})
+	postJSON(t, ts.URL+"/v1/map", MapRequest{Source: triadSrc})
+	postJSON(t, ts.URL+"/v1/map", MapRequest{Source: ""}) // 400
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET /v1/stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var snap StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if snap.Requests != 3 {
+		t.Errorf("requests = %d, want 3", snap.Requests)
+	}
+	if snap.Errors != 1 {
+		t.Errorf("errors = %d, want 1", snap.Errors)
+	}
+	if snap.Cache.Hits != 1 || snap.Cache.Misses != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/1", snap.Cache.Hits, snap.Cache.Misses)
+	}
+	if snap.Workers != 3 {
+		t.Errorf("workers = %d, want 3", snap.Workers)
+	}
+	if snap.LatencyCount != 3 || snap.LatencyP99Ms < snap.LatencyP50Ms {
+		t.Errorf("latency snapshot inconsistent: %+v", snap)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	if !strings.Contains(body.String(), "ok") {
+		t.Errorf("body = %q", body.String())
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	// One worker, held hostage by a goroutine, forces the queued
+	// request to time out waiting for a slot.
+	s, ts := newTestServer(t, Config{Workers: 1, RequestTimeout: 50 * time.Millisecond})
+	s.sem <- struct{}{} // occupy the only worker slot
+	defer func() { <-s.sem }()
+
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/map", MapRequest{Source: triadSrc})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("rejected after %v, before the timeout", elapsed)
+	}
+	if s.Snapshot().Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1", s.Snapshot().Timeouts)
+	}
+}
+
+func TestBuildTargetValidation(t *testing.T) {
+	tests := []struct {
+		mesh, regions, llc string
+		ok                 bool
+	}{
+		{"", "", "", true},
+		{"6x6", "3x3", "private", true},
+		{"8x8", "4x4", "shared", true},
+		{"6by6", "3x3", "", false},
+		{"0x6", "3x3", "", false},
+		{"6x6", "4x4", "", false}, // 4 doesn't divide 6
+		{"6x6", "3x3", "l4", false},
+		{"-2x6", "3x3", "", false},
+	}
+	for _, tc := range tests {
+		_, err := BuildTarget(tc.mesh, tc.regions, tc.llc)
+		if (err == nil) != tc.ok {
+			t.Errorf("BuildTarget(%q,%q,%q) err=%v, want ok=%v", tc.mesh, tc.regions, tc.llc, err, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Percentile returns the p-quantile (p in [0,1]) of xs using the
+// nearest-rank method on a sorted copy. It returns 0 for empty input
+// and clamps p into [0,1].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(p * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}
+
+// Recorder is a bounded, concurrency-safe sample store for latency
+// quantiles: it keeps the most recent `capacity` observations in a
+// ring, so quantiles reflect recent behavior rather than the full
+// history. It is what locmapd's /v1/stats p50/p99 are computed from.
+type Recorder struct {
+	mu    sync.Mutex
+	buf   []float64
+	next  int
+	count uint64
+}
+
+// NewRecorder builds a recorder keeping the last capacity samples
+// (minimum 1).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{buf: make([]float64, 0, capacity)}
+}
+
+// Observe records one sample.
+func (r *Recorder) Observe(x float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, x)
+	} else {
+		r.buf[r.next] = x
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.count++
+}
+
+// Count reports how many samples have ever been observed (not just
+// those still retained).
+func (r *Recorder) Count() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Quantiles returns the requested quantiles (each in [0,1]) over the
+// retained window, in argument order. With no samples every entry is
+// 0.
+func (r *Recorder) Quantiles(qs ...float64) []float64 {
+	r.mu.Lock()
+	window := append([]float64(nil), r.buf...)
+	r.mu.Unlock()
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = Percentile(window, q)
+	}
+	return out
+}

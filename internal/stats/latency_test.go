@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3} // sorted: 1 2 3 4 5
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{0.2, 1},
+		{0.5, 3},
+		{0.99, 5},
+		{1, 5},
+		{-1, 1},  // clamped
+		{1.5, 5}, // clamped
+	}
+	for _, tc := range tests {
+		if got := Percentile(xs, tc.p); got != tc.want {
+			t.Errorf("Percentile(xs, %g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty input should give 0")
+	}
+	// The input must not be reordered.
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+}
+
+func TestRecorderWindow(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 10; i++ {
+		r.Observe(float64(i))
+	}
+	if r.Count() != 10 {
+		t.Errorf("Count = %d, want 10", r.Count())
+	}
+	// Retained window is the last 4 samples: 7 8 9 10.
+	qs := r.Quantiles(0, 0.5, 1)
+	if qs[0] != 7 || qs[1] != 8 || qs[2] != 10 {
+		t.Errorf("Quantiles(0,0.5,1) = %v, want [7 8 10]", qs)
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	r := NewRecorder(8)
+	qs := r.Quantiles(0.5, 0.99)
+	if qs[0] != 0 || qs[1] != 0 {
+		t.Errorf("empty recorder quantiles = %v", qs)
+	}
+	if r.Count() != 0 {
+		t.Errorf("Count = %d", r.Count())
+	}
+}
+
+// TestRecorderConcurrent exercises the locking under -race.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Observe(float64(g*1000 + i))
+				if i%20 == 0 {
+					r.Quantiles(0.5, 0.99)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Count() != 1600 {
+		t.Errorf("Count = %d, want 1600", r.Count())
+	}
+}
