@@ -56,6 +56,12 @@ type Spec struct {
 	FineMAC bool
 	Intra   int
 
+	// TimingIters is the simulate-only timing-loop trip-count override
+	// (0 keeps the source's value). It changes the cycle counts in a
+	// SimResult, so it must be part of the key; plain map requests
+	// leave it zero.
+	TimingIters int
+
 	// Kind namespaces different result types computed from the same
 	// inputs (e.g. "map" vs "simulate").
 	Kind string
@@ -114,6 +120,7 @@ func (s Spec) Fingerprint() (string, error) {
 		writeInt(0)
 	}
 	writeInt(int64(s.Intra))
+	writeInt(int64(s.TimingIters))
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 

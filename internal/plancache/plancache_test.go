@@ -58,6 +58,9 @@ func TestFingerprintStability(t *testing.T) {
 		{"different LLC mode", func(s *Spec) { s.SharedLLC = true }, false},
 		{"different alpha", func(s *Spec) { s.Alpha = 0.9 }, false},
 		{"different seed", func(s *Spec) { s.Seed = 7 }, false},
+		{"different fine-MAC", func(s *Spec) { s.FineMAC = true }, false},
+		{"different intra policy", func(s *Spec) { s.Intra = 1 }, false},
+		{"different timing iters", func(s *Spec) { s.TimingIters = 5 }, false},
 		{"different kind", func(s *Spec) { s.Kind = "simulate" }, false},
 		{"different source tokens", func(s *Spec) {
 			s.Source = triadSrc + "\nparallel for i = 0..N work 64 { C[i] = A[i] }"

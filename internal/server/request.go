@@ -7,6 +7,7 @@ import (
 
 	"locmap/internal/cache"
 	"locmap/internal/compiler"
+	"locmap/internal/core"
 	"locmap/internal/plancache"
 	"locmap/internal/sim"
 	"locmap/internal/topology"
@@ -38,6 +39,14 @@ type MapRequest struct {
 
 	// Seed drives the intra-region shuffle (default 0).
 	Seed int64 `json:"seed,omitempty"`
+
+	// FineMAC switches memory-affinity computation to the
+	// finer-granularity inverse-distance weights (the §3.9 ablation).
+	FineMAC bool `json:"fine_mac,omitempty"`
+
+	// Intra selects the within-region core-assignment policy:
+	// "random" (default, the paper's shuffle) or "roundrobin".
+	Intra string `json:"intra,omitempty"`
 }
 
 // SimulateRequest is the body of POST /v1/simulate: a mapping request
@@ -48,6 +57,27 @@ type SimulateRequest struct {
 	// TimingIters overrides the program's timing-loop trip count
 	// (0 keeps the source's value).
 	TimingIters int `json:"timing_iters,omitempty"`
+}
+
+// Validate extends MapRequest validation with the simulate-only
+// fields.
+func (r *SimulateRequest) Validate() error {
+	if r.TimingIters < 0 {
+		return fmt.Errorf("timing_iters must be >= 0, got %d", r.TimingIters)
+	}
+	return r.MapRequest.Validate()
+}
+
+// spec extends the embedded MapRequest's spec with the simulate-only
+// knobs, so two simulations differing only in timing_iters never share
+// a cache entry.
+func (r *SimulateRequest) spec(kind string) (plancache.Spec, error) {
+	sp, err := r.MapRequest.spec(kind)
+	if err != nil {
+		return plancache.Spec{}, err
+	}
+	sp.TimingIters = r.TimingIters
+	return sp, nil
 }
 
 // ParseGrid parses a "WxH" geometry string into its two positive
@@ -82,6 +112,19 @@ func ParseLLC(s string) (cache.Organization, error) {
 		return cache.SharedSNUCA, nil
 	default:
 		return 0, fmt.Errorf("llc must be %q or %q, got %q", "private", "shared", s)
+	}
+}
+
+// ParseIntra validates a within-region placement policy name. The
+// empty string means random (the paper's default shuffle).
+func ParseIntra(s string) (core.IntraPolicy, error) {
+	switch s {
+	case "", "random":
+		return core.IntraRandom, nil
+	case "roundrobin":
+		return core.IntraRoundRobin, nil
+	default:
+		return 0, fmt.Errorf("intra must be %q or %q, got %q", "random", "roundrobin", s)
 	}
 }
 
@@ -125,6 +168,9 @@ func (r *MapRequest) Validate() error {
 	if r.CMEAccuracy < 0 || r.CMEAccuracy > 1 {
 		return fmt.Errorf("cme_accuracy must be in [0,1], got %g", r.CMEAccuracy)
 	}
+	if _, err := ParseIntra(r.Intra); err != nil {
+		return err
+	}
 	_, err := BuildTarget(r.Mesh, r.Regions, r.LLC)
 	return err
 }
@@ -135,6 +181,10 @@ func (r *MapRequest) options() (sim.Config, compiler.Options, error) {
 	if err != nil {
 		return sim.Config{}, compiler.Options{}, err
 	}
+	intra, err := ParseIntra(r.Intra)
+	if err != nil {
+		return sim.Config{}, compiler.Options{}, err
+	}
 	opts := compiler.Options{
 		Cfg:         cfg,
 		CMEAccuracy: r.CMEAccuracy,
@@ -142,6 +192,8 @@ func (r *MapRequest) options() (sim.Config, compiler.Options, error) {
 	}
 	opts.Mapper.Mesh = cfg.Mesh
 	opts.Mapper.Seed = r.Seed
+	opts.Mapper.FineMAC = r.FineMAC
+	opts.Mapper.Intra = intra
 	return cfg, opts, nil
 }
 
@@ -149,6 +201,10 @@ func (r *MapRequest) options() (sim.Config, compiler.Options, error) {
 // request under the given result namespace.
 func (r *MapRequest) spec(kind string) (plancache.Spec, error) {
 	cfg, err := BuildTarget(r.Mesh, r.Regions, r.LLC)
+	if err != nil {
+		return plancache.Spec{}, err
+	}
+	intra, err := ParseIntra(r.Intra)
 	if err != nil {
 		return plancache.Spec{}, err
 	}
@@ -162,6 +218,8 @@ func (r *MapRequest) spec(kind string) (plancache.Spec, error) {
 		SharedLLC: cfg.LLCOrg == cache.SharedSNUCA,
 		Alpha:     r.CMEAccuracy,
 		Seed:      r.Seed,
+		FineMAC:   r.FineMAC,
+		Intra:     int(intra),
 		Kind:      kind,
 	}, nil
 }

@@ -185,8 +185,10 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 
 // runJob executes job on the bounded worker pool under the request
 // timeout. It returns the job's serialized payload, or an error plus
-// the HTTP status to report.
-func (s *Server) runJob(ctx context.Context, job func() ([]byte, error)) ([]byte, int, error) {
+// the HTTP status to report. A successful payload is cached under key
+// from inside the job goroutine, so even a job whose request already
+// timed out warms the plan cache for the client's retry.
+func (s *Server) runJob(ctx context.Context, key string, job func() ([]byte, error)) ([]byte, int, error) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
 	select {
@@ -207,6 +209,9 @@ func (s *Server) runJob(ctx context.Context, job func() ([]byte, error)) ([]byte
 			<-s.sem
 		}()
 		payload, err := job()
+		if err == nil {
+			s.cache.Put(key, payload)
+		}
 		done <- jobResult{payload, err}
 	}()
 	select {
@@ -217,15 +222,26 @@ func (s *Server) runJob(ctx context.Context, job func() ([]byte, error)) ([]byte
 		return res.payload, http.StatusOK, nil
 	case <-ctx.Done():
 		// The job goroutine keeps running to completion in the
-		// background; it only holds a worker slot, never the request.
+		// background; it only holds a worker slot, never the request,
+		// and it still caches its result on success.
 		s.timeouts.Add(1)
 		return nil, http.StatusGatewayTimeout, fmt.Errorf("request timed out after %v", s.cfg.RequestTimeout)
 	}
 }
 
+// apiRequest is what serve needs from a request body: validation and
+// the plan-cache spec whose fingerprint keys the result. Each request
+// type contributes every field its job reads (SimulateRequest adds
+// TimingIters on top of MapRequest), so no two requests that compute
+// different payloads can share a key.
+type apiRequest interface {
+	Validate() error
+	spec(kind string) (plancache.Spec, error)
+}
+
 // serve is the shared handler body: validate, consult the cache, run
 // the job on a worker if needed, respond.
-func (s *Server) serve(w http.ResponseWriter, r *http.Request, req *MapRequest, kind string, job func() ([]byte, error)) {
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, req apiRequest, kind string, job func() ([]byte, error)) {
 	s.requests.Add(1)
 	started := time.Now()
 	defer func() { s.lat.Observe(time.Since(started).Seconds()) }()
@@ -248,12 +264,11 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, req *MapRequest, 
 		s.writeJSON(w, http.StatusOK, MapResponse{Fingerprint: key, Cached: true, Plan: payload})
 		return
 	}
-	payload, code, err := s.runJob(r.Context(), job)
+	payload, code, err := s.runJob(r.Context(), key, job)
 	if err != nil {
 		s.writeError(w, code, "%v", err)
 		return
 	}
-	s.cache.Put(key, payload)
 	s.writeJSON(w, http.StatusOK, MapResponse{Fingerprint: key, Cached: false, Plan: payload})
 }
 
@@ -278,7 +293,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		return
 	}
-	s.serve(w, r, &req.MapRequest, "simulate", func() ([]byte, error) {
+	s.serve(w, r, &req, "simulate", func() ([]byte, error) {
 		res, err := simulate(&req)
 		if err != nil {
 			return nil, err

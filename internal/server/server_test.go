@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -139,6 +140,7 @@ func TestMapMalformedRequests(t *testing.T) {
 		{"bad mesh", `{"source":"param N = 4","mesh":"6by6"}`, http.StatusBadRequest},
 		{"bad llc", `{"source":"param N = 4","llc":"l4"}`, http.StatusBadRequest},
 		{"bad accuracy", `{"source":"param N = 4","cme_accuracy":2}`, http.StatusBadRequest},
+		{"bad intra", `{"source":"param N = 4","intra":"zigzag"}`, http.StatusBadRequest},
 		{"unlexable source", `{"source":"parallel for i = 0..N { A[i] = B[i] ; }"}`, http.StatusBadRequest},
 		{"unparsable source", `{"source":"for for for"}`, http.StatusUnprocessableEntity},
 	}
@@ -262,6 +264,116 @@ func TestSimulateReportsImprovementAndCaches(t *testing.T) {
 	}
 	if mrM := decodeMapResponse(t, bodyM); mrM.Fingerprint == mr.Fingerprint {
 		t.Errorf("map and simulate share a fingerprint")
+	}
+}
+
+func TestSimulateRejectsNegativeTimingIters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"source":"param N = 4","timing_iters":-1}`
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSimulateSpecIncludesTimingIters: two simulations differing only
+// in timing_iters compute different cycle counts, so they must never
+// share a cache key (while a zero override keys like the default).
+func TestSimulateSpecIncludesTimingIters(t *testing.T) {
+	base := SimulateRequest{MapRequest: MapRequest{Source: triadSrc}}
+	fp := func(r SimulateRequest) string {
+		sp, err := r.spec("simulate")
+		if err != nil {
+			t.Fatalf("spec: %v", err)
+		}
+		key, err := sp.Fingerprint()
+		if err != nil {
+			t.Fatalf("Fingerprint: %v", err)
+		}
+		return key
+	}
+	iters7 := base
+	iters7.TimingIters = 7
+	iters8 := base
+	iters8.TimingIters = 8
+	if fp(base) == fp(iters7) {
+		t.Errorf("timing_iters=0 and timing_iters=7 share a fingerprint")
+	}
+	if fp(iters7) == fp(iters8) {
+		t.Errorf("timing_iters=7 and timing_iters=8 share a fingerprint")
+	}
+	repeat := base
+	if fp(base) != fp(repeat) {
+		t.Errorf("identical simulate requests fingerprint differently")
+	}
+}
+
+// TestMapperKnobsChangeFingerprint: the fine_mac and intra request
+// fields feed the mapper, so they must fragment the cache key.
+func TestMapperKnobsChangeFingerprint(t *testing.T) {
+	fp := func(r MapRequest) string {
+		sp, err := r.spec("map")
+		if err != nil {
+			t.Fatalf("spec: %v", err)
+		}
+		key, err := sp.Fingerprint()
+		if err != nil {
+			t.Fatalf("Fingerprint: %v", err)
+		}
+		return key
+	}
+	base := MapRequest{Source: triadSrc}
+	fine := base
+	fine.FineMAC = true
+	rr := base
+	rr.Intra = "roundrobin"
+	random := base
+	random.Intra = "random" // explicit default must key like the empty string
+	if fp(base) == fp(fine) {
+		t.Errorf("fine_mac did not change the fingerprint")
+	}
+	if fp(base) == fp(rr) {
+		t.Errorf("intra=roundrobin did not change the fingerprint")
+	}
+	if fp(base) != fp(random) {
+		t.Errorf("intra=random keys differently from the default")
+	}
+}
+
+// TestTimedOutJobWarmsCache: a job that outlives the request timeout
+// still finishes on its worker and caches its payload, so the
+// client's retry is a cache hit instead of another doomed recompute.
+func TestTimedOutJobWarmsCache(t *testing.T) {
+	s := New(Config{Workers: 1, RequestTimeout: 20 * time.Millisecond})
+	release := make(chan struct{})
+	payload := []byte(`{"slow":true}`)
+	_, code, err := s.runJob(context.Background(), "slow-key", func() ([]byte, error) {
+		<-release
+		return payload, nil
+	})
+	if err == nil || code != http.StatusGatewayTimeout {
+		t.Fatalf("runJob = code %d, err %v; want 504 timeout", code, err)
+	}
+	if _, ok := s.cache.Get("slow-key"); ok {
+		t.Fatalf("cache populated before the job finished")
+	}
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got, ok := s.cache.Get("slow-key"); ok {
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("cached payload = %q, want %q", got, payload)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed-out job never warmed the cache")
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }
 
