@@ -1,10 +1,11 @@
 GO ?= go
 
-# `make check` is the tier-1 CI gate (see ROADMAP.md): formatting,
-# vet, and the full test suite under the race detector.
+# `make check` is the tier-1 CI gate (see ROADMAP.md), enforced by
+# .github/workflows/ci.yml: build, formatting, vet, and the full test
+# suite under the race detector.
 .PHONY: check fmt vet test race build
 
-check: fmt vet race
+check: build fmt vet race
 
 build:
 	$(GO) build ./...

@@ -36,13 +36,17 @@ func reportMainMetrics(b *testing.B, ms []experiments.AppMetrics) {
 	b.ReportMetric(stats.GeomeanPct(exec), "execRed%")
 }
 
-func opts() experiments.Options { return experiments.Options{Apps: benchApps} }
+// opts pins Jobs to 1: the per-figure benchmarks measure raw simulation
+// cost, so they run the job layer serially for comparable numbers across
+// machines. BenchmarkRunnerParallel/Memoized measure the concurrent and
+// memoized paths explicitly.
+func opts() experiments.Options { return experiments.Options{Apps: benchApps, Jobs: 1} }
 
 // BenchmarkFig02IdealNetwork measures the zero-latency-NoC potential
 // (paper Figure 2: 14% private / 17.1% shared on average).
 func BenchmarkFig02IdealNetwork(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig2(experiments.Options{Apps: []string{"swim", "mxm"}})
+		t := experiments.Fig2(experiments.Options{Apps: []string{"swim", "mxm"}, Jobs: 1})
 		if t.NumRows() == 0 {
 			b.Fatal("empty table")
 		}
@@ -54,7 +58,7 @@ func BenchmarkFig02IdealNetwork(b *testing.B) {
 // balancing.
 func BenchmarkTable3Properties(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Table3(experiments.Options{Apps: []string{"swim", "mxm"}})
+		experiments.Table3(experiments.Options{Apps: []string{"swim", "mxm"}, Jobs: 1})
 	}
 }
 
@@ -82,7 +86,7 @@ func BenchmarkFig08Shared(b *testing.B) {
 // Figure 9: 8×8 mesh, 1MB LLC, 8KB pages, alternate MC placement).
 func BenchmarkFig09Sensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig9(experiments.Options{Apps: []string{"mxm"}})
+		experiments.Fig9(experiments.Options{Apps: []string{"mxm"}, Jobs: 1})
 	}
 }
 
@@ -90,7 +94,7 @@ func BenchmarkFig09Sensitivity(b *testing.B) {
 // sizes (paper Figures 10a–10d).
 func BenchmarkFig10RegionsAndSetSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig10(experiments.Options{Apps: []string{"mxm"}})
+		experiments.Fig10(experiments.Options{Apps: []string{"mxm"}, Jobs: 1})
 	}
 }
 
@@ -98,7 +102,7 @@ func BenchmarkFig10RegionsAndSetSize(b *testing.B) {
 // granularities (paper Figure 11).
 func BenchmarkFig11Distributions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig11(experiments.Options{Apps: []string{"mxm"}})
+		experiments.Fig11(experiments.Options{Apps: []string{"mxm"}, Jobs: 1})
 	}
 }
 
@@ -106,7 +110,7 @@ func BenchmarkFig11Distributions(b *testing.B) {
 // 11.4% average execution-time improvement).
 func BenchmarkFig12DDR4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig12(experiments.Options{Apps: []string{"swim", "mxm"}})
+		experiments.Fig12(experiments.Options{Apps: []string{"swim", "mxm"}, Jobs: 1})
 	}
 }
 
@@ -114,7 +118,7 @@ func BenchmarkFig12DDR4(b *testing.B) {
 // data-layout scheme (paper Figure 13).
 func BenchmarkFig13DataLayout(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig13(experiments.Options{Apps: []string{"mxm"}})
+		experiments.Fig13(experiments.Options{Apps: []string{"mxm"}, Jobs: 1})
 	}
 }
 
@@ -122,7 +126,7 @@ func BenchmarkFig13DataLayout(b *testing.B) {
 // application-to-core placement (paper Figure 14).
 func BenchmarkFig14HardwarePlacement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig14(experiments.Options{Apps: []string{"mxm"}})
+		experiments.Fig14(experiments.Options{Apps: []string{"mxm"}, Jobs: 1})
 	}
 }
 
@@ -130,7 +134,7 @@ func BenchmarkFig14HardwarePlacement(b *testing.B) {
 // Figure 15).
 func BenchmarkFig15Oracle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig15(experiments.Options{Apps: []string{"swim", "mxm"}})
+		experiments.Fig15(experiments.Options{Apps: []string{"swim", "mxm"}, Jobs: 1})
 	}
 }
 
@@ -138,7 +142,7 @@ func BenchmarkFig15Oracle(b *testing.B) {
 // Figure 16).
 func BenchmarkFig16KNLModes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig16(experiments.Options{Apps: []string{"mxm"}})
+		experiments.Fig16(experiments.Options{Apps: []string{"mxm"}, Jobs: 1})
 	}
 }
 
@@ -146,7 +150,7 @@ func BenchmarkFig16KNLModes(b *testing.B) {
 // Figure 17) on a reduced subset.
 func BenchmarkFig17KNLScaled(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig17(experiments.Options{Apps: []string{"mxm"}})
+		experiments.Fig17(experiments.Options{Apps: []string{"mxm"}, Jobs: 1})
 	}
 }
 
@@ -154,7 +158,7 @@ func BenchmarkFig17KNLScaled(b *testing.B) {
 // text: 18.1% private / 26.7% shared in the paper).
 func BenchmarkMultiprogrammed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.MultiProg(experiments.Options{Apps: []string{"swim", "mxm", "fft", "hpccg"}})
+		experiments.MultiProg(experiments.Options{Apps: []string{"swim", "mxm", "fft", "hpccg"}, Jobs: 1})
 	}
 }
 
@@ -193,6 +197,35 @@ func BenchmarkAblationRoundRobinIntra(b *testing.B) {
 		ms = experiments.RunAll(opts(), v)
 	}
 	reportMainMetrics(b, ms)
+}
+
+// BenchmarkRunnerParallel measures the Figure 7 sweep through the
+// concurrent job runner at full pool width — the cmd/paperbench -j fast
+// path. Results are byte-identical to the serial path; only wall-clock
+// changes (with the number of cores).
+func BenchmarkRunnerParallel(b *testing.B) {
+	var ms []experiments.AppMetrics
+	for i := 0; i < b.N; i++ {
+		ms = experiments.RunAll(experiments.Options{Apps: benchApps}, experiments.DefaultVariant(cache.Private))
+	}
+	reportMainMetrics(b, ms)
+}
+
+// BenchmarkRunnerMemoized measures a figure re-requested against a
+// shared runner: after the warm-up pass every job is served from the
+// memo table, so this is the per-request overhead of the dedup layer.
+func BenchmarkRunnerMemoized(b *testing.B) {
+	r := experiments.NewRunner(0)
+	o := experiments.Options{Apps: benchApps, Runner: r}
+	v := experiments.DefaultVariant(cache.Private)
+	experiments.RunAll(o, v) // warm the memo table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.RunAll(o, v)
+	}
+	if c := r.Counters(); c.Executed != uint64(len(benchApps)) {
+		b.Fatalf("memo missed: %+v", c)
+	}
 }
 
 // BenchmarkExtensionCoOptimize measures the paper's named future work —

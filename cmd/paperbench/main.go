@@ -2,11 +2,17 @@
 // simulator. Each experiment prints a text table with the same rows and
 // series the paper reports; EXPERIMENTS.md records a reference run.
 //
+// Simulations run as fingerprinted jobs on a shared concurrent runner:
+// -j bounds the worker pool, and any job requested by several figures
+// (the default-variant runs shared by Figs. 2/7/8/13/14/15) simulates
+// exactly once per invocation. Tables are byte-identical at any -j.
+//
 // Usage:
 //
 //	paperbench -fig 7                 # one figure
 //	paperbench -fig 7,8,9             # several
-//	paperbench -all                   # everything (long: ~tens of minutes)
+//	paperbench -all                   # everything
+//	paperbench -all -j 8              # ... on an 8-wide worker pool
 //	paperbench -fig 7 -apps moldyn,swim   # restrict the benchmark set
 //
 // Experiments: 2, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, table3, multi.
@@ -16,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -23,11 +31,13 @@ import (
 	"locmap/internal/stats"
 )
 
-var figures = []struct {
+type figure struct {
 	name string
 	desc string
 	run  func(experiments.Options) *stats.Table
-}{
+}
+
+var figures = []figure{
 	{"2", "ideal-network potential", experiments.Fig2},
 	{"table3", "benchmark properties", experiments.Table3},
 	{"7", "private LLC main results", experiments.Fig7},
@@ -44,15 +54,71 @@ var figures = []struct {
 	{"multi", "multiprogrammed mixes", experiments.MultiProg},
 }
 
+// selectFigures resolves the -fig/-all selection to the experiments to
+// run, in canonical order. Every unknown id is reported together with
+// the valid ids — before any simulation starts.
+func selectFigures(figArg string, all bool) ([]figure, error) {
+	if all {
+		return figures, nil
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(figArg, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("no experiments selected")
+	}
+	var sel []figure
+	for _, f := range figures {
+		if want[f.name] {
+			sel = append(sel, f)
+			delete(want, f.name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for id := range want {
+			unknown = append(unknown, id)
+		}
+		sort.Strings(unknown)
+		valid := make([]string, len(figures))
+		for i, f := range figures {
+			valid[i] = f.name
+		}
+		return nil, fmt.Errorf("unknown experiment(s): %s (valid: %s)",
+			strings.Join(unknown, ", "), strings.Join(valid, ", "))
+	}
+	return sel, nil
+}
+
 func main() {
 	fig := flag.String("fig", "", "comma-separated experiment ids (see -h)")
 	all := flag.Bool("all", false, "run every experiment")
 	appsFlag := flag.String("apps", "", "comma-separated benchmark subset")
 	scale := flag.Int("scale", 1, "workload input scale")
-	quiet := flag.Bool("q", false, "suppress per-app progress lines")
+	jobs := flag.Int("j", runtime.NumCPU(), "max concurrently simulated jobs")
+	quiet := flag.Bool("q", false, "suppress per-job progress lines")
 	flag.Parse()
 
-	o := experiments.Options{Scale: *scale}
+	if !*all && *fig == "" {
+		fmt.Fprintln(os.Stderr, "paperbench: pass -fig ids or -all; known experiments:")
+		for _, f := range figures {
+			fmt.Fprintf(os.Stderr, "  %-7s %s\n", f.name, f.desc)
+		}
+		os.Exit(2)
+	}
+	sel, err := selectFigures(*fig, *all)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	// One runner for the whole invocation: its memo table deduplicates
+	// identical jobs across figures.
+	runner := experiments.NewRunner(*jobs)
+	o := experiments.Options{Scale: *scale, Jobs: *jobs, Runner: runner}
 	if !*quiet {
 		o.Log = os.Stderr
 	}
@@ -60,36 +126,14 @@ func main() {
 		o.Apps = strings.Split(*appsFlag, ",")
 	}
 
-	var want map[string]bool
-	if !*all {
-		if *fig == "" {
-			fmt.Fprintln(os.Stderr, "paperbench: pass -fig ids or -all; known experiments:")
-			for _, f := range figures {
-				fmt.Fprintf(os.Stderr, "  %-7s %s\n", f.name, f.desc)
-			}
-			os.Exit(2)
-		}
-		want = map[string]bool{}
-		for _, id := range strings.Split(*fig, ",") {
-			want[strings.TrimSpace(id)] = true
-		}
-	}
-
-	for _, f := range figures {
-		if want != nil && !want[f.name] {
-			continue
-		}
-		if want != nil {
-			delete(want, f.name)
-		}
+	for _, f := range sel {
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "== experiment %s: %s\n", f.name, f.desc)
 		tab := f.run(o)
 		fmt.Println(tab.String())
 		fmt.Fprintf(os.Stderr, "   (%s)\n", time.Since(start).Round(time.Millisecond))
 	}
-	for id := range want {
-		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", id)
-		os.Exit(2)
-	}
+	c := runner.Counters()
+	fmt.Fprintf(os.Stderr, "runner: %d jobs requested, %d simulated, %d served from memo (j=%d)\n",
+		c.Requested, c.Executed, c.Memoized, runner.Parallelism())
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func names(fs []figure) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.name
+	}
+	return out
+}
+
+func TestSelectFiguresAll(t *testing.T) {
+	sel, err := selectFigures("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != len(figures) {
+		t.Fatalf("-all selected %d of %d experiments", len(sel), len(figures))
+	}
+}
+
+func TestSelectFiguresCanonicalOrder(t *testing.T) {
+	// Ids are re-ordered to the canonical experiment sequence, and
+	// whitespace/duplicates are tolerated.
+	sel, err := selectFigures(" 14, 7 ,7, table3", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(names(sel), ",")
+	if got != "table3,7,14" {
+		t.Fatalf("selection order = %q, want table3,7,14", got)
+	}
+}
+
+func TestSelectFiguresUnknownRejectedUpfront(t *testing.T) {
+	_, err := selectFigures("7,bogus,99", false)
+	if err == nil {
+		t.Fatal("unknown ids accepted")
+	}
+	// Every unknown id and the valid list must be in one message, so a
+	// multi-figure run fails before any simulation starts.
+	for _, want := range []string{"bogus", "99", "table3", "multi"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestSelectFiguresEmpty(t *testing.T) {
+	if _, err := selectFigures(" , ", false); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}

@@ -82,7 +82,11 @@ func run() error {
 		return fmt.Errorf("unknown -mapping %q", *mapping)
 	}
 
-	m := experiments.RunApp(*app, *scale, v)
+	// One-job invocation of the same runner layer paperbench uses; a
+	// single-slot pool, since there is nothing to overlap.
+	m := experiments.NewRunner(1).RunJob(experiments.Job{
+		Kind: experiments.KindApp, App: *app, Scale: *scale, Variant: v,
+	})
 	fmt.Printf("benchmark        %s (%s, scale %d, %s LLC, %s mapping)\n",
 		m.Name, class(m.Regular), *scale, *llc, *mapping)
 	fmt.Printf("default exec     %d cycles\n", m.DefCycles)

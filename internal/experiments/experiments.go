@@ -1,13 +1,15 @@
 // Package experiments reproduces every table and figure of the paper's
-// evaluation (§5). Each FigNN function runs the relevant workloads
-// through the simulator under the relevant configurations and renders the
-// same rows/series the paper reports. cmd/paperbench and the repository's
-// benchmark suite are thin wrappers over this package.
+// evaluation (§5). Each FigNN function declares the simulations it needs
+// as Jobs, executes them on a concurrent, memoizing Runner, and assembles
+// the same rows/series the paper reports — in deterministic benchmark
+// order, byte-identical at any parallelism level. cmd/paperbench and the
+// repository's benchmark suite are thin wrappers over this package.
 package experiments
 
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"locmap/internal/affinity"
 	"locmap/internal/cache"
@@ -28,6 +30,13 @@ type Options struct {
 	Apps []string
 	// Log receives progress lines (nil = quiet).
 	Log io.Writer
+	// Jobs bounds the number of concurrently simulated jobs when a
+	// figure builds its own runner (0 = runtime.NumCPU()).
+	Jobs int
+	// Runner, when non-nil, executes and memoizes this call's jobs.
+	// Sharing one Runner across figure calls (as cmd/paperbench does)
+	// additionally deduplicates identical jobs across figures.
+	Runner *Runner
 }
 
 func (o Options) scale() int {
@@ -44,9 +53,57 @@ func (o Options) apps() []string {
 	return workloads.Names()
 }
 
+// logMu serializes progress output: jobs complete on worker goroutines,
+// and unsynchronized Fprintf calls to a shared writer could tear lines.
+var logMu sync.Mutex
+
 func (o Options) logf(format string, args ...any) {
-	if o.Log != nil {
-		fmt.Fprintf(o.Log, format+"\n", args...)
+	if o.Log == nil {
+		return
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	fmt.Fprintf(o.Log, format+"\n", args...)
+}
+
+// runner returns the shared runner, or builds a fresh one for this
+// figure call.
+func (o Options) runner() *Runner {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return NewRunner(o.Jobs)
+}
+
+// collect runs jobs through r, logging each as it completes. Lines are
+// atomic but arrive in completion order when the pool is wider than one.
+func (o Options) collect(r *Runner, jobs []Job) []AppMetrics {
+	if o.Log == nil {
+		return r.Collect(jobs, nil)
+	}
+	return r.Collect(jobs, func(i int, m AppMetrics) { o.logJob(jobs[i], m) })
+}
+
+// logJob emits one progress line for a completed job.
+func (o Options) logJob(j Job, m AppMetrics) {
+	switch j.Kind {
+	case KindBaseline:
+		if j.Variant.WithIdeal {
+			o.logf("  %-10s %-7v baseline: def=%d ideal=%.1f%%", j.App, j.Variant.Cfg.LLCOrg, m.DefCycles, m.IdealRed())
+		} else {
+			o.logf("  %-10s %-7v baseline: def=%d", j.App, j.Variant.Cfg.LLCOrg, m.DefCycles)
+		}
+	case KindHW:
+		o.logf("  %-10s %-7v hw-placement: %d cycles", j.App, j.Variant.Cfg.LLCOrg, m.LACycles)
+	case KindKNL:
+		o.logf("  %-10s knl %v opt=%v scale=%d: %d cycles", j.App, j.KNLMode, j.KNLOpt, j.scale(), m.DefCycles)
+	default:
+		tag := ""
+		if j.Variant.Oracle {
+			tag = " (oracle)"
+		}
+		o.logf("  %-10s %-7v netRed=%5.1f%% execRed=%5.1f%% maiErr=%.3f%s",
+			j.App, j.Variant.Cfg.LLCOrg, m.NetRed(), m.ExecRed(), m.MAIErr, tag)
 	}
 }
 
@@ -256,14 +313,14 @@ func RunApp(name string, scale int, v Variant) AppMetrics {
 	return m
 }
 
-// RunAll evaluates a set of benchmarks under one variant.
+// RunAll evaluates a set of benchmarks under one variant, simulating
+// them concurrently on the options' runner. Results come back in
+// benchmark order regardless of completion order.
 func RunAll(o Options, v Variant) []AppMetrics {
 	apps := o.apps()
-	out := make([]AppMetrics, 0, len(apps))
-	for _, name := range apps {
-		m := RunApp(name, o.scale(), v)
-		o.logf("  %-10s netRed=%5.1f%% execRed=%5.1f%% maiErr=%.3f", name, m.NetRed(), m.ExecRed(), m.MAIErr)
-		out = append(out, m)
+	jobs := make([]Job, len(apps))
+	for i, name := range apps {
+		jobs[i] = Job{Kind: KindApp, App: name, Scale: o.scale(), Variant: v}
 	}
-	return out
+	return o.collect(o.runner(), jobs)
 }

@@ -6,7 +6,6 @@ import (
 	"locmap/internal/baselines"
 	"locmap/internal/cache"
 	"locmap/internal/dram"
-	"locmap/internal/inspector"
 	"locmap/internal/mem"
 	"locmap/internal/sim"
 	"locmap/internal/stats"
@@ -17,37 +16,35 @@ import (
 // orgs lists the two LLC organizations every study covers.
 var orgs = []cache.Organization{cache.Private, cache.SharedSNUCA}
 
-// idealOnly measures the default mapping against the zero-latency NoC.
-func idealOnly(name string, scale int, cfg sim.Config) (defCycles, idealCycles int64) {
-	p := workloads.MustNew(name, scale)
-	sysD := sim.New(cfg)
-	defCycles = sim.TotalCycles(inspector.RunBaseline(sysD, p))
-	icfg := cfg
-	icfg.NoC.Ideal = true
-	sysI := sim.New(icfg)
-	idealCycles = sim.TotalCycles(inspector.RunBaseline(sysI, p))
-	return defCycles, idealCycles
-}
+// Every FigNN below follows the same shape: declare the jobs it needs
+// (in deterministic order), execute them on the runner, then assemble
+// the table from the ordered results. The runner may complete jobs in
+// any order and dedup those shared with earlier figures; the declared
+// order is what fixes the table bytes.
 
 // Fig2 reproduces the ideal-network potential study: per-application
 // execution-time improvement with a zero-latency NoC, for private and
 // shared LLCs.
 func Fig2(o Options) *stats.Table {
+	apps := o.apps()
+	jobs := make([]Job, 0, 2*len(apps))
+	for _, name := range apps {
+		for _, org := range orgs {
+			v := DefaultVariant(org)
+			v.WithIdeal = true
+			jobs = append(jobs, Job{Kind: KindBaseline, App: name, Scale: o.scale(), Variant: v})
+		}
+	}
+	ms := o.collect(o.runner(), jobs)
+
 	t := stats.NewTable("Figure 2: execution-time improvement with an ideal (zero-latency) NoC (%)",
 		"benchmark", "private", "shared")
 	var priv, shr []float64
-	for _, name := range o.apps() {
-		row := make([]float64, 2)
-		for i, org := range orgs {
-			cfg := sim.DefaultConfig()
-			cfg.LLCOrg = org
-			d, id := idealOnly(name, o.scale(), cfg)
-			row[i] = stats.PctReduction(float64(d), float64(id))
-		}
-		o.logf("  %-10s ideal: priv=%.1f%% shared=%.1f%%", name, row[0], row[1])
-		priv = append(priv, row[0])
-		shr = append(shr, row[1])
-		t.AddRowf(name, row[0], row[1])
+	for i, name := range apps {
+		pr, sh := ms[2*i].IdealRed(), ms[2*i+1].IdealRed()
+		priv = append(priv, pr)
+		shr = append(shr, sh)
+		t.AddRowf(name, pr, sh)
 	}
 	t.AddRowf("GEOMEAN", stats.GeomeanPct(priv), stats.GeomeanPct(shr))
 	return t
@@ -56,20 +53,25 @@ func Fig2(o Options) *stats.Table {
 // Table3 reproduces the benchmark-properties table, with the
 // fraction-moved column measured from our load balancer.
 func Table3(o Options) *stats.Table {
-	t := stats.NewTable("Table 3: benchmark properties",
-		"benchmark", "class", "loop nests", "arrays", "iter groups", "frac moved")
-	for _, name := range o.apps() {
-		spec, _ := workloads.Lookup(name)
+	apps := o.apps()
+	jobs := make([]Job, len(apps))
+	for i, name := range apps {
 		v := DefaultVariant(cache.Private)
 		v.Oracle = true // cheapest path to a mapping: one profile run
-		m := RunApp(name, o.scale(), v)
+		jobs[i] = Job{Kind: KindApp, App: name, Scale: o.scale(), Variant: v}
+	}
+	ms := o.collect(o.runner(), jobs)
+
+	t := stats.NewTable("Table 3: benchmark properties",
+		"benchmark", "class", "loop nests", "arrays", "iter groups", "frac moved")
+	for i, name := range apps {
+		spec, _ := workloads.Lookup(name)
 		class := "irregular"
 		if spec.Regular {
 			class = "regular"
 		}
 		t.AddRowf(name, class, spec.Meta.LoopNests, spec.Meta.Arrays,
-			spec.Meta.IterGroups, fmt.Sprintf("%.1f%%", 100*m.FracMoved))
-		o.logf("  %-10s fracMoved=%.1f%%", name, 100*m.FracMoved)
+			spec.Meta.IterGroups, fmt.Sprintf("%.1f%%", 100*ms[i].FracMoved))
 	}
 	return t
 }
@@ -156,23 +158,43 @@ func sensitivityVariants(org cache.Organization) []struct {
 	}
 }
 
+// geomeanReds folds one job group's metrics into geomean reductions.
+func geomeanReds(ms []AppMetrics) (net, exec float64) {
+	var ns, es []float64
+	for _, m := range ms {
+		ns = append(ns, m.NetRed())
+		es = append(es, m.ExecRed())
+	}
+	return stats.GeomeanPct(ns), stats.GeomeanPct(es)
+}
+
 // Fig9 reproduces the hardware sensitivity study: geometric-mean
 // network-latency and execution-time improvements under an 8×8 mesh, a
 // 1MB/core LLC, 8KB pages and the alternate MC placement.
 func Fig9(o Options) *stats.Table {
-	t := stats.NewTable("Figure 9: sensitivity to hardware parameters (geomeans)",
-		"LLC", "variant", "net red %", "exec red %")
+	apps := o.apps()
+	type group struct {
+		org  cache.Organization
+		name string
+	}
+	var groups []group
+	var jobs []Job
 	for _, org := range orgs {
 		for _, sv := range sensitivityVariants(org) {
-			ms := RunAll(Options{Scale: o.Scale, Apps: o.Apps}, Variant{Cfg: sv.Cfg})
-			var net, exec []float64
-			for _, m := range ms {
-				net = append(net, m.NetRed())
-				exec = append(exec, m.ExecRed())
+			groups = append(groups, group{org, sv.Name})
+			for _, name := range apps {
+				jobs = append(jobs, Job{Kind: KindApp, App: name, Scale: o.scale(), Variant: Variant{Cfg: sv.Cfg}})
 			}
-			o.logf("  %v/%s: net=%.1f exec=%.1f", org, sv.Name, stats.GeomeanPct(net), stats.GeomeanPct(exec))
-			t.AddRowf(org.String(), sv.Name, stats.GeomeanPct(net), stats.GeomeanPct(exec))
 		}
+	}
+	ms := o.collect(o.runner(), jobs)
+
+	t := stats.NewTable("Figure 9: sensitivity to hardware parameters (geomeans)",
+		"LLC", "variant", "net red %", "exec red %")
+	for gi, g := range groups {
+		net, exec := geomeanReds(ms[gi*len(apps) : (gi+1)*len(apps)])
+		o.logf("  %v/%s: net=%.1f exec=%.1f", g.org, g.name, net, exec)
+		t.AddRowf(g.org.String(), g.name, net, exec)
 	}
 	return t
 }
@@ -180,8 +202,7 @@ func Fig9(o Options) *stats.Table {
 // Fig10 reproduces the region-count (10a/10b) and iteration-set-size
 // (10c/10d) sensitivity studies.
 func Fig10(o Options) *stats.Table {
-	t := stats.NewTable("Figure 10: sensitivity to region count and iteration-set size (geomeans)",
-		"LLC", "sweep", "value", "net red %", "exec red %")
+	apps := o.apps()
 	grids := []struct {
 		label  string
 		rx, ry int
@@ -189,34 +210,41 @@ func Fig10(o Options) *stats.Table {
 		{"4 (3x3)", 2, 2}, {"6 (2x3)", 3, 2}, {"9 (2x2)", 3, 3}, {"18 (2x1)", 3, 6}, {"36 (1x1)", 6, 6},
 	}
 	fracs := []float64{0.001, 0.0025, 0.005, 0.0075, 0.01, 0.02}
+
+	type group struct {
+		org          cache.Organization
+		sweep, label string
+	}
+	var groups []group
+	var jobs []Job
+	addGroup := func(org cache.Organization, sweep, label string, cfg sim.Config) {
+		groups = append(groups, group{org, sweep, label})
+		for _, name := range apps {
+			jobs = append(jobs, Job{Kind: KindApp, App: name, Scale: o.scale(), Variant: Variant{Cfg: cfg}})
+		}
+	}
 	for _, org := range orgs {
 		for _, g := range grids {
 			cfg := sim.DefaultConfig()
 			cfg.LLCOrg = org
 			cfg.Mesh = topology.MustNew(6, 6, g.rx, g.ry, topology.MCCorners)
-			ms := RunAll(Options{Scale: o.Scale, Apps: o.Apps}, Variant{Cfg: cfg})
-			var net, exec []float64
-			for _, m := range ms {
-				net = append(net, m.NetRed())
-				exec = append(exec, m.ExecRed())
-			}
-			o.logf("  %v regions=%s: net=%.1f exec=%.1f", org, g.label, stats.GeomeanPct(net), stats.GeomeanPct(exec))
-			t.AddRowf(org.String(), "regions", g.label, stats.GeomeanPct(net), stats.GeomeanPct(exec))
+			addGroup(org, "regions", g.label, cfg)
 		}
 		for _, f := range fracs {
 			cfg := sim.DefaultConfig()
 			cfg.LLCOrg = org
 			cfg.IterSetFrac = f
-			ms := RunAll(Options{Scale: o.Scale, Apps: o.Apps}, Variant{Cfg: cfg})
-			var net, exec []float64
-			for _, m := range ms {
-				net = append(net, m.NetRed())
-				exec = append(exec, m.ExecRed())
-			}
-			o.logf("  %v setsize=%.2f%%: net=%.1f exec=%.1f", org, 100*f, stats.GeomeanPct(net), stats.GeomeanPct(exec))
-			t.AddRowf(org.String(), "set size", fmt.Sprintf("%.2f%%", 100*f),
-				stats.GeomeanPct(net), stats.GeomeanPct(exec))
+			addGroup(org, "set size", fmt.Sprintf("%.2f%%", 100*f), cfg)
 		}
+	}
+	ms := o.collect(o.runner(), jobs)
+
+	t := stats.NewTable("Figure 10: sensitivity to region count and iteration-set size (geomeans)",
+		"LLC", "sweep", "value", "net red %", "exec red %")
+	for gi, g := range groups {
+		net, exec := geomeanReds(ms[gi*len(apps) : (gi+1)*len(apps)])
+		o.logf("  %v %s=%s: net=%.1f exec=%.1f", g.org, g.sweep, g.label, net, exec)
+		t.AddRowf(g.org.String(), g.sweep, g.label, net, exec)
 	}
 	return t
 }
@@ -227,8 +255,7 @@ func Fig10(o Options) *stats.Table {
 // apparent typo; we run the remaining distinct combination
 // (page, cacheline) in its place and note it.
 func Fig11(o Options) *stats.Table {
-	t := stats.NewTable("Figure 11: (cache-bank gran, memory-bank gran) combinations — exec-time improvement (geomeans)",
-		"combo", "private %", "shared %")
+	apps := o.apps()
 	combos := []struct {
 		name             string
 		bankGran, mcGran mem.Granularity
@@ -238,17 +265,28 @@ func Fig11(o Options) *stats.Table {
 		{"(page, page)", mem.GranPage, mem.GranPage},
 		{"(page, cacheline)", mem.GranPage, mem.GranCacheLine},
 	}
+	var jobs []Job
 	for _, cb := range combos {
-		var cells []any
-		cells = append(cells, cb.name)
 		for _, org := range orgs {
 			cfg := sim.DefaultConfig()
 			cfg.LLCOrg = org
 			cfg.BankGran = cb.bankGran
 			cfg.MCGran = cb.mcGran
-			ms := RunAll(Options{Scale: o.Scale, Apps: o.Apps}, Variant{Cfg: cfg})
+			for _, name := range apps {
+				jobs = append(jobs, Job{Kind: KindApp, App: name, Scale: o.scale(), Variant: Variant{Cfg: cfg}})
+			}
+		}
+	}
+	ms := o.collect(o.runner(), jobs)
+
+	t := stats.NewTable("Figure 11: (cache-bank gran, memory-bank gran) combinations — exec-time improvement (geomeans)",
+		"combo", "private %", "shared %")
+	for ci, cb := range combos {
+		cells := []any{cb.name}
+		for oi, org := range orgs {
+			start := (ci*len(orgs) + oi) * len(apps)
 			var exec []float64
-			for _, m := range ms {
+			for _, m := range ms[start : start+len(apps)] {
 				exec = append(exec, m.ExecRed())
 			}
 			cells = append(cells, stats.GeomeanPct(exec))
@@ -262,22 +300,26 @@ func Fig11(o Options) *stats.Table {
 // Fig12 reproduces the DDR-4 study: per-application execution-time
 // improvements when the memory system is DDR4-2133.
 func Fig12(o Options) *stats.Table {
-	t := stats.NewTable("Figure 12: execution-time improvement with DDR-4 (%)",
-		"benchmark", "private", "shared")
-	var priv, shr []float64
-	for _, name := range o.apps() {
-		row := make([]float64, 2)
-		for i, org := range orgs {
+	apps := o.apps()
+	jobs := make([]Job, 0, 2*len(apps))
+	for _, name := range apps {
+		for _, org := range orgs {
 			cfg := sim.DefaultConfig()
 			cfg.LLCOrg = org
 			cfg.DRAM.Timing = dram.DDR4()
-			m := RunApp(name, o.scale(), Variant{Cfg: cfg})
-			row[i] = m.ExecRed()
+			jobs = append(jobs, Job{Kind: KindApp, App: name, Scale: o.scale(), Variant: Variant{Cfg: cfg}})
 		}
-		o.logf("  %-10s ddr4: priv=%.1f shared=%.1f", name, row[0], row[1])
-		priv = append(priv, row[0])
-		shr = append(shr, row[1])
-		t.AddRowf(name, row[0], row[1])
+	}
+	ms := o.collect(o.runner(), jobs)
+
+	t := stats.NewTable("Figure 12: execution-time improvement with DDR-4 (%)",
+		"benchmark", "private", "shared")
+	var priv, shr []float64
+	for i, name := range apps {
+		pr, sh := ms[2*i].ExecRed(), ms[2*i+1].ExecRed()
+		priv = append(priv, pr)
+		shr = append(shr, sh)
+		t.AddRowf(name, pr, sh)
 	}
 	t.AddRowf("GEOMEAN", stats.GeomeanPct(priv), stats.GeomeanPct(shr))
 	return t
@@ -285,42 +327,50 @@ func Fig12(o Options) *stats.Table {
 
 // Fig13 compares against the DO data-layout scheme [22] on the six
 // applications it supports: LA alone, DO alone, and LA applied on top of
-// DO's layout.
+// DO's layout. The LA job's own default-mapping measurement is the
+// comparison base for all three columns (and dedups with Figures 7/8/14
+// when a runner is shared).
 func Fig13(o Options) *stats.Table {
-	t := stats.NewTable("Figure 13: LA vs data-layout optimization (exec-time improvement %)",
-		"LLC", "benchmark", "LA", "DO", "LA+DO")
 	apps := o.Apps
 	if apps == nil {
 		apps = workloads.DOSubset()
 	}
+	var jobs []Job
 	for _, org := range orgs {
 		for _, name := range apps {
-			p := workloads.MustNew(name, o.scale())
 			cfg := sim.DefaultConfig()
 			cfg.LLCOrg = org
 
-			// Plain default (the comparison base).
-			sysD := sim.New(cfg)
-			defCycles := sim.TotalCycles(inspector.RunBaseline(sysD, p))
-
-			// LA alone.
-			la := RunApp(name, o.scale(), Variant{Cfg: cfg})
-
-			// DO alone: relocated layout, default mapping.
+			// DO alone: relocated layout, default mapping. The map is
+			// built here, at declaration time; both DO jobs share the
+			// object, so they key to the same AddrMap identity.
+			p := workloads.MustNew(name, o.scale())
 			base := mem.NewInterleaved(cfg.PageSize, cfg.L2Line, cfg.Mesh.NumMCs(), cfg.Mesh.NumNodes())
 			doMap := baselines.BuildDO(p, cfg.Mesh, base, cfg.PageSize, cfg.IterSetFrac)
 			doCfg := cfg
 			doCfg.AddrMap = doMap
-			sysDO := sim.New(doCfg)
-			doCycles := sim.TotalCycles(inspector.RunBaseline(sysDO, p))
 
-			// LA on top of DO's layout.
-			lado := RunApp(name, o.scale(), Variant{Cfg: doCfg})
+			jobs = append(jobs,
+				Job{Kind: KindApp, App: name, Scale: o.scale(), Variant: Variant{Cfg: cfg}},
+				Job{Kind: KindBaseline, App: name, Scale: o.scale(), Variant: Variant{Cfg: doCfg}},
+				Job{Kind: KindApp, App: name, Scale: o.scale(), Variant: Variant{Cfg: doCfg}},
+			)
+		}
+	}
+	ms := o.collect(o.runner(), jobs)
 
+	t := stats.NewTable("Figure 13: LA vs data-layout optimization (exec-time improvement %)",
+		"LLC", "benchmark", "LA", "DO", "LA+DO")
+	i := 0
+	for _, org := range orgs {
+		for _, name := range apps {
+			la, doBase, lado := ms[3*i], ms[3*i+1], ms[3*i+2]
+			i++
+			def := float64(la.DefCycles)
 			laRed := la.ExecRed()
-			doRed := stats.PctReduction(float64(defCycles), float64(doCycles))
+			doRed := stats.PctReduction(def, float64(doBase.DefCycles))
 			// LA+DO improvement is measured against the plain default.
-			ladoRed := stats.PctReduction(float64(defCycles), float64(lado.LACycles))
+			ladoRed := stats.PctReduction(def, float64(lado.LACycles))
 			o.logf("  %v %-10s LA=%.1f DO=%.1f LA+DO=%.1f", org, name, laRed, doRed, ladoRed)
 			t.AddRowf(org.String(), name, laRed, doRed, ladoRed)
 		}
@@ -331,23 +381,29 @@ func Fig13(o Options) *stats.Table {
 // Fig14 compares against the hardware/OS application-to-core placement of
 // Das et al. [16].
 func Fig14(o Options) *stats.Table {
+	apps := o.apps()
+	var jobs []Job
+	for _, name := range apps {
+		for _, org := range orgs {
+			v := DefaultVariant(org)
+			jobs = append(jobs,
+				Job{Kind: KindApp, App: name, Scale: o.scale(), Variant: v},
+				Job{Kind: KindHW, App: name, Scale: o.scale(), Variant: v},
+			)
+		}
+	}
+	ms := o.collect(o.runner(), jobs)
+
 	t := stats.NewTable("Figure 14: compiler (LA) vs hardware-based placement (exec-time improvement %)",
 		"benchmark", "LA priv", "LA shared", "HW priv", "HW shared")
-	for _, name := range o.apps() {
+	for i, name := range apps {
 		var laRow, hwRow [2]float64
-		for i, org := range orgs {
-			cfg := sim.DefaultConfig()
-			cfg.LLCOrg = org
-			la := RunApp(name, o.scale(), Variant{Cfg: cfg})
-			laRow[i] = la.ExecRed()
-
-			p := workloads.MustNew(name, o.scale())
-			sysH := sim.New(cfg)
-			hwSched := baselines.HWSchedule(sysH, p)
-			hwCycles := sim.TotalCycles(sysH.RunTiming(p, func(int) *sim.Schedule { return hwSched }))
-			hwRow[i] = stats.PctReduction(float64(la.DefCycles), float64(hwCycles))
+		for oi := range orgs {
+			la := ms[4*i+2*oi]
+			hw := ms[4*i+2*oi+1]
+			laRow[oi] = la.ExecRed()
+			hwRow[oi] = stats.PctReduction(float64(la.DefCycles), float64(hw.LACycles))
 		}
-		o.logf("  %-10s LA=(%.1f,%.1f) HW=(%.1f,%.1f)", name, laRow[0], laRow[1], hwRow[0], hwRow[1])
 		t.AddRowf(name, laRow[0], laRow[1], hwRow[0], hwRow[1])
 	}
 	return t
@@ -356,21 +412,25 @@ func Fig14(o Options) *stats.Table {
 // Fig15 reproduces the optimality study: perfect MAI/CAI and perfect
 // cache-miss estimation.
 func Fig15(o Options) *stats.Table {
+	apps := o.apps()
+	jobs := make([]Job, 0, 2*len(apps))
+	for _, name := range apps {
+		for _, org := range orgs {
+			v := DefaultVariant(org)
+			v.Oracle = true
+			jobs = append(jobs, Job{Kind: KindApp, App: name, Scale: o.scale(), Variant: v})
+		}
+	}
+	ms := o.collect(o.runner(), jobs)
+
 	t := stats.NewTable("Figure 15: exec-time improvement with perfect MAI/CAI/CME (%)",
 		"benchmark", "private", "shared")
 	var priv, shr []float64
-	for _, name := range o.apps() {
-		var row [2]float64
-		for i, org := range orgs {
-			v := DefaultVariant(org)
-			v.Oracle = true
-			m := RunApp(name, o.scale(), v)
-			row[i] = m.ExecRed()
-		}
-		o.logf("  %-10s oracle: priv=%.1f shared=%.1f", name, row[0], row[1])
-		priv = append(priv, row[0])
-		shr = append(shr, row[1])
-		t.AddRowf(name, row[0], row[1])
+	for i, name := range apps {
+		pr, sh := ms[2*i].ExecRed(), ms[2*i+1].ExecRed()
+		priv = append(priv, pr)
+		shr = append(shr, sh)
+		t.AddRowf(name, pr, sh)
 	}
 	t.AddRowf("GEOMEAN", stats.GeomeanPct(priv), stats.GeomeanPct(shr))
 	return t

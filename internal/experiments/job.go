@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"locmap/internal/baselines"
+	"locmap/internal/inspector"
+	"locmap/internal/knl"
+	"locmap/internal/sim"
+	"locmap/internal/topology"
+	"locmap/internal/workloads"
+)
+
+// Kind selects what a Job measures.
+type Kind int
+
+const (
+	// KindApp is the full RunApp evaluation: the default mapping versus
+	// the location-aware (or oracle) mapping, plus the ideal-NoC bound
+	// when Variant.WithIdeal is set.
+	KindApp Kind = iota
+	// KindBaseline runs only the default round-robin mapping (and the
+	// ideal-NoC bound when Variant.WithIdeal is set) — the Figure 2
+	// potential study and the Figure 13 comparison bases. Mapper knobs
+	// and Oracle are ignored and excluded from the fingerprint.
+	KindBaseline
+	// KindHW evaluates the hardware/OS placement of Das et al. [16]
+	// (Figure 14). LACycles/LANet hold the HW-schedule measurements;
+	// no baseline is run.
+	KindHW
+	// KindKNL measures one KNL cluster-mode configuration (Figures
+	// 16/17): DefCycles holds the measured cycles. The Variant is
+	// ignored — the machine comes from knl.Config(KNLMode).
+	KindKNL
+)
+
+// Job identifies one simulation: an application at an input scale under
+// one machine/mapping configuration. A Job is a pure computation — equal
+// fingerprints produce equal results — which is what lets the Runner
+// deduplicate concurrent requests and memoize completed ones.
+type Job struct {
+	Kind    Kind
+	App     string
+	Scale   int
+	Variant Variant
+
+	// KNLMode and KNLOpt select the cluster mode and whether the
+	// location-aware schedule is applied (KindKNL only).
+	KNLMode knl.Mode
+	KNLOpt  bool
+}
+
+func (j Job) scale() int {
+	if j.Scale < 1 {
+		return 1
+	}
+	return j.Scale
+}
+
+// Fingerprint returns the canonical memo key for the job: a hex SHA-256
+// over the kind, the application and scale, and every sim.Config /
+// core.Config field that affects the result (the internal/plancache
+// spec-hashing idiom). Fields a kind does not read are excluded, so e.g.
+// baseline jobs that differ only in mapper knobs share one key, and a
+// nil Mapper.Mesh fingerprints as Cfg.Mesh — exactly what RunApp
+// substitutes. A custom Cfg.AddrMap is keyed by pointer identity:
+// distinct map objects never alias, at the cost of missing dedup between
+// separately built but identical maps.
+func (j Job) Fingerprint() string {
+	h := sha256.New()
+	writeInt := func(v int64) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(v))
+		h.Write(n[:])
+	}
+	writeStr := func(s string) {
+		writeInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	writeBool := func(b bool) {
+		if b {
+			writeInt(1)
+		} else {
+			writeInt(0)
+		}
+	}
+	writeFloat := func(f float64) {
+		writeInt(int64(math.Float64bits(f)))
+	}
+	writeMesh := func(m *topology.Mesh) {
+		if m == nil {
+			writeInt(-1)
+			return
+		}
+		writeInt(int64(m.Width))
+		writeInt(int64(m.Height))
+		writeInt(int64(m.RegionsX))
+		writeInt(int64(m.RegionsY))
+		writeBool(m.Wrap)
+		writeInt(int64(m.Placement))
+	}
+
+	writeInt(int64(j.Kind))
+	writeStr(j.App)
+	writeInt(int64(j.scale()))
+
+	if j.Kind == KindKNL {
+		writeInt(int64(j.KNLMode))
+		writeBool(j.KNLOpt)
+		return hex.EncodeToString(h.Sum(nil))
+	}
+
+	cfg := j.Variant.Cfg
+	writeMesh(cfg.Mesh)
+	writeInt(cfg.NoC.RouterCycles)
+	writeInt(cfg.NoC.LinkCycles)
+	writeBool(cfg.NoC.Ideal)
+	writeInt(int64(cfg.LLCOrg))
+	writeInt(int64(cfg.L1Size))
+	writeInt(int64(cfg.L1Line))
+	writeInt(int64(cfg.L1Ways))
+	writeInt(int64(cfg.L2PerCore))
+	writeInt(int64(cfg.L2Line))
+	writeInt(int64(cfg.L2Ways))
+	writeInt(cfg.L1Latency)
+	writeInt(cfg.L2Latency)
+	writeInt(int64(cfg.PageSize))
+	writeStr(cfg.DRAM.Timing.Name)
+	writeInt(cfg.DRAM.Timing.RowHit)
+	writeInt(cfg.DRAM.Timing.RowConflict)
+	writeInt(cfg.DRAM.Timing.RowEmpty)
+	writeInt(cfg.DRAM.Timing.Burst)
+	writeInt(int64(cfg.DRAM.MCs))
+	writeInt(int64(cfg.DRAM.BanksPerMC))
+	writeInt(cfg.DRAM.RowBufBytes)
+	writeInt(int64(cfg.DRAM.QueueEntries))
+	writeInt(int64(cfg.MCGran))
+	writeInt(int64(cfg.BankGran))
+	writeFloat(cfg.IterSetFrac)
+	if cfg.AddrMap != nil {
+		writeStr(fmt.Sprintf("%p", cfg.AddrMap))
+	} else {
+		writeStr("")
+	}
+
+	if j.Kind == KindApp || j.Kind == KindBaseline {
+		writeBool(j.Variant.WithIdeal)
+	}
+	if j.Kind == KindApp {
+		writeBool(j.Variant.Oracle)
+		mc := j.Variant.Mapper
+		mesh := mc.Mesh
+		if mesh == nil {
+			mesh = cfg.Mesh
+		}
+		writeMesh(mesh)
+		writeBool(mc.FineMAC)
+		writeInt(int64(mc.Intra))
+		writeInt(mc.Seed)
+		writeBool(mc.DisableBalance)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// run executes the job. It must remain a pure function of the
+// fingerprinted fields: the Runner serves memoized results for equal
+// fingerprints without re-running.
+func (j Job) run() AppMetrics {
+	switch j.Kind {
+	case KindBaseline:
+		return runBaselineJob(j.App, j.scale(), j.Variant)
+	case KindHW:
+		return runHWJob(j.App, j.scale(), j.Variant)
+	case KindKNL:
+		return AppMetrics{Name: j.App, DefCycles: knlExec(j.App, j.scale(), j.KNLMode, j.KNLOpt)}
+	default:
+		return RunApp(j.App, j.scale(), j.Variant)
+	}
+}
+
+// runBaselineJob measures the default mapping alone, plus the
+// zero-latency-NoC bound when requested.
+func runBaselineJob(name string, scale int, v Variant) AppMetrics {
+	p := workloads.MustNew(name, scale)
+	m := AppMetrics{Name: name, Regular: p.Regular}
+	sysD := sim.New(v.Cfg)
+	res := inspector.RunBaseline(sysD, p)
+	m.DefCycles = sim.TotalCycles(res)
+	m.DefNet = sim.TotalNetLatency(res)
+	m.LLCMissRate = sysD.Stats().LLCMissRate()
+	if v.WithIdeal {
+		icfg := v.Cfg
+		icfg.NoC.Ideal = true
+		m.IdealCycles = sim.TotalCycles(inspector.RunBaseline(sim.New(icfg), p))
+	}
+	return m
+}
+
+// runHWJob measures the hardware/OS placement baseline: the schedule is
+// derived on the same system instance that then executes the timed run,
+// as in the original Figure 14 harness.
+func runHWJob(name string, scale int, v Variant) AppMetrics {
+	p := workloads.MustNew(name, scale)
+	m := AppMetrics{Name: name, Regular: p.Regular}
+	sysH := sim.New(v.Cfg)
+	hwSched := baselines.HWSchedule(sysH, p)
+	res := sysH.RunTiming(p, func(int) *sim.Schedule { return hwSched })
+	m.LACycles = sim.TotalCycles(res)
+	m.LANet = sim.TotalNetLatency(res)
+	return m
+}

@@ -46,25 +46,38 @@ func knlExec(name string, scale int, mode knl.Mode, optimized bool) int64 {
 	return sim.TotalCycles(sys.RunTiming(p, func(int) *sim.Schedule { return sched }))
 }
 
-// knlRow measures the five Figure 16 bars for one application at one
-// scale: improvements relative to the original all-to-all execution.
-func knlRow(name string, scale int) (base int64, bars [5]float64) {
-	base = knlExec(name, scale, knl.AllToAll, false)
-	cfgs := []struct {
-		mode knl.Mode
-		opt  bool
-	}{
-		{knl.Quadrant, false},
-		{knl.SNC4, false},
-		{knl.AllToAll, true},
-		{knl.Quadrant, true},
-		{knl.SNC4, true},
+// knlBarCfgs are the five Figure 16 bars, in figure order; the base
+// measurement (original all-to-all) precedes them in each job group.
+var knlBarCfgs = []struct {
+	mode knl.Mode
+	opt  bool
+}{
+	{knl.Quadrant, false},
+	{knl.SNC4, false},
+	{knl.AllToAll, true},
+	{knl.Quadrant, true},
+	{knl.SNC4, true},
+}
+
+// knlJobs declares the six measurements for one application at one
+// scale: the original all-to-all base plus the five bars.
+func knlJobs(name string, scale int) []Job {
+	jobs := make([]Job, 0, 1+len(knlBarCfgs))
+	jobs = append(jobs, Job{Kind: KindKNL, App: name, Scale: scale, KNLMode: knl.AllToAll})
+	for _, c := range knlBarCfgs {
+		jobs = append(jobs, Job{Kind: KindKNL, App: name, Scale: scale, KNLMode: c.mode, KNLOpt: c.opt})
 	}
-	for i, c := range cfgs {
-		cy := knlExec(name, scale, c.mode, c.opt)
-		bars[i] = stats.PctReduction(float64(base), float64(cy))
+	return jobs
+}
+
+// knlBars folds one knlJobs group's results into the five improvement
+// bars relative to the base measurement.
+func knlBars(ms []AppMetrics) (bars [5]float64) {
+	base := float64(ms[0].DefCycles)
+	for i := range bars {
+		bars[i] = stats.PctReduction(base, float64(ms[i+1].DefCycles))
 	}
-	return base, bars
+	return bars
 }
 
 var knlCols = []string{"benchmark", "orig quadrant", "orig SNC-4", "opt all-to-all", "opt quadrant", "opt SNC-4"}
@@ -72,14 +85,20 @@ var knlCols = []string{"benchmark", "orig quadrant", "orig SNC-4", "opt all-to-a
 // Fig16 reproduces the KNL cluster-mode study: execution-time improvement
 // of every configuration relative to the original all-to-all mode.
 func Fig16(o Options) *stats.Table {
+	apps := o.apps()
+	var jobs []Job
+	for _, name := range apps {
+		jobs = append(jobs, knlJobs(name, o.scale())...)
+	}
+	ms := o.collect(o.runner(), jobs)
+
 	t := stats.NewTable("Figure 16: KNL cluster modes — exec-time improvement vs original all-to-all (%)", knlCols...)
 	sums := make([][]float64, 5)
-	for _, name := range o.apps() {
-		_, bars := knlRow(name, o.scale())
-		o.logf("  %-10s knl: %v", name, bars)
+	for i, name := range apps {
+		bars := knlBars(ms[6*i : 6*i+6])
 		t.AddRowf(name, bars[0], bars[1], bars[2], bars[3], bars[4])
-		for i, b := range bars {
-			sums[i] = append(sums[i], b)
+		for k, b := range bars {
+			sums[k] = append(sums[k], b)
 		}
 	}
 	t.AddRowf("GEOMEAN", stats.GeomeanPct(sums[0]), stats.GeomeanPct(sums[1]),
@@ -91,20 +110,30 @@ func Fig16(o Options) *stats.Table {
 // whose inputs could be enlarged: the Figure 16 bars at ~2× and ~4× the
 // default input size.
 func Fig17(o Options) *stats.Table {
-	cols := append([]string{"scale"}, knlCols...)
-	t := stats.NewTable("Figure 17: KNL with 2x and 4x inputs — exec-time improvement vs original all-to-all (%)", cols...)
 	apps := o.Apps
 	if apps == nil {
 		apps = workloads.KNLScaleSubset()
 	}
-	for _, scale := range []int{2, 4} {
+	scales := []int{2, 4}
+	var jobs []Job
+	for _, scale := range scales {
+		for _, name := range apps {
+			jobs = append(jobs, knlJobs(name, scale)...)
+		}
+	}
+	ms := o.collect(o.runner(), jobs)
+
+	cols := append([]string{"scale"}, knlCols...)
+	t := stats.NewTable("Figure 17: KNL with 2x and 4x inputs — exec-time improvement vs original all-to-all (%)", cols...)
+	g := 0
+	for _, scale := range scales {
 		sums := make([][]float64, 5)
 		for _, name := range apps {
-			_, bars := knlRow(name, scale)
-			o.logf("  %dx %-10s knl: %v", scale, name, bars)
+			bars := knlBars(ms[6*g : 6*g+6])
+			g++
 			t.AddRowf(scale, name, bars[0], bars[1], bars[2], bars[3], bars[4])
-			for i, b := range bars {
-				sums[i] = append(sums[i], b)
+			for k, b := range bars {
+				sums[k] = append(sums[k], b)
 			}
 		}
 		t.AddRowf(scale, "GEOMEAN", stats.GeomeanPct(sums[0]), stats.GeomeanPct(sums[1]),
