@@ -3,7 +3,7 @@ GO ?= go
 # `make check` is the tier-1 CI gate (see ROADMAP.md), enforced by
 # .github/workflows/ci.yml: build, formatting, vet, and the full test
 # suite under the race detector.
-.PHONY: check fmt vet test race build
+.PHONY: check fmt vet test race build bench
 
 check: build fmt vet race
 
@@ -24,3 +24,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# `make bench` runs the simulator micro-benchmarks (RunNest, NoC send,
+# cache access) and the RunNest-dominated figure benchmarks, and merges
+# the numbers into BENCH_sim.json under BENCH_LABEL (default "post"; the
+# checked-in "pre" capture is the pre-optimization baseline of PR 3).
+# Short smoke run: make bench BENCHTIME_MICRO=1x BENCHTIME_FIG=1x
+BENCH_LABEL ?= post
+BENCHTIME_MICRO ?= 2s
+BENCHTIME_FIG ?= 3x
+bench:
+	@rm -f .bench.out
+	$(GO) test -run '^$$' -bench 'RunNest|NoCSend|CacheAccess|CacheLookup' \
+		-benchtime $(BENCHTIME_MICRO) -benchmem ./internal/sim ./internal/cache | tee -a .bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkFig02IdealNetwork|BenchmarkFig07Private|BenchmarkFig08Shared|BenchmarkMultiprogrammed' \
+		-benchtime $(BENCHTIME_FIG) -benchmem . | tee -a .bench.out
+	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_sim.json < .bench.out
+	@rm -f .bench.out

@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// JSON benchmark record and merges it into a baselines file under a
+// label, so before/after captures of the same suite live side by side:
+//
+//	go test -bench ... | benchjson -label post -out BENCH_sim.json
+//
+// The output file maps label -> capture; an existing file keeps its
+// other labels (`make bench` updates "post" while the checked-in "pre"
+// baseline stays put). All reported metrics are kept generically
+// (ns/op, B/op, allocs/op, and custom ones like netRed%/execRed%).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Capture is one labelled run of the suite.
+type Capture struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go"`
+	Note       string  `json:"note,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix strips the -N procs suffix go test appends to
+// benchmark names, so captures from different machines compare by name.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark lines from go test output. Lines look
+// like:
+//
+//	BenchmarkRunNest-8   3248   671959 ns/op   27.34 ns/ref   15 allocs/op
+func parseBench(lines *bufio.Scanner) ([]Entry, error) {
+	var out []Entry
+	for lines.Scan() {
+		f := strings.Fields(lines.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue // a log line that happens to start with Benchmark
+		}
+		e := Entry{
+			Name:       gomaxprocsSuffix.ReplaceAllString(f[0], ""),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad metric value %q", f[0], f[i])
+			}
+			e.Metrics[f[i+1]] = v
+		}
+		out = append(out, e)
+	}
+	return out, lines.Err()
+}
+
+func main() {
+	label := flag.String("label", "post", "label to store this capture under")
+	outPath := flag.String("out", "BENCH_sim.json", "baselines file to merge into")
+	note := flag.String("note", "", "free-form note recorded with the capture")
+	flag.Parse()
+
+	entries, err := parseBench(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	all := map[string]Capture{}
+	if data, err := os.ReadFile(*outPath); err == nil {
+		if err := json.Unmarshal(data, &all); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: corrupt %s: %v\n", *outPath, err)
+			os.Exit(1)
+		}
+	}
+	all[*label] = Capture{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		Note:       *note,
+		Benchmarks: entries,
+	}
+	data, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s[%q]\n", len(entries), *outPath, *label)
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: locmap/internal/sim
+BenchmarkRunNestPrivate-8   	    3248	    671959 ns/op	        27.34 ns/ref	   66160 B/op	      15 allocs/op
+BenchmarkFig07Private      	       3	1350144082 ns/op	        16.76 execRed%	        45.37 netRed%
+PASS
+ok  	locmap/internal/sim	9.822s
+`
+	entries, err := parseBench(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	e := entries[0]
+	if e.Name != "BenchmarkRunNestPrivate" {
+		t.Errorf("procs suffix not stripped: %q", e.Name)
+	}
+	if e.Iterations != 3248 || e.Metrics["ns/op"] != 671959 || e.Metrics["allocs/op"] != 15 {
+		t.Errorf("bad metrics: %+v", e)
+	}
+	if entries[1].Metrics["netRed%"] != 45.37 || entries[1].Metrics["execRed%"] != 16.76 {
+		t.Errorf("custom metrics lost: %+v", entries[1].Metrics)
+	}
+}
+
+func TestParseBenchSkipsNoise(t *testing.T) {
+	in := "Benchmarking is fun\nBenchmark notanumber x y\n"
+	entries, err := parseBench(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("parsed noise: %+v", entries)
+	}
+}

@@ -13,10 +13,15 @@
 //	-workers N     max concurrent mapping/simulation jobs (default GOMAXPROCS)
 //	-cache N       plan-cache capacity in entries (default 1024)
 //	-timeout D     per-request timeout, queueing included (default 30s)
+//	-pprof ADDR    serve net/http/pprof on ADDR (off by default)
 //
 // Endpoints: POST /v1/map, POST /v1/simulate, GET /v1/stats,
 // GET /healthz. The process drains in-flight requests and exits
 // cleanly on SIGINT/SIGTERM.
+//
+// -pprof exposes the Go profiling endpoints (/debug/pprof/...) on a
+// separate listener so production traffic and diagnostics never share a
+// port; leave it unset to expose nothing.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,9 +52,27 @@ func run() error {
 	workers := flag.Int("workers", 0, "max concurrent jobs (0 = GOMAXPROCS)")
 	cacheCap := flag.Int("cache", 1024, "plan-cache capacity in entries")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+
+	if *pprofAddr != "" {
+		// A dedicated mux: the default one would also be reachable from
+		// any other handler registered against http.DefaultServeMux.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("locmapd pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("locmapd pprof: %v", err)
+			}
+		}()
 	}
 
 	srv := server.New(server.Config{

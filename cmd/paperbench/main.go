@@ -14,6 +14,11 @@
 //	paperbench -all                   # everything
 //	paperbench -all -j 8              # ... on an 8-wide worker pool
 //	paperbench -fig 7 -apps moldyn,swim   # restrict the benchmark set
+//	paperbench -all -cpuprofile cpu.out -memprofile mem.out
+//
+// -cpuprofile/-memprofile write pprof profiles of the run (the memory
+// profile captures the live heap at exit), so simulator performance work
+// is measurable on the real full-sweep workload.
 //
 // Experiments: 2, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, table3, multi.
 package main
@@ -23,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -100,6 +106,8 @@ func main() {
 	scale := flag.Int("scale", 1, "workload input scale")
 	jobs := flag.Int("j", runtime.NumCPU(), "max concurrently simulated jobs")
 	quiet := flag.Bool("q", false, "suppress per-job progress lines")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	if !*all && *fig == "" {
@@ -113,6 +121,38 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 		os.Exit(2)
+	}
+
+	// Profiling starts only after flag validation so a usage error never
+	// leaves a truncated profile behind.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live-heap numbers
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	// One runner for the whole invocation: its memo table deduplicates

@@ -21,9 +21,21 @@ type Cache struct {
 	numSets  int
 	ways     int
 
-	// tags[set] holds the resident line tags in LRU order: index 0 is
-	// most recently used. Slices never exceed `ways` entries.
-	tags [][]uint64
+	// tags holds all resident line tags in one contiguous backing array:
+	// set s owns tags[s*ways : s*ways+occ[s]], in LRU order with index 0
+	// most recently used. One flat array instead of a slice-of-slices
+	// keeps every lookup to a single cache-friendly segment scan with no
+	// pointer chasing or append growth.
+	tags []uint64
+	// occ[s] is the number of resident lines in set s (≤ ways).
+	occ []int32
+
+	// lineShift/setMask/setShift replace the divisions in the
+	// line/set/tag split when lineSize and numSets are powers of two —
+	// the common case for every simulated geometry.
+	lineShift, setShift uint
+	setMask             uint64
+	pow2                bool
 
 	hits, misses uint64
 }
@@ -43,9 +55,39 @@ func New(size, lineSize, ways int) (*Cache, error) {
 		lineSize: lineSize,
 		numSets:  sets,
 		ways:     ways,
-		tags:     make([][]uint64, sets),
+		tags:     make([]uint64, sets*ways),
+		occ:      make([]int32, sets),
+	}
+	if isPow2(lineSize) && isPow2(sets) {
+		c.pow2 = true
+		c.lineShift = log2(uint64(lineSize))
+		c.setShift = log2(uint64(sets))
+		c.setMask = uint64(sets - 1)
 	}
 	return c, nil
+}
+
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+func log2(v uint64) uint {
+	var s uint
+	for v > 1 {
+		v >>= 1
+		s++
+	}
+	return s
+}
+
+// split computes (set, tag) for an address. The pow2 fast path turns the
+// two divisions into shifts and a mask; both paths compute identical
+// values.
+func (c *Cache) split(addr mem.Addr) (int, uint64) {
+	if c.pow2 {
+		line := uint64(addr) >> c.lineShift
+		return int(line & c.setMask), line >> c.setShift
+	}
+	line := uint64(addr) / uint64(c.lineSize)
+	return int(line % uint64(c.numSets)), line / uint64(c.numSets)
 }
 
 // MustNew is New but panics on error; for static configurations.
@@ -69,10 +111,9 @@ func (c *Cache) Ways() int { return c.ways }
 // Access looks up addr, updates LRU state and inserts the line on a miss.
 // It reports whether the access hit.
 func (c *Cache) Access(addr mem.Addr) bool {
-	line := uint64(addr) / uint64(c.lineSize)
-	set := int(line % uint64(c.numSets))
-	tag := line / uint64(c.numSets)
-	ts := c.tags[set]
+	set, tag := c.split(addr)
+	base := set * c.ways
+	ts := c.tags[base : base+int(c.occ[set])]
 	for i, t := range ts {
 		if t == tag {
 			// Move to front (MRU).
@@ -83,22 +124,23 @@ func (c *Cache) Access(addr mem.Addr) bool {
 		}
 	}
 	c.misses++
-	if len(ts) < c.ways {
-		ts = append(ts, 0)
+	if int(c.occ[set]) < c.ways {
+		c.occ[set]++
+		ts = c.tags[base : base+int(c.occ[set])]
 	}
+	// Shift right (evicting the LRU tail when the set is full) and
+	// insert at MRU.
 	copy(ts[1:], ts)
 	ts[0] = tag
-	c.tags[set] = ts
 	return false
 }
 
 // Lookup reports whether addr is resident without touching LRU state or
 // statistics. The cache-miss estimator's oracle mode uses it.
 func (c *Cache) Lookup(addr mem.Addr) bool {
-	line := uint64(addr) / uint64(c.lineSize)
-	set := int(line % uint64(c.numSets))
-	tag := line / uint64(c.numSets)
-	for _, t := range c.tags[set] {
+	set, tag := c.split(addr)
+	base := set * c.ways
+	for _, t := range c.tags[base : base+int(c.occ[set])] {
 		if t == tag {
 			return true
 		}
@@ -108,13 +150,13 @@ func (c *Cache) Lookup(addr mem.Addr) bool {
 
 // Invalidate removes addr's line if resident, reporting whether it was.
 func (c *Cache) Invalidate(addr mem.Addr) bool {
-	line := uint64(addr) / uint64(c.lineSize)
-	set := int(line % uint64(c.numSets))
-	tag := line / uint64(c.numSets)
-	ts := c.tags[set]
+	set, tag := c.split(addr)
+	base := set * c.ways
+	ts := c.tags[base : base+int(c.occ[set])]
 	for i, t := range ts {
 		if t == tag {
-			c.tags[set] = append(ts[:i], ts[i+1:]...)
+			copy(ts[i:], ts[i+1:])
+			c.occ[set]--
 			return true
 		}
 	}
@@ -123,8 +165,8 @@ func (c *Cache) Invalidate(addr mem.Addr) bool {
 
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
-	for i := range c.tags {
-		c.tags[i] = c.tags[i][:0]
+	for i := range c.occ {
+		c.occ[i] = 0
 	}
 	c.hits, c.misses = 0, 0
 }

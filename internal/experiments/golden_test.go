@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"locmap/internal/stats"
+)
+
+// updateGolden rewrites testdata/golden_tables.json from the current
+// simulator output:
+//
+//	go test ./internal/experiments -run TestGoldenTables -update-golden
+//
+// Only do this when an output change is intended and justified (e.g. a
+// documented event-ordering change); the whole point of the goldens is
+// to catch refactors that silently alter the simulated numbers.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden table hashes")
+
+const goldenPath = "testdata/golden_tables.json"
+
+// goldenEntry pins one experiment's output: the SHA-256 of the rendered
+// table plus the full text, so a mismatch is diffable without rerunning.
+type goldenEntry struct {
+	Name   string `json:"name"`
+	SHA256 string `json:"sha256"`
+	Table  string `json:"table"`
+}
+
+// goldenJobs is the fixed job set: every one of the 14 experiments on a
+// small fixed benchmark subset (one regular app for the sweeps, the
+// 4-app mix for the multiprogrammed study), serially, at scale 1. Small
+// enough to run in the regular test suite, wide enough that a change to
+// any simulator subsystem (noc, cache, dram, sim, loop, mapper) shows
+// up in at least one table.
+func goldenJobs() []struct {
+	name string
+	run  func(Options) *stats.Table
+	apps []string
+} {
+	one := []string{"mxm"}
+	two := []string{"swim", "mxm"}
+	return []struct {
+		name string
+		run  func(Options) *stats.Table
+		apps []string
+	}{
+		{"fig2", Fig2, two},
+		{"table3", Table3, two},
+		{"fig7", Fig7, two},
+		{"fig8", Fig8, two},
+		{"fig9", Fig9, one},
+		{"fig10", Fig10, one},
+		{"fig11", Fig11, one},
+		{"fig12", Fig12, one},
+		{"fig13", Fig13, one},
+		{"fig14", Fig14, one},
+		{"fig15", Fig15, two},
+		{"fig16", Fig16, one},
+		{"fig17", Fig17, one},
+		{"multi", MultiProg, []string{"swim", "mxm", "fft", "hpccg"}},
+	}
+}
+
+// TestGoldenTables runs the fixed job set and compares every rendered
+// table against the checked-in goldens. It guards the value-identity
+// invariant: performance refactors of the simulator hot path must not
+// change a single reported number.
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	runner := NewRunner(0)
+	entries := make([]goldenEntry, 0, 14)
+	for _, g := range goldenJobs() {
+		tab := g.run(Options{Apps: g.apps, Jobs: 1, Runner: runner})
+		text := tab.String()
+		sum := sha256.Sum256([]byte(text))
+		entries = append(entries, goldenEntry{
+			Name:   g.name,
+			SHA256: hex.EncodeToString(sum[:]),
+			Table:  text,
+		})
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d tables", goldenPath, len(entries))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing goldens (run with -update-golden to create): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt %s: %v", goldenPath, err)
+	}
+	byName := make(map[string]goldenEntry, len(want))
+	for _, e := range want {
+		byName[e.Name] = e
+	}
+	for _, got := range entries {
+		exp, ok := byName[got.Name]
+		if !ok {
+			t.Errorf("%s: no golden entry (run -update-golden)", got.Name)
+			continue
+		}
+		if got.SHA256 != exp.SHA256 {
+			t.Errorf("%s: table changed (hash %s, golden %s)\n--- golden ---\n%s\n--- got ---\n%s",
+				got.Name, got.SHA256[:12], exp.SHA256[:12], exp.Table, got.Table)
+		}
+	}
+	if len(want) != len(entries) {
+		t.Errorf("golden file has %d entries, test produced %d", len(want), len(entries))
+	}
+}

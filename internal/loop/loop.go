@@ -32,7 +32,9 @@ func (a *Array) SizeBytes() int64 { return a.Elems * int64(a.ElemSize) }
 // wrapped into the array, mirroring how the synthetic workload generators
 // keep index arrays in bounds.
 func (a *Array) AddrOf(idx int64) mem.Addr {
-	if a.Elems > 0 {
+	// In-range fast path: one unsigned compare instead of an int64
+	// modulo (also excludes negatives); this is the per-reference case.
+	if uint64(idx) >= uint64(a.Elems) && a.Elems > 0 {
 		idx %= a.Elems
 		if idx < 0 {
 			idx += a.Elems

@@ -55,6 +55,10 @@ type Network struct {
 	Mesh *topology.Mesh
 	cfg  Config
 
+	// routes is the precomputed all-pairs route table: Send indexes it
+	// instead of re-running X-Y routing per packet.
+	routes *topology.RouteTable
+
 	busyUntil []int64
 	linkLoad  []uint64
 
@@ -62,15 +66,16 @@ type Network struct {
 	totalLatency uint64
 	totalHops    uint64
 	totalQueued  uint64
-
-	routeBuf []topology.LinkID
 }
 
-// New builds a network over the given mesh.
+// New builds a network over the given mesh. The route table snapshots
+// the mesh's routing (including Wrap) at construction time; mutate the
+// mesh before building networks over it, not after.
 func New(mesh *topology.Mesh, cfg Config) *Network {
 	return &Network{
 		Mesh:      mesh,
 		cfg:       cfg,
+		routes:    mesh.NewRouteTable(),
 		busyUntil: make([]int64, mesh.NumLinks()),
 		linkLoad:  make([]uint64, mesh.NumLinks()),
 	}
@@ -85,11 +90,11 @@ func (n *Network) Send(src, dst topology.NodeID, start int64, class PacketClass)
 	if n.cfg.Ideal || src == dst {
 		return start
 	}
-	n.routeBuf = n.Mesh.Route(n.routeBuf[:0], src, dst)
+	route := n.routes.Route(src, dst)
 	t := start
 	perHop := n.cfg.RouterCycles + n.cfg.LinkCycles
 	occupy := class.flits() * n.cfg.LinkCycles
-	for _, l := range n.routeBuf {
+	for _, l := range route {
 		arrive := t + perHop
 		if b := n.busyUntil[l]; b > arrive {
 			n.totalQueued += uint64(b - arrive)
@@ -100,7 +105,7 @@ func (n *Network) Send(src, dst topology.NodeID, start int64, class PacketClass)
 		t = arrive
 	}
 	n.packets++
-	n.totalHops += uint64(len(n.routeBuf))
+	n.totalHops += uint64(len(route))
 	n.totalLatency += uint64(t - start)
 	return t
 }

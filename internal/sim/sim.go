@@ -24,6 +24,19 @@
 // consistent across cores without flit-level simulation. Each in-order
 // core overlaps the references of one iteration (MSHR-style memory-level
 // parallelism) and commits iterations in order.
+//
+// # Event-ordering contract
+//
+// The event queue is a strict total order: events are served by
+// ascending simulated time, and events with equal timestamps are served
+// in the order they were scheduled (FIFO, via a per-RunNest monotonic
+// sequence number). Equal-time ordering is therefore deterministic and
+// independent of the heap's internal layout — a requirement for the
+// repository-wide invariant that every experiment table is byte-identical
+// across runs, parallelism levels and refactors of the queue itself.
+// Anything that changes the service order of equal-time events (including
+// this tie-break's introduction) is an observable simulation change and
+// must come with re-derived goldens (internal/experiments/testdata).
 package sim
 
 import (
@@ -243,21 +256,44 @@ func (s *System) RunNestOn(n *loop.Nest, sets []loop.IterSet, assign *core.Assig
 	}
 	netBefore := s.net.Stats().TotalLatency
 
+	// Per-set observation vectors are carved from single backing arrays
+	// (one for MC misses, one for region hits) instead of 2×len(sets)
+	// small allocations; full-slice expressions keep a consumer append
+	// from bleeding into the neighbouring set's counts.
+	numMCs := s.cfg.Mesh.NumMCs()
 	obs := make([]SetObs, len(sets))
+	mcBack := make([]float64, len(sets)*numMCs)
+	var rhBack []float64
+	numRegions := 0
+	if s.cfg.LLCOrg == cache.SharedSNUCA {
+		numRegions = s.cfg.Mesh.NumRegions()
+		rhBack = make([]float64, len(sets)*numRegions)
+	}
 	for k := range obs {
-		obs[k].MCMisses = make([]float64, s.cfg.Mesh.NumMCs())
-		if s.cfg.LLCOrg == cache.SharedSNUCA {
-			obs[k].RegionHits = make([]float64, s.cfg.Mesh.NumRegions())
+		obs[k].MCMisses = mcBack[k*numMCs : (k+1)*numMCs : (k+1)*numMCs]
+		if rhBack != nil {
+			obs[k].RegionHits = rhBack[k*numRegions : (k+1)*numRegions : (k+1)*numRegions]
 		}
 	}
 
-	// Per-core worklists of set indices, preserving set order.
+	// Per-core worklists of set indices, preserving set order, carved
+	// from one backing array sized by a counting pass.
+	cnt := make([]int, nodes)
+	for k := range sets {
+		cnt[assign.Core[k]]++
+	}
+	workBack := make([]int, len(sets))
 	work := make([][]int, nodes)
+	for c, off := 0, 0; c < nodes; c++ {
+		work[c] = workBack[off : off : off+cnt[c]]
+		off += cnt[c]
+	}
 	for k := range sets {
 		c := int(assign.Core[k])
 		work[c] = append(work[c], k)
 	}
 
+	plan := n.NewStepPlan()
 	eng := engine{
 		sys:         s,
 		nest:        n,
@@ -266,14 +302,21 @@ func (s *System) RunNestOn(n *loop.Nest, sets []loop.IterSet, assign *core.Assig
 		work:        work,
 		next:        make([]int, nodes),
 		cur:         make([]int64, nodes),
-		ivs:         make([][]int64, nodes),
+		step:        make([]loop.Stepper, nodes),
 		outstanding: make([]int, nodes),
 		doneAt:      make([]int64, nodes),
+		// Each core has at most len(Refs)+1 in-flight references, each
+		// with at most one pending event: size the heap once.
+		heap: make([]event, 0, nodes*(len(n.Refs)+2)),
 	}
+	ivBack := make([]int64, nodes*plan.Dims())
+	valBack := make([]int64, nodes*plan.Refs())
 	for c := 0; c < nodes; c++ {
 		if len(work[c]) > 0 {
+			plan.Bind(&eng.step[c], ivBack[c*plan.Dims():], valBack[c*plan.Refs():])
 			eng.cur[c] = sets[work[c][0]].Lo
-			eng.push(event{t: s.coreTime[c], core: c, stage: stIssue})
+			eng.step[c].SeekTo(eng.cur[c])
+			eng.push(event{t: s.coreTime[c], core: int32(c), stage: stIssue})
 		}
 	}
 	eng.run()
@@ -322,15 +365,29 @@ const (
 	stMemReply         // data leaves the MC toward the core
 )
 
+// event is kept small (48 bytes) because the scheduler's sift operations
+// copy whole events; narrow index fields nearly halve the memory traffic
+// of every push/pop.
 type event struct {
-	t     int64
-	core  int
-	stage int
-	addr  mem.Addr
-	bank  int
-	mc    int
-	hit   bool // shared LLC: lookup outcome, decided at issue time
-	k     int  // iteration-set index (for observations)
+	t    int64
+	seq  uint64 // FIFO tie-break for equal-t events (see package comment)
+	addr mem.Addr
+
+	core  int32
+	stage int32
+	bank  int32
+	mc    int32
+	k     int32 // iteration-set index (for observations)
+	hit   bool  // shared LLC: lookup outcome, decided at issue time
+}
+
+// before reports whether a precedes b in the event queue: earlier
+// simulated time first, and for equal times the event pushed first. The
+// explicit sequence number makes equal-timestamp ordering a documented
+// contract instead of an artifact of heap internals, so results are
+// reproducible under any heap layout change.
+func (a *event) before(b *event) bool {
+	return a.t < b.t || (a.t == b.t && a.seq < b.seq)
 }
 
 // engine drives one nest to completion in global time order.
@@ -341,9 +398,9 @@ type engine struct {
 	obs  []SetObs
 	work [][]int
 
-	next []int     // per-core index into work
-	cur  []int64   // per-core current flat iteration
-	ivs  [][]int64 // per-core iteration vector buffer
+	next []int          // per-core index into work
+	cur  []int64        // per-core current flat iteration
+	step []loop.Stepper // per-core incremental address generator
 
 	// outstanding counts a core's in-flight references (the iteration's
 	// refs issue concurrently — MSHR-style memory-level parallelism);
@@ -352,41 +409,54 @@ type engine struct {
 	doneAt      []int64
 
 	heap []event
+	seq  uint64 // next event sequence number (FIFO tie-break)
 }
 
+// push and pop sift a hole instead of swapping, so each level costs one
+// event copy rather than two. The heap's pop order is fully determined
+// by the (t, seq) total order, so the sift strategy — or any future
+// queue implementation — cannot change simulation results.
 func (e *engine) push(ev event) {
-	e.heap = append(e.heap, ev)
-	i := len(e.heap) - 1
+	ev.seq = e.seq
+	e.seq++
+	h := append(e.heap, ev)
+	e.heap = h
+	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if e.heap[p].t <= e.heap[i].t {
+		if h[p].before(&ev) {
 			break
 		}
-		e.heap[p], e.heap[i] = e.heap[i], e.heap[p]
+		h[i] = h[p]
 		i = p
 	}
+	h[i] = ev
 }
 
 func (e *engine) pop() event {
-	top := e.heap[0]
-	last := len(e.heap) - 1
-	e.heap[0] = e.heap[last]
-	e.heap = e.heap[:last]
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	x := h[last]
+	h = h[:last]
+	e.heap = h
 	i, n := 0, last
 	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < n && e.heap[l].t < e.heap[m].t {
-			m = l
-		}
-		if r < n && e.heap[r].t < e.heap[m].t {
-			m = r
-		}
-		if m == i {
+		l := 2*i + 1
+		if l >= n {
 			break
 		}
-		e.heap[i], e.heap[m] = e.heap[m], e.heap[i]
-		i = m
+		if r := l + 1; r < n && h[r].before(&h[l]) {
+			l = r
+		}
+		if !h[l].before(&x) {
+			break
+		}
+		h[i] = h[l]
+		i = l
+	}
+	if n > 0 {
+		h[i] = x
 	}
 	return top
 }
@@ -396,7 +466,7 @@ func (e *engine) run() {
 		ev := e.pop()
 		switch ev.stage {
 		case stIssue:
-			e.issue(ev.core)
+			e.issue(int(ev.core))
 		case stToBank:
 			e.toBank(ev)
 		case stBankReply:
@@ -432,8 +502,11 @@ func (e *engine) resume(c int, t int64) {
 			return // core done with this nest
 		}
 		e.cur[c] = e.sets[e.work[c][e.next[c]]].Lo
+		e.step[c].SeekTo(e.cur[c])
+	} else {
+		e.step[c].Step()
 	}
-	e.push(event{t: s.coreTime[c], core: c, stage: stIssue})
+	e.push(event{t: s.coreTime[c], core: int32(c), stage: stIssue})
 }
 
 // issue commits one iteration's compute and launches all of its data
@@ -443,7 +516,7 @@ func (e *engine) issue(c int) {
 	s := e.sys
 	n := e.nest
 	k := e.work[c][e.next[c]]
-	e.ivs[c] = n.Unflatten(e.ivs[c], e.cur[c])
+	st := &e.step[c]
 	// Branches and variable-latency arithmetic make real iterations
 	// jitter by a few percent; without it the nest barrier phase-locks
 	// all cores and every "round" slams the DRAM banks simultaneously.
@@ -459,8 +532,7 @@ func (e *engine) issue(c int) {
 	e.outstanding[c] = len(n.Refs) + 1
 	e.doneAt[c] = t
 	for ri := range n.Refs {
-		r := &n.Refs[ri]
-		addr := r.Addr(e.ivs[c], e.cur[c])
+		addr := st.Addr(ri)
 		tt := t + s.cfg.L1Latency
 		if s.l1[c].Access(addr) {
 			e.resume(c, tt)
@@ -478,7 +550,7 @@ func (e *engine) issue(c int) {
 			}
 			mc := s.amap.MC(addr)
 			ob.MCMisses[mc]++
-			e.push(event{t: tt, core: c, stage: stToMC, addr: addr, mc: mc, k: k})
+			e.push(event{t: tt, core: int32(c), stage: stToMC, addr: addr, mc: int32(mc), k: int32(k)})
 			continue
 		}
 
@@ -489,7 +561,7 @@ func (e *engine) issue(c int) {
 		} else {
 			ob.MCMisses[s.amap.MC(addr)]++
 		}
-		e.push(event{t: tt, core: c, stage: stToBank, addr: addr, bank: bank, hit: hit, k: k})
+		e.push(event{t: tt, core: int32(c), stage: stToBank, addr: addr, bank: int32(bank), hit: hit, k: int32(k)})
 	}
 	// The +1 guard retires the iteration even if every ref hit in L1.
 	e.resume(c, t)
@@ -504,7 +576,7 @@ func (e *engine) toBank(ev event) {
 		e.push(event{t: t, core: ev.core, stage: stBankReply, addr: ev.addr, bank: ev.bank, k: ev.k})
 	} else {
 		mc := s.amap.MC(ev.addr)
-		e.push(event{t: t, core: ev.core, stage: stBankToMC, addr: ev.addr, bank: ev.bank, mc: mc, k: ev.k})
+		e.push(event{t: t, core: ev.core, stage: stBankToMC, addr: ev.addr, bank: ev.bank, mc: int32(mc), k: ev.k})
 	}
 }
 
@@ -512,14 +584,14 @@ func (e *engine) bankReply(ev event) {
 	s := e.sys
 	t := s.net.Send(topology.NodeID(ev.bank), topology.NodeID(ev.core), ev.t, noc.Data)
 	s.leg(LegBankReply, t-ev.t)
-	e.resume(ev.core, t)
+	e.resume(int(ev.core), t)
 }
 
 func (e *engine) bankToMC(ev event) {
 	s := e.sys
 	t := s.net.Send(topology.NodeID(ev.bank), s.mcNode[ev.mc], ev.t, noc.Request)
 	s.leg(LegBankToMC, t-ev.t)
-	done := s.ddr.Request(ev.mc, ev.addr, t)
+	done := s.ddr.Request(int(ev.mc), ev.addr, t)
 	e.push(event{t: done, core: ev.core, stage: stMemReply, mc: ev.mc, k: ev.k})
 }
 
@@ -527,7 +599,7 @@ func (e *engine) toMC(ev event) {
 	s := e.sys
 	t := s.net.Send(topology.NodeID(ev.core), s.mcNode[ev.mc], ev.t, noc.Request)
 	s.leg(LegReqToMC, t-ev.t)
-	done := s.ddr.Request(ev.mc, ev.addr, t)
+	done := s.ddr.Request(int(ev.mc), ev.addr, t)
 	e.push(event{t: done, core: ev.core, stage: stMemReply, mc: ev.mc, k: ev.k})
 }
 
@@ -535,7 +607,7 @@ func (e *engine) memReply(ev event) {
 	s := e.sys
 	t := s.net.Send(s.mcNode[ev.mc], topology.NodeID(ev.core), ev.t, noc.Data)
 	s.leg(LegMemReply, t-ev.t)
-	e.resume(ev.core, t)
+	e.resume(int(ev.core), t)
 }
 
 // leg records one network-leg transit.

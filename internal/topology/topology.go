@@ -344,3 +344,44 @@ func (m *Mesh) routeDim(dst []LinkID, cur *int, target, size int, step func(Coor
 
 // Hops returns the number of links an X-Y packet from a to b traverses.
 func (m *Mesh) Hops(a, b NodeID) int { return m.Distance(a, b) }
+
+// RouteTable holds the precomputed X-Y routes between every pair of mesh
+// nodes, flattened into a single backing array: route a→b occupies
+// links[off[a*n+b]:off[a*n+b+1]]. Routing is deterministic and the mesh
+// is immutable after construction, so the table is computed once and
+// shared read-only; it turns per-packet route computation into two array
+// index loads (6×6 mesh: 36 nodes, 1296 routes, ~5KB of links).
+type RouteTable struct {
+	n     int
+	links []LinkID
+	off   []int32
+}
+
+// NewRouteTable precomputes all-pairs routes for the mesh.
+func (m *Mesh) NewRouteTable() *RouteTable {
+	n := m.NumNodes()
+	rt := &RouteTable{n: n, off: make([]int32, n*n+1)}
+	// First pass sizes the backing array exactly (the total link count
+	// is the sum of all pairwise distances), avoiding append growth.
+	total := 0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			total += m.Distance(NodeID(a), NodeID(b))
+		}
+	}
+	rt.links = make([]LinkID, 0, total)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			rt.links = m.Route(rt.links, NodeID(a), NodeID(b))
+			rt.off[a*n+b+1] = int32(len(rt.links))
+		}
+	}
+	return rt
+}
+
+// Route returns the precomputed link sequence from a to b. The returned
+// slice aliases the table and must not be modified.
+func (rt *RouteTable) Route(a, b NodeID) []LinkID {
+	i := int(a)*rt.n + int(b)
+	return rt.links[rt.off[i]:rt.off[i+1]:rt.off[i+1]]
+}
