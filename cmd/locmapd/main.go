@@ -14,14 +14,19 @@
 //	-cache N       plan-cache capacity in entries (default 1024)
 //	-timeout D     per-request timeout, queueing included (default 30s)
 //	-pprof ADDR    serve net/http/pprof on ADDR (off by default)
+//	-metrics ADDR  serve GET /metrics (Prometheus text format) on ADDR
+//	               (off by default)
+//	-log-json      emit structured logs as JSON instead of text
 //
 // Endpoints: POST /v1/map, POST /v1/simulate, GET /v1/stats,
-// GET /healthz. The process drains in-flight requests and exits
-// cleanly on SIGINT/SIGTERM.
+// GET /healthz (see API.md). The process drains in-flight requests and
+// exits cleanly on SIGINT/SIGTERM.
 //
-// -pprof exposes the Go profiling endpoints (/debug/pprof/...) on a
-// separate listener so production traffic and diagnostics never share a
-// port; leave it unset to expose nothing.
+// -pprof and -metrics expose the Go profiling endpoints and the
+// Prometheus exposition on separate listeners so production traffic
+// and diagnostics never share a port; leave them unset to expose
+// nothing. Every request is logged as one structured line (log/slog)
+// carrying the request's X-Request-Id.
 package main
 
 import (
@@ -29,7 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -53,10 +58,20 @@ func run() error {
 	cacheCap := flag.Int("cache", 1024, "plan-cache capacity in entries")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+	metricsAddr := flag.String("metrics", "", "serve GET /metrics on this address (empty = disabled)")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", flag.Args())
 	}
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 
 	if *pprofAddr != "" {
 		// A dedicated mux: the default one would also be reachable from
@@ -68,9 +83,9 @@ func run() error {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			log.Printf("locmapd pprof listening on %s", *pprofAddr)
+			logger.Info("pprof listening", "addr", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
-				log.Printf("locmapd pprof: %v", err)
+				logger.Error("pprof listener failed", "error", err)
 			}
 		}()
 	}
@@ -79,7 +94,19 @@ func run() error {
 		Workers:        *workers,
 		CacheCapacity:  *cacheCap,
 		RequestTimeout: *timeout,
+		Logger:         logger,
 	})
+
+	if *metricsAddr != "" {
+		// Same policy as -pprof: diagnostics never share the API port.
+		go func() {
+			logger.Info("metrics listening", "addr", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, srv.MetricsHandler()); err != nil {
+				logger.Error("metrics listener failed", "error", err)
+			}
+		}()
+	}
+
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -91,7 +118,7 @@ func run() error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("locmapd listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
@@ -102,7 +129,7 @@ func run() error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("locmapd shutting down")
+	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	return hs.Shutdown(shutCtx)

@@ -3,6 +3,10 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"locmap/internal/metrics"
 )
 
 // Runner executes Jobs on a bounded worker pool with single-flight
@@ -21,6 +25,11 @@ type Runner struct {
 	calls     map[string]*call
 	requested uint64
 	executed  uint64
+
+	// queueWaitNanos accumulates time spent waiting for a worker slot
+	// across all executed jobs (never part of the results — jobs are
+	// pure — only of the observability surface).
+	queueWaitNanos atomic.Int64
 }
 
 // call is one distinct job execution; ready is closed once m is final.
@@ -61,7 +70,9 @@ func (r *Runner) RunJob(j Job) AppMetrics {
 	r.executed++
 	r.mu.Unlock()
 
+	enqueued := time.Now()
 	r.sem <- struct{}{}
+	r.queueWaitNanos.Add(int64(time.Since(enqueued)))
 	c.m = j.run()
 	<-r.sem
 	close(c.ready)
@@ -98,10 +109,13 @@ type Counters struct {
 	// Memoized counts requests answered without simulating (joined an
 	// in-flight execution or hit the memo table).
 	Memoized uint64
+	// QueueWait is the total time executed jobs spent waiting for a
+	// worker slot before starting.
+	QueueWait time.Duration
 }
 
 // Counters reports how many jobs were requested, simulated and served
-// from the memo table so far.
+// from the memo table so far, and the accumulated queue wait.
 func (r *Runner) Counters() Counters {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -109,5 +123,25 @@ func (r *Runner) Counters() Counters {
 		Requested: r.requested,
 		Executed:  r.executed,
 		Memoized:  r.requested - r.executed,
+		QueueWait: time.Duration(r.queueWaitNanos.Load()),
 	}
+}
+
+// Register exports the runner's accounting into reg as scrape-time
+// counter families, so a service hosting a Runner (or a long
+// paperbench sweep) surfaces its dedup behavior on the same /metrics
+// exposition as the rest of the stack.
+func (r *Runner) Register(reg *metrics.Registry) {
+	reg.CounterFunc("locmap_runner_jobs_requested_total",
+		"Jobs requested from the experiment runner (RunJob calls).", nil,
+		func() float64 { return float64(r.Counters().Requested) })
+	reg.CounterFunc("locmap_runner_jobs_executed_total",
+		"Distinct jobs actually simulated (post single-flight dedup).", nil,
+		func() float64 { return float64(r.Counters().Executed) })
+	reg.CounterFunc("locmap_runner_jobs_memoized_total",
+		"Jobs answered from the memo table or a joined in-flight execution.", nil,
+		func() float64 { return float64(r.Counters().Memoized) })
+	reg.CounterFunc("locmap_runner_queue_wait_seconds_total",
+		"Total time executed jobs waited for a worker slot.", nil,
+		func() float64 { return r.Counters().QueueWait.Seconds() })
 }

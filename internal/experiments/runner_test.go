@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"locmap/internal/cache"
 	"locmap/internal/mem"
+	"locmap/internal/metrics"
 	"locmap/internal/sim"
 	"locmap/internal/stats"
 )
@@ -216,5 +219,54 @@ func TestBaselineJobMatchesRunApp(t *testing.T) {
 	if b.DefCycles != full.DefCycles || b.DefNet != full.DefNet {
 		t.Errorf("baseline (%d cycles, %d net) != RunApp default (%d cycles, %d net)",
 			b.DefCycles, b.DefNet, full.DefCycles, full.DefNet)
+	}
+}
+
+// TestRunnerRegisterExportsCounters: Register must surface the dedup
+// accounting as scrape-time counter families that track the runner.
+func TestRunnerRegisterExportsCounters(t *testing.T) {
+	r := NewRunner(2)
+	reg := metrics.New()
+	r.Register(reg)
+
+	read := func(name string) float64 {
+		t.Helper()
+		var b strings.Builder
+		if err := reg.WriteText(&b); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		exp, err := metrics.Parse(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("exposition does not parse: %v", err)
+		}
+		v, ok := exp.Value(name, nil)
+		if !ok {
+			t.Fatalf("family %s missing:\n%s", name, b.String())
+		}
+		return v
+	}
+
+	if v := read("locmap_runner_jobs_requested_total"); v != 0 {
+		t.Errorf("fresh runner requested = %g, want 0", v)
+	}
+
+	// The callbacks sample the live counters, so mutating the runner's
+	// accounting must show up on the next scrape.
+	r.mu.Lock()
+	r.requested, r.executed = 5, 3
+	r.mu.Unlock()
+	r.queueWaitNanos.Store(int64(1500 * time.Millisecond))
+
+	if v := read("locmap_runner_jobs_requested_total"); v != 5 {
+		t.Errorf("requested = %g, want 5", v)
+	}
+	if v := read("locmap_runner_jobs_executed_total"); v != 3 {
+		t.Errorf("executed = %g, want 3", v)
+	}
+	if v := read("locmap_runner_jobs_memoized_total"); v != 2 {
+		t.Errorf("memoized = %g, want 2", v)
+	}
+	if v := read("locmap_runner_queue_wait_seconds_total"); v != 1.5 {
+		t.Errorf("queue wait = %g, want 1.5", v)
 	}
 }

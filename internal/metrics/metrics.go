@@ -1,0 +1,406 @@
+// Package metrics is a dependency-free metrics registry with
+// Prometheus text-format exposition. locmapd threads it through the
+// service stack — per-endpoint request counters and latency
+// histograms in internal/server, per-shard plan-cache counters, the
+// experiment runner's dedup accounting, and per-request simulator
+// telemetry — and serves it on an opt-in GET /metrics listener.
+//
+// Instruments are cheap on the hot path: counters and gauges are a
+// single atomic op, histograms an atomic bucket increment plus a CAS
+// sum update. Registration is get-or-create: asking for the same
+// (name, labels) pair again returns the existing instrument, so
+// request handlers can resolve instruments lazily. Callback
+// instruments (CounterFunc, GaugeFunc) sample an external counter at
+// scrape time, which lets already-instrumented components (the plan
+// cache, the runner) export without double accounting.
+//
+// The exposition (WriteText, Handler) follows the Prometheus text
+// format version 0.0.4: one HELP/TYPE header per family, families
+// sorted by name, samples sorted by label set, histogram buckets
+// cumulative with a trailing +Inf. Parse in this package reads the
+// same format back for contract tests.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels is one instrument's fully-resolved label set. A nil map means
+// no labels.
+type Labels map[string]string
+
+// Registry holds metric families and renders them. All methods are
+// safe for concurrent use. The zero value is not usable; call New.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// New builds an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type family struct {
+	name, help, typ string
+	labelKeys       []string
+	insts           map[string]renderable // label string -> instrument
+}
+
+// renderable is one instrument's scrape-time view.
+type renderable interface {
+	// samples returns the instrument's exposition lines' (suffix,
+	// extra labels, value) triples. suffix is appended to the family
+	// name ("_bucket", "_sum", ...); extra is a pre-rendered label
+	// fragment merged into the instrument's labels (the histogram le).
+	samples() []sample
+}
+
+type sample struct {
+	suffix string
+	extra  string
+	value  float64
+}
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// labelString renders a label set canonically: keys sorted, values
+// escaped, no braces. Empty labels render as "".
+func labelString(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q covers the text-format escapes (backslash, quote, newline).
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+func labelKeys(labels Labels) []string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// get returns the family, creating it if needed, and panics on any
+// inconsistency with a previous registration: metric names are a
+// process-wide contract and a mismatch is a programming error.
+func (r *Registry) get(name, help, typ string, labels Labels) (*family, string) {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("metrics: invalid family name %q", name))
+	}
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name:      name,
+			help:      help,
+			typ:       typ,
+			labelKeys: labelKeys(labels),
+			insts:     make(map[string]renderable),
+		}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	keys := labelKeys(labels)
+	if strings.Join(keys, ",") != strings.Join(f.labelKeys, ",") {
+		panic(fmt.Sprintf("metrics: %s registered with labels %v, requested with %v", name, f.labelKeys, keys))
+	}
+	return f, labelString(labels)
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) samples() []sample {
+	return []sample{{value: float64(c.v.Load())}}
+}
+
+// Counter returns the counter registered under (name, labels),
+// creating it on first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ls := r.get(name, help, "counter", labels)
+	if inst, ok := f.insts[ls]; ok {
+		return inst.(*Counter)
+	}
+	c := &Counter{}
+	f.insts[ls] = c
+	return c
+}
+
+// Gauge is an integer value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) samples() []sample {
+	return []sample{{value: float64(g.v.Load())}}
+}
+
+// Gauge returns the gauge registered under (name, labels), creating
+// it on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ls := r.get(name, help, "gauge", labels)
+	if inst, ok := f.insts[ls]; ok {
+		return inst.(*Gauge)
+	}
+	g := &Gauge{}
+	f.insts[ls] = g
+	return g
+}
+
+// Histogram is a fixed-bucket histogram: observation counts per
+// upper bound, plus sum and count.
+type Histogram struct {
+	upper  []float64 // sorted bucket upper bounds, +Inf excluded
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *Histogram) samples() []sample {
+	out := make([]sample, 0, len(h.upper)+3)
+	var cum uint64
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		out = append(out, sample{
+			suffix: "_bucket",
+			extra:  `le="` + formatFloat(ub) + `"`,
+			value:  float64(cum),
+		})
+	}
+	cum += h.counts[len(h.upper)].Load()
+	out = append(out,
+		sample{suffix: "_bucket", extra: `le="+Inf"`, value: float64(cum)},
+		sample{suffix: "_sum", value: h.Sum()},
+		sample{suffix: "_count", value: float64(h.count.Load())},
+	)
+	return out
+}
+
+// Histogram returns the histogram registered under (name, labels),
+// creating it with the given bucket upper bounds on first use.
+// Buckets must be sorted ascending and non-empty; +Inf is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if len(buckets) == 0 {
+		panic("metrics: histogram needs at least one bucket")
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("metrics: histogram %s buckets not sorted: %v", name, buckets))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ls := r.get(name, help, "histogram", labels)
+	if inst, ok := f.insts[ls]; ok {
+		return inst.(*Histogram)
+	}
+	h := &Histogram{
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+	f.insts[ls] = h
+	return h
+}
+
+// funcInstrument samples a callback at scrape time.
+type funcInstrument struct {
+	fn func() float64
+}
+
+func (f *funcInstrument) samples() []sample {
+	return []sample{{value: f.fn()}}
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time. fn must be monotone non-decreasing and safe for
+// concurrent use. Registering the same (name, labels) twice replaces
+// the callback.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ls := r.get(name, help, "counter", labels)
+	f.insts[ls] = &funcInstrument{fn: fn}
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time. fn must be safe for concurrent use. Registering the same
+// (name, labels) twice replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ls := r.get(name, help, "gauge", labels)
+	f.insts[ls] = &funcInstrument{fn: fn}
+}
+
+// ExpBuckets returns n geometrically spaced bucket bounds starting at
+// start and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n evenly spaced bucket bounds starting at
+// start with the given step.
+func LinearBuckets(start, step float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*step
+	}
+	return out
+}
+
+// formatFloat renders a value the way the text format expects:
+// shortest representation, "+Inf"/"-Inf" spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders the registry in Prometheus text format 0.0.4:
+// families sorted by name, one HELP/TYPE pair each, samples sorted by
+// label set.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Snapshot the per-family instrument lists under the lock; the
+	// instruments themselves are read atomically (or via their
+	// callbacks) outside it.
+	type flat struct {
+		fam   *family
+		order []string
+	}
+	flats := make([]flat, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		order := make([]string, 0, len(f.insts))
+		for ls := range f.insts {
+			order = append(order, ls)
+		}
+		sort.Strings(order)
+		flats = append(flats, flat{fam: f, order: order})
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, fl := range flats {
+		f := fl.fam
+		help := strings.ReplaceAll(strings.ReplaceAll(f.help, `\`, `\\`), "\n", `\n`)
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, ls := range fl.order {
+			r.mu.Lock()
+			inst := f.insts[ls]
+			r.mu.Unlock()
+			for _, s := range inst.samples() {
+				lbl := ls
+				if s.extra != "" {
+					if lbl != "" {
+						lbl += ","
+					}
+					lbl += s.extra
+				}
+				if lbl != "" {
+					lbl = "{" + lbl + "}"
+				}
+				fmt.Fprintf(&b, "%s%s%s %s\n", f.name, s.suffix, lbl, formatFloat(s.value))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := New()
+	c := r.Counter("jobs_total", "Jobs processed.", Labels{"kind": "map"})
+	c.Add(3)
+	r.Counter("jobs_total", "Jobs processed.", Labels{"kind": "simulate"}).Inc()
+	g := r.Gauge("inflight", "In-flight requests.", nil)
+	g.Set(2)
+	g.Inc()
+	g.Dec()
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP jobs_total Jobs processed.",
+		"# TYPE jobs_total counter",
+		`jobs_total{kind="map"} 3`,
+		`jobs_total{kind="simulate"} 1`,
+		"# TYPE inflight gauge",
+		"inflight 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGetOrCreate: the same (name, labels) must resolve to the same
+// instrument; a type conflict must panic.
+func TestGetOrCreate(t *testing.T) {
+	r := New()
+	a := r.Counter("x_total", "h", Labels{"k": "v"})
+	b := r.Counter("x_total", "h", Labels{"k": "v"})
+	if a != b {
+		t.Errorf("same (name, labels) produced distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("registering x_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "h", Labels{"k": "v"})
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10}, nil)
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-56.05) > 1e-9 {
+		t.Errorf("sum = %g, want 56.05", got)
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 56.05`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramBucketBoundaryInclusive: Prometheus buckets are
+// cumulative upper bounds — a value equal to a bound lands in it.
+func TestHistogramBucketBoundaryInclusive(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", "h", []float64{1, 2}, nil)
+	h.Observe(1)
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), `h_bucket{le="1"} 1`) {
+		t.Errorf("value equal to bound not counted in bucket:\n%s", b.String())
+	}
+}
+
+func TestFuncInstruments(t *testing.T) {
+	r := New()
+	n := 0.0
+	r.CounterFunc("ticks_total", "Ticks.", nil, func() float64 { return n })
+	r.GaugeFunc("level", "Level.", Labels{"tank": "a"}, func() float64 { return 7 })
+	n = 42
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	if !strings.Contains(out, "ticks_total 42") {
+		t.Errorf("counter func not sampled at scrape time:\n%s", out)
+	}
+	if !strings.Contains(out, `level{tank="a"} 7`) {
+		t.Errorf("gauge func missing:\n%s", out)
+	}
+}
+
+func TestBucketsHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	for i, want := range []float64{1, 2, 4, 8} {
+		if exp[i] != want {
+			t.Errorf("ExpBuckets[%d] = %g, want %g", i, exp[i], want)
+		}
+	}
+	lin := LinearBuckets(0, 0.25, 5)
+	for i, want := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if lin[i] != want {
+			t.Errorf("LinearBuckets[%d] = %g, want %g", i, lin[i], want)
+		}
+	}
+}
+
+// TestParseRoundTrip: the parser must accept what WriteText produces
+// and return the same values.
+func TestParseRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("a_total", "A.", Labels{"x": "1"}).Add(5)
+	r.Gauge("b", "B.", nil).Set(-3)
+	h := r.Histogram("c_seconds", "C.", []float64{0.5, 5}, Labels{"e": "map"})
+	h.Observe(0.2)
+	h.Observe(2)
+
+	var b strings.Builder
+	r.WriteText(&b)
+	exp, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, b.String())
+	}
+	if v, ok := exp.Value("a_total", Labels{"x": "1"}); !ok || v != 5 {
+		t.Errorf("a_total = %g, %v; want 5, true", v, ok)
+	}
+	if v, ok := exp.Value("b", nil); !ok || v != -3 {
+		t.Errorf("b = %g, %v; want -3, true", v, ok)
+	}
+	if v, ok := exp.Value("c_seconds_count", Labels{"e": "map"}); !ok || v != 2 {
+		t.Errorf("c_seconds_count = %g, %v; want 2, true", v, ok)
+	}
+	if v, ok := exp.Value("c_seconds_bucket", Labels{"e": "map", "le": "+Inf"}); !ok || v != 2 {
+		t.Errorf("+Inf bucket = %g, %v; want 2, true", v, ok)
+	}
+	if exp.Families["c_seconds"].Type != "histogram" {
+		t.Errorf("c_seconds type = %q", exp.Families["c_seconds"].Type)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"duplicate TYPE":   "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"duplicate sample": "# TYPE a counter\na 1\na 2\n",
+		"undeclared":       "orphan 3\n",
+		"bad value":        "# TYPE a counter\na one\n",
+		"unknown type":     "# TYPE a weird\na 1\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, in)
+		}
+	}
+}
+
+// TestConcurrentObserve exercises the atomic paths under -race.
+func TestConcurrentObserve(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", "h", ExpBuckets(1, 2, 8), nil)
+	c := r.Counter("c_total", "c", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 300))
+				c.Inc()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			r.WriteText(&b)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != 8000 || c.Value() != 8000 {
+		t.Errorf("count = %d, counter = %d, want 8000", h.Count(), c.Value())
+	}
+}

@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exposition is a parsed Prometheus text-format scrape, used by the
+// contract tests that verify locmapd's /metrics output stays valid.
+type Exposition struct {
+	// Families maps family name to its parsed header and samples.
+	Families map[string]*Family
+}
+
+// Family is one parsed metric family.
+type Family struct {
+	Name string
+	Type string
+	Help string
+
+	// Samples maps the canonical sample key — sample name plus
+	// sorted-label fragment, e.g. `x_total{endpoint="map"}` — to the
+	// scraped value.
+	Samples map[string]float64
+}
+
+// Parse reads a text-format exposition and validates its structure:
+// HELP/TYPE headers must precede their samples and appear at most
+// once per family, every sample must belong to a declared family
+// (histogram _bucket/_sum/_count suffixes included), and no sample
+// may repeat. It fails on the first violation.
+func Parse(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Families: make(map[string]*Family)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			f, ok := exp.Families[name]
+			if ok && f.Help != "" {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			if !ok {
+				f = &Family{Name: name, Samples: make(map[string]float64)}
+				exp.Families[name] = f
+			}
+			f.Help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, _ := strings.Cut(rest, " ")
+			f, ok := exp.Families[name]
+			if ok && f.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			if !ok {
+				f = &Family{Name: name, Samples: make(map[string]float64)}
+				exp.Families[name] = f
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q for %s", lineNo, typ, name)
+			}
+			f.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		sampleName, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		f := exp.Families[familyOf(exp, sampleName)]
+		if f == nil {
+			return nil, fmt.Errorf("line %d: sample %s has no TYPE header", lineNo, sampleName)
+		}
+		if f.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %s precedes its TYPE header", lineNo, sampleName)
+		}
+		key := sampleName + labels
+		if _, dup := f.Samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		f.Samples[key] = value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, f := range exp.Families {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %s has HELP but no TYPE", name)
+		}
+	}
+	return exp, nil
+}
+
+// familyOf maps a sample name to its family name, stripping histogram
+// suffixes when the base family is declared as a histogram.
+func familyOf(exp *Exposition, sampleName string) string {
+	if _, ok := exp.Families[sampleName]; ok {
+		return sampleName
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sampleName, suffix)
+		if base == sampleName {
+			continue
+		}
+		if f, ok := exp.Families[base]; ok && f.Type == "histogram" {
+			return base
+		}
+	}
+	return sampleName
+}
+
+// parseSample splits `name{a="b",...} value` into its parts, returning
+// the labels re-rendered canonically (sorted keys).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		end := strings.LastIndexByte(line, '}')
+		if end < i {
+			return "", "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err = canonLabels(line[i+1 : end])
+		if err != nil {
+			return "", "", 0, err
+		}
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(line, " ")
+		if !ok {
+			return "", "", 0, fmt.Errorf("no value in %q", line)
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return "", "", 0, fmt.Errorf("no value in %q", line)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	return name, labels, value, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// canonLabels parses a label fragment and re-renders it with sorted
+// keys, so lookups are order-independent.
+func canonLabels(s string) (string, error) {
+	if strings.TrimSpace(s) == "" {
+		return "", nil
+	}
+	var pairs []string
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("bad label fragment %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		rest := s[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", fmt.Errorf("unquoted label value after %q", key)
+		}
+		// Find the closing quote, honoring backslash escapes.
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return "", fmt.Errorf("unterminated label value after %q", key)
+		}
+		pairs = append(pairs, key+"="+rest[:i+1])
+		s = strings.TrimPrefix(strings.TrimSpace(rest[i+1:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}", nil
+}
+
+// Value looks up a sample by name and label set; labels may be given
+// in any order.
+func (e *Exposition) Value(sampleName string, labels Labels) (float64, bool) {
+	key := sampleName
+	if len(labels) > 0 {
+		key += "{" + labelString(labels) + "}"
+	}
+	f := e.Families[familyOf(e, sampleName)]
+	if f == nil {
+		return 0, false
+	}
+	v, ok := f.Samples[key]
+	return v, ok
+}

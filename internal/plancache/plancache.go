@@ -236,6 +236,25 @@ type Stats struct {
 	Capacity  int    `json:"capacity"`
 }
 
+// NumShards reports the shard count (fixed at construction).
+func (c *Cache) NumShards() int { return numShards }
+
+// ShardStat reports shard i's counters. It is the per-shard view
+// behind locmapd's /metrics plancache families; Stats sums it over
+// all shards.
+func (c *Cache) ShardStat(i int) Stats {
+	s := &c.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+		Entries:   s.ll.Len(),
+		Capacity:  s.capacity,
+	}
+}
+
 // Stats sums the per-shard counters.
 func (c *Cache) Stats() Stats {
 	var st Stats

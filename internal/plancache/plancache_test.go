@@ -224,3 +224,30 @@ func TestCacheConcurrent(t *testing.T) {
 		t.Fatalf("no Get traffic recorded: %+v", st)
 	}
 }
+
+// TestShardStatsSumToTotals: the per-shard accessor (what the metrics
+// collectors sample) must partition the aggregate Stats exactly.
+func TestShardStatsSumToTotals(t *testing.T) {
+	c := New(64)
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		c.Get(key) // miss
+		c.Put(key, []byte(key))
+		c.Get(key) // hit
+	}
+	if n := c.NumShards(); n <= 0 {
+		t.Fatalf("NumShards = %d", n)
+	}
+	var sum Stats
+	for i := 0; i < c.NumShards(); i++ {
+		st := c.ShardStat(i)
+		sum.Hits += st.Hits
+		sum.Misses += st.Misses
+		sum.Evictions += st.Evictions
+		sum.Entries += st.Entries
+		sum.Capacity += st.Capacity
+	}
+	if total := c.Stats(); sum != total {
+		t.Errorf("shard sum %+v != aggregate %+v", sum, total)
+	}
+}

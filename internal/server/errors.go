@@ -1,0 +1,81 @@
+package server
+
+import "fmt"
+
+// ErrorCode is a stable, machine-readable identifier for one failure
+// class. Codes are part of the v1 API contract (see API.md): clients
+// may switch on them, so existing codes never change meaning and new
+// failure classes get new codes.
+type ErrorCode string
+
+const (
+	// ErrInvalidBody: the request body is not valid JSON for the
+	// endpoint's schema (syntax error, wrong type, unknown field).
+	ErrInvalidBody ErrorCode = "invalid_body"
+
+	// ErrBodyTooLarge: the request body exceeds the configured limit.
+	ErrBodyTooLarge ErrorCode = "body_too_large"
+
+	// ErrInvalidRequest: the body decoded but a field failed
+	// validation (empty source, bad mesh/llc/intra, out-of-range α).
+	ErrInvalidRequest ErrorCode = "invalid_request"
+
+	// ErrInvalidSource: the program source cannot be tokenized, so no
+	// plan fingerprint exists for it.
+	ErrInvalidSource ErrorCode = "invalid_source"
+
+	// ErrCompileFailed: the mapping or simulation pipeline rejected
+	// the program (parse/semantic errors, simulation failures).
+	ErrCompileFailed ErrorCode = "compile_failed"
+
+	// ErrMethodNotAllowed: the path exists but not for this method;
+	// the Allow response header lists the supported methods.
+	ErrMethodNotAllowed ErrorCode = "method_not_allowed"
+
+	// ErrNotFound: no such endpoint.
+	ErrNotFound ErrorCode = "not_found"
+
+	// ErrOverloaded: the request timed out waiting for a worker slot
+	// before its job ever started.
+	ErrOverloaded ErrorCode = "overloaded"
+
+	// ErrTimeout: the job started but exceeded the request timeout.
+	// The job keeps running and caches its result, so an identical
+	// retry is typically a cache hit.
+	ErrTimeout ErrorCode = "timeout"
+)
+
+// apiError pairs an HTTP status with a stable code and message; every
+// non-2xx path produces exactly one.
+type apiError struct {
+	status int
+	code   ErrorCode
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, code ErrorCode, format string, args ...any) *apiError {
+	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrorBody is the inner object of the v1 error envelope.
+type ErrorBody struct {
+	// Code is the stable machine-readable failure class.
+	Code ErrorCode `json:"code"`
+
+	// Message is a human-readable description; its wording is not part
+	// of the API contract.
+	Message string `json:"message"`
+
+	// RequestID is the request correlation id (the X-Request-Id
+	// response header); the same id appears in the server's log line
+	// for the request.
+	RequestID string `json:"request_id"`
+}
+
+// errorResponse is the JSON error envelope for every non-2xx
+// response: {"error":{"code":...,"message":...,"request_id":...}}.
+type errorResponse struct {
+	Error ErrorBody `json:"error"`
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"locmap/internal/metrics"
+)
+
+// ctxKey keys the per-request values carried through context —
+// including into worker goroutines, so job-side logs and the final
+// access line share one request id.
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyInfo
+)
+
+// reqInfo is the mutable per-request record the handlers annotate and
+// the middleware logs.
+type reqInfo struct {
+	cached      bool
+	fingerprint string
+	errCode     ErrorCode
+}
+
+// RequestIDFromContext returns the request's correlation id ("" if
+// the context does not belong to an instrumented request).
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+func infoFromContext(ctx context.Context) *reqInfo {
+	info, _ := ctx.Value(ctxKeyInfo).(*reqInfo)
+	return info
+}
+
+// newRequestID returns a 16-hex-char random correlation id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; degrade to a
+		// fixed id rather than crash the request path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// requestID echoes a well-formed client-supplied X-Request-Id and
+// generates one otherwise. Client ids are capped and restricted to
+// printable ASCII so they are safe to reflect into headers and logs.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" || len(id) > 64 {
+		return newRequestID()
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x21 || id[i] > 0x7e {
+			return newRequestID()
+		}
+	}
+	return id
+}
+
+// statusWriter records the response status for the access log and the
+// per-endpoint counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// latencyBuckets spans 1ms..~32s, wide enough for both cache hits and
+// full simulations.
+var latencyBuckets = metrics.ExpBuckets(0.001, 2, 16)
+
+// instrument wraps one endpoint's handler with the whole
+// observability layer: request-id assignment, the in-flight gauge,
+// per-endpoint request counters and latency histograms, the shared
+// latency recorder behind /v1/stats, and one structured access-log
+// line per request. Every response — success, 4xx, 5xx, enveloped
+// 404/405 — flows through here, so /v1/stats and /metrics always
+// agree.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	hist := s.reg.Histogram("locmapd_request_seconds",
+		"Request latency by endpoint, cache hits and misses alike.",
+		latencyBuckets, metrics.Labels{"endpoint": endpoint})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := requestID(r)
+		info := &reqInfo{}
+		ctx := context.WithValue(r.Context(), ctxKeyRequestID, id)
+		ctx = context.WithValue(ctx, ctxKeyInfo, info)
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+
+		s.httpInflight.Inc()
+		started := time.Now()
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(started)
+		s.httpInflight.Dec()
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.requests.Add(1)
+		if sw.status >= 400 {
+			s.errors.Add(1)
+		}
+		s.lat.Observe(elapsed.Seconds())
+		hist.Observe(elapsed.Seconds())
+		s.reg.Counter("locmapd_requests_total",
+			"Requests by endpoint and response status.",
+			metrics.Labels{"endpoint": endpoint, "code": strconv.Itoa(sw.status)}).Inc()
+
+		attrs := []slog.Attr{
+			slog.String("request_id", id),
+			slog.String("endpoint", endpoint),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("elapsed", elapsed),
+		}
+		if info.fingerprint != "" {
+			attrs = append(attrs,
+				slog.Bool("cached", info.cached),
+				slog.String("fingerprint", info.fingerprint))
+		}
+		if info.errCode != "" {
+			attrs = append(attrs, slog.String("error_code", string(info.errCode)))
+		}
+		level := slog.LevelInfo
+		switch {
+		case sw.status >= 500:
+			level = slog.LevelError
+		case sw.status >= 400:
+			level = slog.LevelWarn
+		}
+		s.log.LogAttrs(ctx, level, "request", attrs...)
+	})
+}
+
+// registerCollectors exports the components that keep their own
+// counters — the plan cache (per shard) and the worker pool — as
+// scrape-time callbacks, so /metrics never double-counts what
+// /v1/stats already tracks.
+func (s *Server) registerCollectors() {
+	for i := 0; i < s.cache.NumShards(); i++ {
+		i := i
+		shard := metrics.Labels{"shard": strconv.Itoa(i)}
+		s.reg.CounterFunc("locmapd_plancache_hits_total",
+			"Plan-cache hits by shard.", shard,
+			func() float64 { return float64(s.cache.ShardStat(i).Hits) })
+		s.reg.CounterFunc("locmapd_plancache_misses_total",
+			"Plan-cache misses by shard.", shard,
+			func() float64 { return float64(s.cache.ShardStat(i).Misses) })
+		s.reg.CounterFunc("locmapd_plancache_evictions_total",
+			"Plan-cache evictions by shard.", shard,
+			func() float64 { return float64(s.cache.ShardStat(i).Evictions) })
+		s.reg.GaugeFunc("locmapd_plancache_entries",
+			"Plan-cache resident entries by shard.", shard,
+			func() float64 { return float64(s.cache.ShardStat(i).Entries) })
+	}
+	s.reg.GaugeFunc("locmapd_worker_inflight_jobs",
+		"Jobs currently holding a worker slot.", nil,
+		func() float64 { return float64(s.inflight.Load()) })
+	s.reg.GaugeFunc("locmapd_uptime_seconds",
+		"Seconds since the server was created.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+}

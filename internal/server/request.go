@@ -13,10 +13,14 @@ import (
 	"locmap/internal/topology"
 )
 
-// MapRequest is the body of POST /v1/map: a loop-nest program plus the
-// target description. Zero values select the paper's Table 4 defaults
-// (6x6 mesh, 3x3 regions, private LLC).
-type MapRequest struct {
+// CommonRequest is every field /v1/map and /v1/simulate share: the
+// program and the target description. Both request types embed it, so
+// validation, the compiler options and the plan-cache spec are
+// derived from one struct and the two endpoints' specs cannot drift
+// (the bug class where a new knob reaches one endpoint's fingerprint
+// but not the other's). Zero values select the paper's Table 4
+// defaults (6x6 mesh, 3x3 regions, private LLC).
+type CommonRequest struct {
 	// Source is the program in the locmap input language. Required.
 	Source string `json:"source"`
 
@@ -49,35 +53,64 @@ type MapRequest struct {
 	Intra string `json:"intra,omitempty"`
 }
 
+// MapRequest is the body of POST /v1/map.
+type MapRequest struct {
+	CommonRequest
+}
+
 // SimulateRequest is the body of POST /v1/simulate: a mapping request
 // plus simulation controls.
 type SimulateRequest struct {
-	MapRequest
+	CommonRequest
 
 	// TimingIters overrides the program's timing-loop trip count
 	// (0 keeps the source's value).
 	TimingIters int `json:"timing_iters,omitempty"`
 }
 
-// Validate extends MapRequest validation with the simulate-only
+// Resolved is the effective configuration a request mapped to after
+// defaults were applied, echoed in every successful response so
+// clients see exactly what target their plan was computed for.
+type Resolved struct {
+	Mesh        string  `json:"mesh"`
+	Regions     string  `json:"regions"`
+	LLC         string  `json:"llc"`
+	CMEAccuracy float64 `json:"cme_accuracy"`
+	Seed        int64   `json:"seed"`
+	FineMAC     bool    `json:"fine_mac"`
+	Intra       string  `json:"intra"`
+
+	// TimingIters is the simulate-only timing-loop override (0 = the
+	// source's own value; always 0 for /v1/map).
+	TimingIters int `json:"timing_iters,omitempty"`
+}
+
+// Validate extends CommonRequest validation with the simulate-only
 // fields.
 func (r *SimulateRequest) Validate() error {
 	if r.TimingIters < 0 {
 		return fmt.Errorf("timing_iters must be >= 0, got %d", r.TimingIters)
 	}
-	return r.MapRequest.Validate()
+	return r.CommonRequest.Validate()
 }
 
-// spec extends the embedded MapRequest's spec with the simulate-only
-// knobs, so two simulations differing only in timing_iters never share
-// a cache entry.
+// spec extends the shared spec with the simulate-only knobs, so two
+// simulations differing only in timing_iters never share a cache
+// entry.
 func (r *SimulateRequest) spec(kind string) (plancache.Spec, error) {
-	sp, err := r.MapRequest.spec(kind)
+	sp, err := r.CommonRequest.spec(kind)
 	if err != nil {
 		return plancache.Spec{}, err
 	}
 	sp.TimingIters = r.TimingIters
 	return sp, nil
+}
+
+// resolved extends the shared echo with the simulate-only override.
+func (r *SimulateRequest) resolved() Resolved {
+	res := r.CommonRequest.resolved()
+	res.TimingIters = r.TimingIters
+	return res
 }
 
 // ParseGrid parses a "WxH" geometry string into its two positive
@@ -161,7 +194,7 @@ func BuildTarget(mesh, regions, llc string) (sim.Config, error) {
 }
 
 // Validate checks the request without building anything.
-func (r *MapRequest) Validate() error {
+func (r *CommonRequest) Validate() error {
 	if strings.TrimSpace(r.Source) == "" {
 		return fmt.Errorf("source is required")
 	}
@@ -176,7 +209,7 @@ func (r *MapRequest) Validate() error {
 }
 
 // options builds the compiler options for the request's target.
-func (r *MapRequest) options() (sim.Config, compiler.Options, error) {
+func (r *CommonRequest) options() (sim.Config, compiler.Options, error) {
 	cfg, err := BuildTarget(r.Mesh, r.Regions, r.LLC)
 	if err != nil {
 		return sim.Config{}, compiler.Options{}, err
@@ -199,7 +232,7 @@ func (r *MapRequest) options() (sim.Config, compiler.Options, error) {
 
 // spec derives the plan-cache spec (fingerprint ingredients) for the
 // request under the given result namespace.
-func (r *MapRequest) spec(kind string) (plancache.Spec, error) {
+func (r *CommonRequest) spec(kind string) (plancache.Spec, error) {
 	cfg, err := BuildTarget(r.Mesh, r.Regions, r.LLC)
 	if err != nil {
 		return plancache.Spec{}, err
@@ -222,4 +255,33 @@ func (r *MapRequest) spec(kind string) (plancache.Spec, error) {
 		Intra:     int(intra),
 		Kind:      kind,
 	}, nil
+}
+
+// resolved reports the effective configuration after defaults. It
+// assumes Validate has succeeded.
+func (r *CommonRequest) resolved() Resolved {
+	cfg, err := BuildTarget(r.Mesh, r.Regions, r.LLC)
+	if err != nil {
+		// serve() only calls resolved() after Validate, which runs
+		// BuildTarget on the same inputs.
+		panic(fmt.Sprintf("resolved() on unvalidated request: %v", err))
+	}
+	intra, _ := ParseIntra(r.Intra)
+	llc := "private"
+	if cfg.LLCOrg == cache.SharedSNUCA {
+		llc = "shared"
+	}
+	intraName := "random"
+	if intra == core.IntraRoundRobin {
+		intraName = "roundrobin"
+	}
+	return Resolved{
+		Mesh:        fmt.Sprintf("%dx%d", cfg.Mesh.Width, cfg.Mesh.Height),
+		Regions:     fmt.Sprintf("%dx%d", cfg.Mesh.RegionsX, cfg.Mesh.RegionsY),
+		LLC:         llc,
+		CMEAccuracy: r.CMEAccuracy,
+		Seed:        r.Seed,
+		FineMAC:     r.FineMAC,
+		Intra:       intraName,
+	}
 }

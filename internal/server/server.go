@@ -1,13 +1,29 @@
 // Package server implements locmapd's HTTP/JSON API: the paper's
 // location-aware mapping pipeline exposed as a long-running service.
 //
-// Endpoints:
+// Endpoints (see API.md for the full contract):
 //
 //	POST /v1/map       compile a loop-nest program, return the schedule
 //	POST /v1/simulate  additionally execute it on the simulator and
 //	                   report the improvement over the default mapping
 //	GET  /v1/stats     service counters (requests, cache, latency)
 //	GET  /healthz      liveness probe
+//
+// Routing uses Go 1.22 method-qualified mux patterns; a wrong method
+// gets a 405 with an Allow header and an unknown path a 404, both in
+// the same JSON error envelope as every other failure:
+// {"error":{"code":...,"message":...,"request_id":...}} with a stable
+// machine-readable code.
+//
+// Every request carries a correlation id (echoed or generated
+// X-Request-Id) through context into the worker goroutines, appears
+// in exactly one structured access-log line (log/slog), and is
+// counted in both the /v1/stats snapshot and the Prometheus registry
+// behind MetricsHandler — per-endpoint request counters and latency
+// histograms, an in-flight gauge, queue-reject and job-timeout
+// counters, per-shard plan-cache counters, and post-run simulator
+// telemetry histograms (cycles, LLC hit fraction, per-leg NoC
+// latency).
 //
 // Mapping and simulation jobs run on a bounded worker pool; finished
 // plans are memoized in internal/plancache keyed by a canonical
@@ -18,7 +34,9 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -28,6 +46,7 @@ import (
 	"locmap/internal/core"
 	"locmap/internal/inspector"
 	"locmap/internal/lang"
+	"locmap/internal/metrics"
 	"locmap/internal/plancache"
 	"locmap/internal/sim"
 	"locmap/internal/stats"
@@ -49,6 +68,14 @@ type Config struct {
 
 	// MaxBodyBytes bounds a request body (default 1MiB).
 	MaxBodyBytes int64
+
+	// Logger receives one structured access-log line per request
+	// (default slog.Default()).
+	Logger *slog.Logger
+
+	// Registry receives the service's metric families (default: a
+	// fresh registry, retrievable via Server.Registry).
+	Registry *metrics.Registry
 }
 
 // Server is the locmapd service state. Create with New; all methods
@@ -58,12 +85,22 @@ type Server struct {
 	cache *plancache.Cache
 	sem   chan struct{}
 	lat   *stats.Recorder
+	log   *slog.Logger
+	reg   *metrics.Registry
 	start time.Time
 
-	requests atomic.Uint64 // all API requests
+	requests atomic.Uint64 // all requests, success and failure alike
 	errors   atomic.Uint64 // 4xx/5xx responses
-	timeouts atomic.Uint64 // requests that hit RequestTimeout
+	rejects  atomic.Uint64 // requests that timed out waiting for a worker
+	timeouts atomic.Uint64 // jobs that started but outlived the timeout
 	inflight atomic.Int64  // jobs currently holding a worker slot
+
+	httpInflight *metrics.Gauge
+	rejectsTotal *metrics.Counter
+	timeoutTotal *metrics.Counter
+	simCycles    *metrics.Histogram
+	simLLCHit    *metrics.Histogram
+	simLegAvg    map[string]*metrics.Histogram
 }
 
 // New builds a Server, applying defaults for zero config fields.
@@ -80,34 +117,95 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
-	return &Server{
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.New()
+	}
+	s := &Server{
 		cfg:   cfg,
 		cache: plancache.New(cfg.CacheCapacity),
 		sem:   make(chan struct{}, cfg.Workers),
 		lat:   stats.NewRecorder(4096),
+		log:   cfg.Logger,
+		reg:   cfg.Registry,
 		start: time.Now(),
 	}
+	s.httpInflight = s.reg.Gauge("locmapd_http_inflight_requests",
+		"Requests currently inside a handler.", nil)
+	s.rejectsTotal = s.reg.Counter("locmapd_queue_rejects_total",
+		"Requests that timed out waiting for a worker slot.", nil)
+	s.timeoutTotal = s.reg.Counter("locmapd_job_timeouts_total",
+		"Jobs that started but outlived the request timeout.", nil)
+	s.simCycles = s.reg.Histogram("locmapd_sim_cycles",
+		"Location-aware cycle counts of executed /v1/simulate requests.",
+		metrics.ExpBuckets(1e4, 4, 12), nil)
+	s.simLLCHit = s.reg.Histogram("locmapd_sim_llc_hit_fraction",
+		"LLC hit fraction of executed /v1/simulate requests.",
+		metrics.LinearBuckets(0.1, 0.1, 10), nil)
+	s.simLegAvg = make(map[string]*metrics.Histogram, len(sim.LegNames))
+	for _, leg := range sim.LegNames {
+		s.simLegAvg[leg] = s.reg.Histogram("locmapd_sim_leg_avg_cycles",
+			"Mean per-leg NoC transit latency of executed /v1/simulate requests.",
+			metrics.ExpBuckets(1, 2, 12), metrics.Labels{"leg": leg})
+	}
+	s.registerCollectors()
+	return s
 }
 
-// Handler returns the service's HTTP routing table.
+// Registry returns the server's metrics registry, so additional
+// components (e.g. an experiments.Runner) can export into the same
+// /metrics exposition.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// MetricsHandler serves the Prometheus text-format exposition. It is
+// deliberately not part of Handler: like -pprof, the /metrics
+// listener is opt-in and never shares the API port (cmd/locmapd's
+// -metrics flag).
+func (s *Server) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", s.reg.Handler())
+	return mux
+}
+
+// Handler returns the service's HTTP routing table. Method-qualified
+// patterns route the happy path; the unqualified fallbacks turn every
+// other method into an enveloped 405 with an Allow header, and the
+// root fallback turns unknown paths into an enveloped 404.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/map", s.handleMap)
-	mux.HandleFunc("/v1/simulate", s.handleSimulate)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("POST /v1/map", s.instrument("map", s.handleMap))
+	mux.Handle("/v1/map", s.instrument("map", s.methodNotAllowed("POST")))
+	mux.Handle("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.Handle("/v1/simulate", s.instrument("simulate", s.methodNotAllowed("POST")))
+	mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.Handle("/v1/stats", s.instrument("stats", s.methodNotAllowed("GET")))
+	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("/healthz", s.instrument("healthz", s.methodNotAllowed("GET")))
+	mux.Handle("/", s.instrument("other", s.handleNotFound))
 	return mux
 }
 
 // MapResponse is the body of a successful /v1/map or /v1/simulate
 // response. Plan carries the cached payload verbatim: a repeated
-// identical request returns byte-identical Plan contents.
+// identical request returns byte-identical Plan contents (the
+// envelope fields around it — request id, resolved config — are
+// per-request).
 type MapResponse struct {
+	// RequestID is the request correlation id (also the X-Request-Id
+	// response header and the request's log line).
+	RequestID string `json:"request_id"`
+
 	// Fingerprint is the canonical plan-cache key for the request.
 	Fingerprint string `json:"fingerprint"`
 
 	// Cached reports whether Plan was served from the plan cache.
 	Cached bool `json:"cached"`
+
+	// Resolved echoes the effective configuration the request mapped
+	// to after defaults were applied.
+	Resolved Resolved `json:"resolved"`
 
 	// Plan is the serialized Plan (for /v1/map) or SimResult (for
 	// /v1/simulate).
@@ -140,23 +238,34 @@ type NestSummary struct {
 	TotalError   float64 `json:"total_error,omitempty"`
 }
 
-// SimResult is the JSON shape of one simulation verification run.
-type SimResult struct {
-	Plan           *Plan   `json:"plan"`
-	DefaultCycles  int64   `json:"default_cycles"`
-	LocmapCycles   int64   `json:"locmap_cycles"`
-	ImprovementPct float64 `json:"improvement_pct"`
+// LegLatency is one NoC leg's transit accounting for a simulate run.
+type LegLatency struct {
+	Leg         string  `json:"leg"`
+	Packets     uint64  `json:"packets"`
+	TotalCycles uint64  `json:"total_cycles"`
+	AvgCycles   float64 `json:"avg_cycles"`
 }
 
-// errorResponse is the JSON error envelope for non-2xx responses.
-type errorResponse struct {
-	Error string `json:"error"`
+// SimTelemetry is the per-request simulator telemetry for the
+// location-aware run: the paper's evaluation quantities (LLC hit
+// fractions, per-leg NoC latencies) aggregated post-run from
+// sim.Stats and sim.LegSummaries, never sampled per-event.
+type SimTelemetry struct {
+	L1HitFraction  float64      `json:"l1_hit_fraction"`
+	LLCHitFraction float64      `json:"llc_hit_fraction"`
+	NoCLegs        []LegLatency `json:"noc_legs"`
+}
+
+// SimResult is the JSON shape of one simulation verification run.
+type SimResult struct {
+	Plan           *Plan        `json:"plan"`
+	DefaultCycles  int64        `json:"default_cycles"`
+	LocmapCycles   int64        `json:"locmap_cycles"`
+	ImprovementPct float64      `json:"improvement_pct"`
+	Telemetry      SimTelemetry `json:"telemetry"`
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
-	if code >= 400 {
-		s.errors.Add(1)
-	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
@@ -164,38 +273,68 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	s.writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+// writeError emits the JSON error envelope, stamping the request id
+// and recording the code for the access log.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, e *apiError) {
+	if info := infoFromContext(r.Context()); info != nil {
+		info.errCode = e.code
+	}
+	s.writeJSON(w, e.status, errorResponse{Error: ErrorBody{
+		Code:      e.code,
+		Message:   e.msg,
+		RequestID: RequestIDFromContext(r.Context()),
+	}})
+}
+
+// methodNotAllowed is the fallback handler behind each endpoint's
+// method-qualified pattern: any method the pattern did not claim
+// lands here.
+func (s *Server) methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		s.writeError(w, r, errf(http.StatusMethodNotAllowed, ErrMethodNotAllowed,
+			"method %s not allowed; use %s", r.Method, allow))
+	}
+}
+
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	s.writeError(w, r, errf(http.StatusNotFound, ErrNotFound,
+		"no such endpoint: %s", r.URL.Path))
 }
 
 // decode reads and validates a JSON request body into dst.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
-	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
-		return false
-	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, r, errf(http.StatusRequestEntityTooLarge, ErrBodyTooLarge,
+				"request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		s.writeError(w, r, errf(http.StatusBadRequest, ErrInvalidBody,
+			"bad request body: %v", err))
 		return false
 	}
 	return true
 }
 
 // runJob executes job on the bounded worker pool under the request
-// timeout. It returns the job's serialized payload, or an error plus
-// the HTTP status to report. A successful payload is cached under key
-// from inside the job goroutine, so even a job whose request already
-// timed out warms the plan cache for the client's retry.
-func (s *Server) runJob(ctx context.Context, key string, job func() ([]byte, error)) ([]byte, int, error) {
+// timeout. It returns the job's serialized payload or the apiError to
+// report. A successful payload is cached under key from inside the
+// job goroutine, so even a job whose request already timed out warms
+// the plan cache for the client's retry.
+func (s *Server) runJob(ctx context.Context, key string, job func() ([]byte, error)) ([]byte, *apiError) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
-		s.timeouts.Add(1)
-		return nil, http.StatusServiceUnavailable, fmt.Errorf("no worker available: %v", ctx.Err())
+		s.rejects.Add(1)
+		s.rejectsTotal.Inc()
+		return nil, errf(http.StatusServiceUnavailable, ErrOverloaded,
+			"no worker available: %v", ctx.Err())
 	}
 	s.inflight.Add(1)
 	type jobResult struct {
@@ -217,65 +356,89 @@ func (s *Server) runJob(ctx context.Context, key string, job func() ([]byte, err
 	select {
 	case res := <-done:
 		if res.err != nil {
-			return nil, http.StatusUnprocessableEntity, res.err
+			return nil, errf(http.StatusUnprocessableEntity, ErrCompileFailed,
+				"%v", res.err)
 		}
-		return res.payload, http.StatusOK, nil
+		return res.payload, nil
 	case <-ctx.Done():
 		// The job goroutine keeps running to completion in the
 		// background; it only holds a worker slot, never the request,
 		// and it still caches its result on success.
 		s.timeouts.Add(1)
-		return nil, http.StatusGatewayTimeout, fmt.Errorf("request timed out after %v", s.cfg.RequestTimeout)
+		s.timeoutTotal.Inc()
+		return nil, errf(http.StatusGatewayTimeout, ErrTimeout,
+			"request timed out after %v", s.cfg.RequestTimeout)
 	}
 }
 
-// apiRequest is what serve needs from a request body: validation and
-// the plan-cache spec whose fingerprint keys the result. Each request
-// type contributes every field its job reads (SimulateRequest adds
-// TimingIters on top of MapRequest), so no two requests that compute
-// different payloads can share a key.
+// apiRequest is what serve needs from a request body: validation, the
+// plan-cache spec whose fingerprint keys the result, and the resolved
+// effective configuration echoed in the response. Both request types
+// derive all three from the shared CommonRequest fields (simulate
+// layering its TimingIters on top), so the two specs cannot drift.
 type apiRequest interface {
 	Validate() error
 	spec(kind string) (plancache.Spec, error)
+	resolved() Resolved
 }
 
 // serve is the shared handler body: validate, consult the cache, run
 // the job on a worker if needed, respond.
 func (s *Server) serve(w http.ResponseWriter, r *http.Request, req apiRequest, kind string, job func() ([]byte, error)) {
-	s.requests.Add(1)
-	started := time.Now()
-	defer func() { s.lat.Observe(time.Since(started).Seconds()) }()
-
 	if err := req.Validate(); err != nil {
-		s.writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		s.writeError(w, r, errf(http.StatusBadRequest, ErrInvalidRequest,
+			"invalid request: %v", err))
 		return
 	}
 	spec, err := req.spec(kind)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		s.writeError(w, r, errf(http.StatusBadRequest, ErrInvalidRequest,
+			"invalid request: %v", err))
 		return
 	}
 	key, err := spec.Fingerprint()
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "invalid source: %v", err)
+		s.writeError(w, r, errf(http.StatusBadRequest, ErrInvalidSource,
+			"invalid source: %v", err))
 		return
+	}
+	info := infoFromContext(r.Context())
+	if info != nil {
+		info.fingerprint = key
+	}
+	resp := MapResponse{
+		RequestID:   RequestIDFromContext(r.Context()),
+		Fingerprint: key,
+		Resolved:    req.resolved(),
+	}
+	cacheReqs := func(result string) {
+		s.reg.Counter("locmapd_cache_requests_total",
+			"Cacheable requests by endpoint and plan-cache outcome.",
+			metrics.Labels{"endpoint": kind, "result": result}).Inc()
 	}
 	if payload, ok := s.cache.Get(key); ok {
-		s.writeJSON(w, http.StatusOK, MapResponse{Fingerprint: key, Cached: true, Plan: payload})
+		cacheReqs("hit")
+		if info != nil {
+			info.cached = true
+		}
+		resp.Cached = true
+		resp.Plan = payload
+		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	payload, code, err := s.runJob(r.Context(), key, job)
-	if err != nil {
-		s.writeError(w, code, "%v", err)
+	cacheReqs("miss")
+	payload, apiErr := s.runJob(r.Context(), key, job)
+	if apiErr != nil {
+		s.writeError(w, r, apiErr)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, MapResponse{Fingerprint: key, Cached: false, Plan: payload})
+	resp.Plan = payload
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	var req MapRequest
 	if !s.decode(w, r, &req) {
-		s.requests.Add(1)
 		return
 	}
 	s.serve(w, r, &req, "map", func() ([]byte, error) {
@@ -290,7 +453,6 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
 	if !s.decode(w, r, &req) {
-		s.requests.Add(1)
 		return
 	}
 	s.serve(w, r, &req, "simulate", func() ([]byte, error) {
@@ -298,8 +460,22 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		s.observeSim(res)
 		return json.Marshal(res)
 	})
+}
+
+// observeSim folds one executed (non-cached) simulation's telemetry
+// into the histograms. Cached replays are not re-observed: the
+// distributions describe work the service actually performed.
+func (s *Server) observeSim(res *SimResult) {
+	s.simCycles.Observe(float64(res.LocmapCycles))
+	s.simLLCHit.Observe(res.Telemetry.LLCHitFraction)
+	for _, leg := range res.Telemetry.NoCLegs {
+		if h, ok := s.simLegAvg[leg.Leg]; ok && leg.Packets > 0 {
+			h.Observe(leg.AvgCycles)
+		}
+	}
 }
 
 // compilePlan runs the compile pipeline for one request. It is safe to
@@ -355,6 +531,26 @@ func planFromResult(res *compiler.Result) *Plan {
 	return plan
 }
 
+// telemetryFrom aggregates one finished run's machine-level counters
+// into the wire shape. All inputs are whole-run aggregates read after
+// the simulation completed.
+func telemetryFrom(st sim.Stats, legs []sim.LegSummary) SimTelemetry {
+	tel := SimTelemetry{
+		L1HitFraction:  st.L1HitFraction(),
+		LLCHitFraction: st.LLCHitFraction(),
+		NoCLegs:        make([]LegLatency, 0, len(legs)),
+	}
+	for _, l := range legs {
+		tel.NoCLegs = append(tel.NoCLegs, LegLatency{
+			Leg:         l.Name,
+			Packets:     l.Packets,
+			TotalCycles: l.TotalCycles,
+			AvgCycles:   l.AvgCycles(),
+		})
+	}
+	return tel
+}
+
 // simulate compiles the request and verifies the schedule on the
 // simulator, mirroring cmd/locmap's -run path.
 func simulate(req *SimulateRequest) (*SimResult, error) {
@@ -377,19 +573,23 @@ func simulate(req *SimulateRequest) (*SimResult, error) {
 	sysD := sim.New(cfg)
 	defCycles := sim.TotalCycles(inspector.RunBaseline(sysD, p))
 	var laCycles int64
+	var tel SimTelemetry
 	if res.NeedsInspector {
 		sys := sim.New(cfg)
 		mapper := core.NewMapper(opts.Mapper)
 		laCycles = inspector.Run(sys, p, mapper, inspector.DefaultOverhead()).TotalCycles()
+		tel = telemetryFrom(sys.Stats(), sys.LegSummaries())
 	} else {
 		sys := sim.New(cfg)
 		laCycles = sim.TotalCycles(sys.RunTiming(p, func(int) *sim.Schedule { return res.Schedule }))
+		tel = telemetryFrom(sys.Stats(), sys.LegSummaries())
 	}
 	return &SimResult{
 		Plan:           planFromResult(res),
 		DefaultCycles:  defCycles,
 		LocmapCycles:   laCycles,
 		ImprovementPct: stats.PctReduction(float64(defCycles), float64(laCycles)),
+		Telemetry:      tel,
 	}, nil
 }
 
@@ -398,6 +598,7 @@ type StatsSnapshot struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	Requests      uint64          `json:"requests"`
 	Errors        uint64          `json:"errors"`
+	Rejects       uint64          `json:"rejects"`
 	Timeouts      uint64          `json:"timeouts"`
 	Workers       int             `json:"workers"`
 	Inflight      int64           `json:"inflight"`
@@ -407,13 +608,17 @@ type StatsSnapshot struct {
 	LatencyP99Ms  float64         `json:"latency_p99_ms"`
 }
 
-// Snapshot collects the current counters.
+// Snapshot collects the current counters. Requests counts every
+// response the service produced — errors, enveloped 404/405s and this
+// stats request's predecessors included — so it always agrees with
+// the sum over locmapd_requests_total in /metrics.
 func (s *Server) Snapshot() StatsSnapshot {
 	qs := s.lat.Quantiles(0.50, 0.99)
 	return StatsSnapshot{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
 		Errors:        s.errors.Load(),
+		Rejects:       s.rejects.Load(),
 		Timeouts:      s.timeouts.Load(),
 		Workers:       s.cfg.Workers,
 		Inflight:      s.inflight.Load(),
@@ -425,14 +630,10 @@ func (s *Server) Snapshot() StatsSnapshot {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
-		return
-	}
 	s.writeJSON(w, http.StatusOK, s.Snapshot())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	w.Write([]byte("{\"status\":\"ok\"}\n"))
+	fmt.Fprintln(w, `{"status":"ok"}`)
 }

@@ -5,12 +5,17 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"locmap/internal/experiments"
+	"locmap/internal/metrics"
 )
 
 const triadSrc = `
@@ -23,8 +28,16 @@ parallel for i = 0..N work 64 {
 }
 `
 
+// mapReq builds a MapRequest around source with defaults.
+func mapReq(src string) MapRequest {
+	return MapRequest{CommonRequest: CommonRequest{Source: src}}
+}
+
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
@@ -58,12 +71,21 @@ func decodeMapResponse(t *testing.T, body []byte) MapResponse {
 	return mr
 }
 
+func decodeErrorResponse(t *testing.T, body []byte) ErrorBody {
+	t.Helper()
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("error body is not the envelope: %v: %s", err, body)
+	}
+	return er.Error
+}
+
 // TestMapRepeatedRequestHitsCache is the acceptance test: a repeated
 // identical /v1/map request must be served from the plan cache with a
 // byte-identical plan (schedule included).
 func TestMapRepeatedRequestHitsCache(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	req := MapRequest{Source: triadSrc}
+	req := mapReq(triadSrc)
 
 	resp1, body1 := postJSON(t, ts.URL+"/v1/map", req)
 	if resp1.StatusCode != http.StatusOK {
@@ -93,6 +115,9 @@ func TestMapRepeatedRequestHitsCache(t *testing.T) {
 	if !bytes.Equal(mr1.Plan, mr2.Plan) {
 		t.Errorf("cached plan is not byte-identical to the original")
 	}
+	if mr1.RequestID == "" || mr1.RequestID == mr2.RequestID {
+		t.Errorf("request ids not unique per request: %q vs %q", mr1.RequestID, mr2.RequestID)
+	}
 
 	var plan Plan
 	if err := json.Unmarshal(mr2.Plan, &plan); err != nil {
@@ -113,11 +138,11 @@ func TestMapRepeatedRequestHitsCache(t *testing.T) {
 // fragment the cache.
 func TestMapWhitespaceVariantHitsCache(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	_, body1 := postJSON(t, ts.URL+"/v1/map", MapRequest{Source: triadSrc})
+	_, body1 := postJSON(t, ts.URL+"/v1/map", mapReq(triadSrc))
 	mr1 := decodeMapResponse(t, body1)
 
 	reformatted := "# same program, reformatted\n" + strings.ReplaceAll(triadSrc, "\n", " ")
-	_, body2 := postJSON(t, ts.URL+"/v1/map", MapRequest{Source: reformatted})
+	_, body2 := postJSON(t, ts.URL+"/v1/map", mapReq(reformatted))
 	mr2 := decodeMapResponse(t, body2)
 	if !mr2.Cached {
 		t.Fatalf("reformatted source missed the cache")
@@ -127,22 +152,57 @@ func TestMapWhitespaceVariantHitsCache(t *testing.T) {
 	}
 }
 
+// TestResolvedEcho: responses must echo the effective configuration
+// with defaults applied.
+func TestResolvedEcho(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, body := postJSON(t, ts.URL+"/v1/map", mapReq(triadSrc))
+	mr := decodeMapResponse(t, body)
+	want := Resolved{Mesh: "6x6", Regions: "3x3", LLC: "private", Intra: "random"}
+	if mr.Resolved != want {
+		t.Errorf("resolved = %+v, want %+v", mr.Resolved, want)
+	}
+
+	req := SimulateRequest{CommonRequest: CommonRequest{
+		Source: triadSrc, LLC: "shared", Intra: "roundrobin", Seed: 3,
+	}, TimingIters: 2}
+	if testing.Short() {
+		// The resolved echo is computed before the job runs; exercise
+		// it without simulating by checking the request-side helper.
+		got := req.resolved()
+		if got.LLC != "shared" || got.Intra != "roundrobin" || got.TimingIters != 2 || got.Seed != 3 {
+			t.Errorf("simulate resolved = %+v", got)
+		}
+		return
+	}
+	_, body = postJSON(t, ts.URL+"/v1/simulate", req)
+	mr = decodeMapResponse(t, body)
+	wantSim := Resolved{Mesh: "6x6", Regions: "3x3", LLC: "shared",
+		Intra: "roundrobin", Seed: 3, TimingIters: 2}
+	if mr.Resolved != wantSim {
+		t.Errorf("simulate resolved = %+v, want %+v", mr.Resolved, wantSim)
+	}
+}
+
+// TestMapMalformedRequests: every 4xx path answers with the JSON
+// envelope and its documented stable code.
 func TestMapMalformedRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	tests := []struct {
-		name string
-		body string
-		want int
+		name     string
+		body     string
+		want     int
+		wantCode ErrorCode
 	}{
-		{"bad json", "{not json", http.StatusBadRequest},
-		{"unknown field", `{"source":"x","bogus":1}`, http.StatusBadRequest},
-		{"empty source", `{"source":""}`, http.StatusBadRequest},
-		{"bad mesh", `{"source":"param N = 4","mesh":"6by6"}`, http.StatusBadRequest},
-		{"bad llc", `{"source":"param N = 4","llc":"l4"}`, http.StatusBadRequest},
-		{"bad accuracy", `{"source":"param N = 4","cme_accuracy":2}`, http.StatusBadRequest},
-		{"bad intra", `{"source":"param N = 4","intra":"zigzag"}`, http.StatusBadRequest},
-		{"unlexable source", `{"source":"parallel for i = 0..N { A[i] = B[i] ; }"}`, http.StatusBadRequest},
-		{"unparsable source", `{"source":"for for for"}`, http.StatusUnprocessableEntity},
+		{"bad json", "{not json", http.StatusBadRequest, ErrInvalidBody},
+		{"unknown field", `{"source":"x","bogus":1}`, http.StatusBadRequest, ErrInvalidBody},
+		{"empty source", `{"source":""}`, http.StatusBadRequest, ErrInvalidRequest},
+		{"bad mesh", `{"source":"param N = 4","mesh":"6by6"}`, http.StatusBadRequest, ErrInvalidRequest},
+		{"bad llc", `{"source":"param N = 4","llc":"l4"}`, http.StatusBadRequest, ErrInvalidRequest},
+		{"bad accuracy", `{"source":"param N = 4","cme_accuracy":2}`, http.StatusBadRequest, ErrInvalidRequest},
+		{"bad intra", `{"source":"param N = 4","intra":"zigzag"}`, http.StatusBadRequest, ErrInvalidRequest},
+		{"unlexable source", `{"source":"parallel for i = 0..N { A[i] = B[i] ; }"}`, http.StatusBadRequest, ErrInvalidSource},
+		{"unparsable source", `{"source":"for for for"}`, http.StatusUnprocessableEntity, ErrCompileFailed},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -157,23 +217,233 @@ func TestMapMalformedRequests(t *testing.T) {
 			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 				t.Errorf("Content-Type = %q, want application/json", ct)
 			}
-			var er errorResponse
-			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error == "" {
-				t.Errorf("error body not JSON with non-empty error: %v", err)
+			var body bytes.Buffer
+			body.ReadFrom(resp.Body)
+			eb := decodeErrorResponse(t, body.Bytes())
+			if eb.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", eb.Code, tc.wantCode)
+			}
+			if eb.Message == "" {
+				t.Errorf("empty error message")
+			}
+			if eb.RequestID == "" || eb.RequestID != resp.Header.Get("X-Request-Id") {
+				t.Errorf("request id %q does not match header %q", eb.RequestID, resp.Header.Get("X-Request-Id"))
 			}
 		})
 	}
 }
 
-func TestMapRejectsGet(t *testing.T) {
+// TestMethodNotAllowed: the method-qualified mux's fallbacks must
+// answer 405 with an Allow header and the envelope, on every endpoint.
+func TestMethodNotAllowed(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	resp, err := http.Get(ts.URL + "/v1/map")
+	tests := []struct {
+		method, path, allow string
+	}{
+		{http.MethodGet, "/v1/map", "POST"},
+		{http.MethodDelete, "/v1/map", "POST"},
+		{http.MethodGet, "/v1/simulate", "POST"},
+		{http.MethodPost, "/v1/stats", "GET"},
+		{http.MethodPost, "/healthz", "GET"},
+	}
+	for _, tc := range tests {
+		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", tc.method, tc.path, err)
+		}
+		var body bytes.Buffer
+		body.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status = %d, want 405", tc.method, tc.path, resp.StatusCode)
+			continue
+		}
+		if got := resp.Header.Get("Allow"); got != tc.allow {
+			t.Errorf("%s %s: Allow = %q, want %q", tc.method, tc.path, got, tc.allow)
+		}
+		if eb := decodeErrorResponse(t, body.Bytes()); eb.Code != ErrMethodNotAllowed {
+			t.Errorf("%s %s: code = %q, want %q", tc.method, tc.path, eb.Code, ErrMethodNotAllowed)
+		}
+	}
+}
+
+// TestNotFound: unknown paths get the envelope too — no plain-text
+// error bodies remain anywhere.
+func TestNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/nonsense")
 	if err != nil {
 		t.Fatalf("GET: %v", err)
 	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	if eb := decodeErrorResponse(t, body.Bytes()); eb.Code != ErrNotFound {
+		t.Errorf("code = %q, want %q", eb.Code, ErrNotFound)
+	}
+}
+
+// TestBodyTooLarge: an oversized body answers 413 with its own code.
+func TestBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 64})
+	big := fmt.Sprintf(`{"source":%q}`, strings.Repeat("x", 256))
+	resp, err := http.Post(ts.URL+"/v1/map", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	if eb := decodeErrorResponse(t, body.Bytes()); eb.Code != ErrBodyTooLarge {
+		t.Errorf("code = %q, want %q", eb.Code, ErrBodyTooLarge)
+	}
+}
+
+// TestErrorCodeContract round-trips every documented error code (see
+// API.md): each must be reachable over HTTP with its documented
+// status, except timeout, whose job-side mapping is asserted directly.
+func TestErrorCodeContract(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, RequestTimeout: 50 * time.Millisecond, MaxBodyBytes: 512})
+	got := map[ErrorCode]int{}
+
+	do := func(method, path, body string) {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, _ := http.NewRequest(method, ts.URL+path, rd)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		eb := decodeErrorResponse(t, buf.Bytes())
+		if prev, dup := got[eb.Code]; dup && prev != resp.StatusCode {
+			t.Errorf("code %q seen with statuses %d and %d", eb.Code, prev, resp.StatusCode)
+		}
+		got[eb.Code] = resp.StatusCode
+	}
+
+	do("POST", "/v1/map", "{")                                                    // invalid_body
+	do("POST", "/v1/map", fmt.Sprintf(`{"source":%q}`, strings.Repeat("y", 600))) // body_too_large
+	do("POST", "/v1/map", `{"source":""}`)                                        // invalid_request
+	do("POST", "/v1/map", `{"source":"parallel for i = 0..N { A[i] = B[i] ; }"}`) // invalid_source
+	do("POST", "/v1/map", `{"source":"for for for"}`)                             // compile_failed
+	do("GET", "/v1/map", "")                                                      // method_not_allowed
+	do("GET", "/v1/missing", "")                                                  // not_found
+
+	s.sem <- struct{}{} // hold the only worker: next job request must 503
+	do("POST", "/v1/map", fmt.Sprintf(`{"source":%q}`, "param N = 8\narray A[N]\nparallel for i = 0..N work 1 { A[i] = A[i] }"))
+	<-s.sem
+
+	// timeout: a job that starts but outlives the deadline maps to 504.
+	_, apiErr := s.runJob(context.Background(), "contract-slow", func() ([]byte, error) {
+		time.Sleep(200 * time.Millisecond)
+		return []byte("{}"), nil
+	})
+	if apiErr == nil {
+		t.Fatalf("slow job did not time out")
+	}
+	got[apiErr.code] = apiErr.status
+
+	want := map[ErrorCode]int{
+		ErrInvalidBody:      http.StatusBadRequest,
+		ErrBodyTooLarge:     http.StatusRequestEntityTooLarge,
+		ErrInvalidRequest:   http.StatusBadRequest,
+		ErrInvalidSource:    http.StatusBadRequest,
+		ErrCompileFailed:    http.StatusUnprocessableEntity,
+		ErrMethodNotAllowed: http.StatusMethodNotAllowed,
+		ErrNotFound:         http.StatusNotFound,
+		ErrOverloaded:       http.StatusServiceUnavailable,
+		ErrTimeout:          http.StatusGatewayTimeout,
+	}
+	for code, status := range want {
+		if got[code] != status {
+			t.Errorf("code %q: got status %d, want %d", code, got[code], status)
+		}
+	}
+	for code := range got {
+		if _, ok := want[code]; !ok {
+			t.Errorf("undocumented code %q produced", code)
+		}
+	}
+}
+
+// lockedBuf is a goroutine-safe log sink.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestRequestIDEchoedAndLogged: a client-supplied X-Request-Id is
+// echoed in the header, the envelope and the slog line; a missing one
+// is generated.
+func TestRequestIDEchoedAndLogged(t *testing.T) {
+	var logs lockedBuf
+	_, ts := newTestServer(t, Config{Logger: slog.New(slog.NewTextHandler(&logs, nil))})
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/map", strings.NewReader(`{"source":""}`))
+	req.Header.Set("X-Request-Id", "client-chose-this-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "client-chose-this-42" {
+		t.Errorf("header id = %q, want the client's", got)
+	}
+	if eb := decodeErrorResponse(t, body.Bytes()); eb.RequestID != "client-chose-this-42" {
+		t.Errorf("envelope id = %q, want the client's", eb.RequestID)
+	}
+
+	// The log line is emitted before the response body is fully
+	// flushed, but give the runtime a moment anyway.
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(logs.String(), "request_id=client-chose-this-42") {
+		if time.Now().After(deadline) {
+			t.Fatalf("log line missing request id; logs:\n%s", logs.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	line := logs.String()
+	for _, want := range []string{"endpoint=map", "status=400", "error_code=invalid_request"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line missing %q:\n%s", want, line)
+		}
+	}
+
+	// A request without an id gets a generated one, echoed in the header.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/map", mapReq(triadSrc))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp2.StatusCode)
+	}
+	mr := decodeMapResponse(t, body2)
+	if mr.RequestID == "" || mr.RequestID != resp2.Header.Get("X-Request-Id") {
+		t.Errorf("generated id %q does not match header %q", mr.RequestID, resp2.Header.Get("X-Request-Id"))
 	}
 }
 
@@ -199,7 +469,7 @@ parallel for i = 0..N work %d {
   A[i] = B[i]
 }
 `, 32<<(g%3))
-			resp, body := postJSON(t, ts.URL+"/v1/map", MapRequest{Source: src})
+			resp, body := postJSON(t, ts.URL+"/v1/map", mapReq(src))
 			if resp.StatusCode != http.StatusOK {
 				t.Errorf("goroutine %d: status %d: %s", g, resp.StatusCode, body)
 				return
@@ -223,12 +493,176 @@ parallel for i = 0..N work %d {
 	}
 }
 
+// scrape fetches and parses the server's /metrics exposition.
+func scrape(t *testing.T, url string) *metrics.Exposition {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	exp, err := metrics.Parse(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	return exp
+}
+
+// TestMetricsLoadCacheHitsObservable is the observability acceptance
+// test: under a burst of identical requests, cache hits must be
+// visible in the response envelope, in the cache-outcome counters and
+// in the per-shard plancache families, and the per-endpoint request
+// counters must agree with /v1/stats.
+func TestMetricsLoadCacheHitsObservable(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	ms := httptest.NewServer(s.MetricsHandler())
+	defer ms.Close()
+
+	// Prime the cache, then hammer the same request concurrently.
+	resp, body := postJSON(t, ts.URL+"/v1/map", mapReq(triadSrc))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prime: status %d: %s", resp.StatusCode, body)
+	}
+	const burst = 16
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	cached := 0
+	for g := 0; g < burst; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/map", mapReq(triadSrc))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("burst: status %d", resp.StatusCode)
+				return
+			}
+			if decodeMapResponse(t, body).Cached {
+				mu.Lock()
+				cached++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if cached != burst {
+		t.Errorf("cached responses = %d, want %d (cache was primed)", cached, burst)
+	}
+
+	exp := scrape(t, ms.URL)
+	if v, ok := exp.Value("locmapd_cache_requests_total", metrics.Labels{"endpoint": "map", "result": "hit"}); !ok || v != burst {
+		t.Errorf("cache hit counter = %g, %v; want %d", v, ok, burst)
+	}
+	if v, ok := exp.Value("locmapd_cache_requests_total", metrics.Labels{"endpoint": "map", "result": "miss"}); !ok || v != 1 {
+		t.Errorf("cache miss counter = %g, %v; want 1", v, ok)
+	}
+
+	// Per-shard plancache hits must sum to the cache's own accounting.
+	var shardHits float64
+	for i := 0; i < s.cache.NumShards(); i++ {
+		v, _ := exp.Value("locmapd_plancache_hits_total", metrics.Labels{"shard": fmt.Sprintf("%d", i)})
+		shardHits += v
+	}
+	if want := float64(s.cache.Stats().Hits); shardHits != want {
+		t.Errorf("per-shard hits sum = %g, cache reports %g", shardHits, want)
+	}
+
+	// Request counters agree with /v1/stats.
+	if v, ok := exp.Value("locmapd_requests_total", metrics.Labels{"endpoint": "map", "code": "200"}); !ok || v != burst+1 {
+		t.Errorf("requests_total{map,200} = %g, %v; want %d", v, ok, burst+1)
+	}
+	if v, ok := exp.Value("locmapd_request_seconds_count", metrics.Labels{"endpoint": "map"}); !ok || v != burst+1 {
+		t.Errorf("request_seconds_count = %g, %v; want %d", v, ok, burst+1)
+	}
+	if snap := s.Snapshot(); snap.Requests != burst+1 {
+		t.Errorf("/v1/stats requests = %d, want %d", snap.Requests, burst+1)
+	}
+}
+
+// TestMetricsContract scrapes twice and verifies the exposition stays
+// parseable (no duplicate families) with monotone counters, and that
+// the server, plancache and runner families are all present.
+func TestMetricsContract(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	ms := httptest.NewServer(s.MetricsHandler())
+	defer ms.Close()
+
+	// A runner registered into the server's registry shares the
+	// exposition (how a service hosting both would wire it).
+	runner := experiments.NewRunner(2)
+	runner.Register(s.Registry())
+
+	postJSON(t, ts.URL+"/v1/map", mapReq(triadSrc))
+	postJSON(t, ts.URL+"/v1/map", mapReq("")) // 400
+	http.Get(ts.URL + "/v1/nope")             // 404
+	http.Get(ts.URL + "/v1/map")              // 405
+
+	first := scrape(t, ms.URL)
+	for _, fam := range []string{
+		"locmapd_requests_total",
+		"locmapd_request_seconds",
+		"locmapd_http_inflight_requests",
+		"locmapd_worker_inflight_jobs",
+		"locmapd_queue_rejects_total",
+		"locmapd_job_timeouts_total",
+		"locmapd_cache_requests_total",
+		"locmapd_plancache_hits_total",
+		"locmapd_plancache_misses_total",
+		"locmapd_plancache_evictions_total",
+		"locmapd_plancache_entries",
+		"locmapd_sim_cycles",
+		"locmapd_sim_llc_hit_fraction",
+		"locmapd_sim_leg_avg_cycles",
+		"locmap_runner_jobs_requested_total",
+		"locmap_runner_jobs_executed_total",
+		"locmap_runner_jobs_memoized_total",
+		"locmap_runner_queue_wait_seconds_total",
+	} {
+		if first.Families[fam] == nil {
+			t.Errorf("family %s missing from exposition", fam)
+		}
+	}
+
+	// Every 4xx/405/404 response above must be counted per endpoint.
+	for _, probe := range []struct {
+		endpoint, code string
+	}{
+		{"map", "200"}, {"map", "400"}, {"map", "405"}, {"other", "404"},
+	} {
+		if v, ok := first.Value("locmapd_requests_total", metrics.Labels{"endpoint": probe.endpoint, "code": probe.code}); !ok || v < 1 {
+			t.Errorf("requests_total{%s,%s} = %g, %v; want >= 1", probe.endpoint, probe.code, v, ok)
+		}
+	}
+
+	postJSON(t, ts.URL+"/v1/map", mapReq(triadSrc)) // more traffic between scrapes
+	second := scrape(t, ms.URL)
+
+	// Counters must be monotone non-decreasing across scrapes.
+	for name, fam := range first.Families {
+		if fam.Type != "counter" {
+			continue
+		}
+		after := second.Families[name]
+		if after == nil {
+			t.Errorf("counter family %s vanished", name)
+			continue
+		}
+		for key, v1 := range fam.Samples {
+			if v2, ok := after.Samples[key]; ok && v2 < v1 {
+				t.Errorf("counter %s went backwards: %g -> %g", key, v1, v2)
+			}
+		}
+	}
+}
+
 func TestSimulateReportsImprovementAndCaches(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation run")
 	}
-	_, ts := newTestServer(t, Config{})
-	req := SimulateRequest{MapRequest: MapRequest{Source: triadSrc}}
+	s, ts := newTestServer(t, Config{})
+	req := SimulateRequest{CommonRequest: CommonRequest{Source: triadSrc}}
 	resp, body := postJSON(t, ts.URL+"/v1/simulate", req)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
@@ -245,6 +679,32 @@ func TestSimulateReportsImprovementAndCaches(t *testing.T) {
 		t.Fatalf("sim result missing plan")
 	}
 
+	// Telemetry: the paper's evaluation quantities, aggregated
+	// post-run, must be present and internally consistent.
+	tel := sr.Telemetry
+	if tel.LLCHitFraction < 0 || tel.LLCHitFraction > 1 || tel.L1HitFraction < 0 || tel.L1HitFraction > 1 {
+		t.Errorf("hit fractions out of range: %+v", tel)
+	}
+	if len(tel.NoCLegs) != 5 {
+		t.Fatalf("leg count = %d, want 5", len(tel.NoCLegs))
+	}
+	var totalPackets uint64
+	for _, leg := range tel.NoCLegs {
+		totalPackets += leg.Packets
+		if leg.Packets > 0 && leg.AvgCycles <= 0 {
+			t.Errorf("leg %s: %d packets but avg %g", leg.Leg, leg.Packets, leg.AvgCycles)
+		}
+	}
+	if totalPackets == 0 {
+		t.Errorf("no NoC packets recorded for a memory-bound triad")
+	}
+
+	// Executed simulations must be observable in the sim histograms;
+	// cached replays must not be re-observed.
+	if got := s.simCycles.Count(); got != 1 {
+		t.Errorf("sim cycles histogram count = %d, want 1", got)
+	}
+
 	resp2, body2 := postJSON(t, ts.URL+"/v1/simulate", req)
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("repeat status %d", resp2.StatusCode)
@@ -256,9 +716,12 @@ func TestSimulateReportsImprovementAndCaches(t *testing.T) {
 	if !bytes.Equal(mr.Plan, mr2.Plan) {
 		t.Errorf("cached sim result not byte-identical")
 	}
+	if got := s.simCycles.Count(); got != 1 {
+		t.Errorf("cached replay re-observed: histogram count = %d, want 1", got)
+	}
 
 	// /v1/map and /v1/simulate must not collide in the cache.
-	respM, bodyM := postJSON(t, ts.URL+"/v1/map", MapRequest{Source: triadSrc})
+	respM, bodyM := postJSON(t, ts.URL+"/v1/map", mapReq(triadSrc))
 	if respM.StatusCode != http.StatusOK {
 		t.Fatalf("map status %d", respM.StatusCode)
 	}
@@ -274,9 +737,14 @@ func TestSimulateRejectsNegativeTimingIters(t *testing.T) {
 	if err != nil {
 		t.Fatalf("POST: %v", err)
 	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if eb := decodeErrorResponse(t, buf.Bytes()); eb.Code != ErrInvalidRequest {
+		t.Errorf("code = %q, want %q", eb.Code, ErrInvalidRequest)
 	}
 }
 
@@ -284,7 +752,7 @@ func TestSimulateRejectsNegativeTimingIters(t *testing.T) {
 // in timing_iters compute different cycle counts, so they must never
 // share a cache key (while a zero override keys like the default).
 func TestSimulateSpecIncludesTimingIters(t *testing.T) {
-	base := SimulateRequest{MapRequest: MapRequest{Source: triadSrc}}
+	base := SimulateRequest{CommonRequest: CommonRequest{Source: triadSrc}}
 	fp := func(r SimulateRequest) string {
 		sp, err := r.spec("simulate")
 		if err != nil {
@@ -326,7 +794,7 @@ func TestMapperKnobsChangeFingerprint(t *testing.T) {
 		}
 		return key
 	}
-	base := MapRequest{Source: triadSrc}
+	base := mapReq(triadSrc)
 	fine := base
 	fine.FineMAC = true
 	rr := base
@@ -344,19 +812,49 @@ func TestMapperKnobsChangeFingerprint(t *testing.T) {
 	}
 }
 
+// TestCommonSpecCannotDrift: MapRequest and SimulateRequest derive
+// their specs from the one embedded CommonRequest, so identical
+// shared fields must produce identical spec ingredients (only Kind
+// and TimingIters may differ).
+func TestCommonSpecCannotDrift(t *testing.T) {
+	common := CommonRequest{Source: triadSrc, Seed: 9, FineMAC: true, Intra: "roundrobin", CMEAccuracy: 0.5}
+	m := MapRequest{CommonRequest: common}
+	sm := SimulateRequest{CommonRequest: common}
+	specM, err := m.spec("x")
+	if err != nil {
+		t.Fatalf("map spec: %v", err)
+	}
+	specS, err := sm.spec("x")
+	if err != nil {
+		t.Fatalf("simulate spec: %v", err)
+	}
+	fpM, err := specM.Fingerprint()
+	if err != nil {
+		t.Fatalf("map fingerprint: %v", err)
+	}
+	fpS, err := specS.Fingerprint()
+	if err != nil {
+		t.Fatalf("simulate fingerprint: %v", err)
+	}
+	if fpM != fpS {
+		t.Errorf("shared fields produced different specs:\n%+v\n%+v", specM, specS)
+	}
+}
+
 // TestTimedOutJobWarmsCache: a job that outlives the request timeout
 // still finishes on its worker and caches its payload, so the
 // client's retry is a cache hit instead of another doomed recompute.
 func TestTimedOutJobWarmsCache(t *testing.T) {
-	s := New(Config{Workers: 1, RequestTimeout: 20 * time.Millisecond})
+	s := New(Config{Workers: 1, RequestTimeout: 20 * time.Millisecond,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	release := make(chan struct{})
 	payload := []byte(`{"slow":true}`)
-	_, code, err := s.runJob(context.Background(), "slow-key", func() ([]byte, error) {
+	_, apiErr := s.runJob(context.Background(), "slow-key", func() ([]byte, error) {
 		<-release
 		return payload, nil
 	})
-	if err == nil || code != http.StatusGatewayTimeout {
-		t.Fatalf("runJob = code %d, err %v; want 504 timeout", code, err)
+	if apiErr == nil || apiErr.status != http.StatusGatewayTimeout || apiErr.code != ErrTimeout {
+		t.Fatalf("runJob = %+v; want 504 timeout", apiErr)
 	}
 	if _, ok := s.cache.Get("slow-key"); ok {
 		t.Fatalf("cache populated before the job finished")
@@ -377,11 +875,13 @@ func TestTimedOutJobWarmsCache(t *testing.T) {
 	}
 }
 
+// TestStatsEndpoint: the snapshot counts every response — including
+// the 400 — so /v1/stats agrees with the middleware counters.
 func TestStatsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 3})
-	postJSON(t, ts.URL+"/v1/map", MapRequest{Source: triadSrc})
-	postJSON(t, ts.URL+"/v1/map", MapRequest{Source: triadSrc})
-	postJSON(t, ts.URL+"/v1/map", MapRequest{Source: ""}) // 400
+	postJSON(t, ts.URL+"/v1/map", mapReq(triadSrc))
+	postJSON(t, ts.URL+"/v1/map", mapReq(triadSrc))
+	postJSON(t, ts.URL+"/v1/map", mapReq("")) // 400
 
 	resp, err := http.Get(ts.URL + "/v1/stats")
 	if err != nil {
@@ -434,15 +934,21 @@ func TestRequestTimeout(t *testing.T) {
 	defer func() { <-s.sem }()
 
 	start := time.Now()
-	resp, body := postJSON(t, ts.URL+"/v1/map", MapRequest{Source: triadSrc})
+	resp, body := postJSON(t, ts.URL+"/v1/map", mapReq(triadSrc))
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d (%s), want 503", resp.StatusCode, body)
+	}
+	if eb := decodeErrorResponse(t, body); eb.Code != ErrOverloaded {
+		t.Errorf("code = %q, want %q", eb.Code, ErrOverloaded)
 	}
 	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
 		t.Errorf("rejected after %v, before the timeout", elapsed)
 	}
-	if s.Snapshot().Timeouts != 1 {
-		t.Errorf("timeouts = %d, want 1", s.Snapshot().Timeouts)
+	if s.Snapshot().Rejects != 1 {
+		t.Errorf("rejects = %d, want 1", s.Snapshot().Rejects)
+	}
+	if s.rejectsTotal.Value() != 1 {
+		t.Errorf("rejects counter = %d, want 1", s.rejectsTotal.Value())
 	}
 }
 

@@ -48,6 +48,7 @@ import (
 	"locmap/internal/loop"
 	"locmap/internal/mem"
 	"locmap/internal/noc"
+	"locmap/internal/stats"
 	"locmap/internal/topology"
 )
 
@@ -646,6 +647,52 @@ func (st Stats) LLCMissRate() float64 {
 		return 0
 	}
 	return float64(st.LLCMisses) / float64(tot)
+}
+
+// L1HitFraction returns the fraction of L1 lookups that hit (0 when
+// no lookups happened).
+func (st Stats) L1HitFraction() float64 {
+	return stats.HitFraction(st.L1Hits, st.L1Misses)
+}
+
+// LLCHitFraction returns the fraction of LLC lookups that hit (0 when
+// no lookups happened).
+func (st Stats) LLCHitFraction() float64 {
+	return stats.HitFraction(st.LLCHits, st.LLCMisses)
+}
+
+// LegSummary is one network leg's aggregate transit accounting: how
+// many packets crossed it and their total transit cycles. It is the
+// read-only view locmapd surfaces per simulate request; it is
+// aggregated from the counters the engine already keeps, never
+// sampled per-event.
+type LegSummary struct {
+	Name        string
+	Packets     uint64
+	TotalCycles uint64
+}
+
+// AvgCycles returns the mean transit latency over the leg (0 when no
+// packets crossed it).
+func (l LegSummary) AvgCycles() float64 {
+	if l.Packets == 0 {
+		return 0
+	}
+	return float64(l.TotalCycles) / float64(l.Packets)
+}
+
+// LegSummaries reports every network leg's accounting in LegNames
+// order, including legs no packet crossed.
+func (s *System) LegSummaries() []LegSummary {
+	out := make([]LegSummary, numLegs)
+	for i := range out {
+		out[i] = LegSummary{
+			Name:        LegNames[i],
+			Packets:     s.legCnt[i],
+			TotalCycles: s.legLat[i],
+		}
+	}
+	return out
 }
 
 // Stats returns aggregate statistics since the last Reset.

@@ -333,3 +333,46 @@ func TestRunNestOnSubsetBarrier(t *testing.T) {
 		t.Fatal("subset run should take time")
 	}
 }
+
+// TestLegSummariesMatchLegStats: the summaries are the exported view of
+// the per-leg accounting, in LegNames order with exact averages.
+func TestLegSummariesMatchLegStats(t *testing.T) {
+	s := New(DefaultConfig())
+	s.leg(0, 5)
+	s.leg(0, 7)
+	s.leg(3, 11)
+	sums := s.LegSummaries()
+	if len(sums) != numLegs {
+		t.Fatalf("len = %d, want %d", len(sums), numLegs)
+	}
+	lat, cnt := s.LegStats()
+	for i, sum := range sums {
+		if sum.Name != LegNames[i] {
+			t.Errorf("leg %d name = %q, want %q", i, sum.Name, LegNames[i])
+		}
+		if sum.Packets != cnt[i] || sum.TotalCycles != lat[i] {
+			t.Errorf("leg %s = %+v, want cnt %d lat %d", sum.Name, sum, cnt[i], lat[i])
+		}
+	}
+	if got := sums[0].AvgCycles(); got != 6 {
+		t.Errorf("req>bank avg = %g, want 6", got)
+	}
+	if got := sums[1].AvgCycles(); got != 0 {
+		t.Errorf("empty leg avg = %g, want 0", got)
+	}
+}
+
+// TestStatsHitFractions: the derived fractions come from the raw
+// hit/miss counters and tolerate the all-zero case.
+func TestStatsHitFractions(t *testing.T) {
+	st := Stats{L1Hits: 3, L1Misses: 1, LLCHits: 0, LLCMisses: 4}
+	if got := st.L1HitFraction(); got != 0.75 {
+		t.Errorf("L1 = %g, want 0.75", got)
+	}
+	if got := st.LLCHitFraction(); got != 0 {
+		t.Errorf("LLC = %g, want 0", got)
+	}
+	if got := (Stats{}).LLCHitFraction(); got != 0 {
+		t.Errorf("zero stats LLC = %g, want 0", got)
+	}
+}

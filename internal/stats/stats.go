@@ -44,6 +44,18 @@ func Mean(xs []float64) float64 {
 
 // PctReduction returns the percentage reduction from base to opt:
 // 100*(base-opt)/base. It returns 0 when base is 0.
+// HitFraction returns hits/(hits+misses), or 0 when there were no
+// lookups at all. It is the shared helper behind the simulator's
+// cache-hit telemetry (the LLC hit fraction locmapd reports and
+// histograms per simulate request).
+func HitFraction(hits, misses uint64) float64 {
+	tot := hits + misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(hits) / float64(tot)
+}
+
 func PctReduction(base, opt float64) float64 {
 	if base == 0 {
 		return 0

@@ -134,3 +134,18 @@ func TestGeomeanPct(t *testing.T) {
 		t.Error("empty input")
 	}
 }
+
+func TestHitFraction(t *testing.T) {
+	if got := HitFraction(3, 1); got != 0.75 {
+		t.Errorf("HitFraction(3,1) = %g, want 0.75", got)
+	}
+	if got := HitFraction(0, 0); got != 0 {
+		t.Errorf("HitFraction(0,0) = %g, want 0", got)
+	}
+	if got := HitFraction(0, 9); got != 0 {
+		t.Errorf("HitFraction(0,9) = %g, want 0", got)
+	}
+	if got := HitFraction(5, 0); got != 1 {
+		t.Errorf("HitFraction(5,0) = %g, want 1", got)
+	}
+}
