@@ -9,18 +9,26 @@
 //
 // Flags:
 //
-//	-addr ADDR     listen address (default :8347)
-//	-workers N     max concurrent mapping/simulation jobs (default GOMAXPROCS)
-//	-cache N       plan-cache capacity in entries (default 1024)
-//	-timeout D     per-request timeout, queueing included (default 30s)
-//	-pprof ADDR    serve net/http/pprof on ADDR (off by default)
-//	-metrics ADDR  serve GET /metrics (Prometheus text format) on ADDR
-//	               (off by default)
-//	-log-json      emit structured logs as JSON instead of text
+//	-addr ADDR        listen address (default :8347)
+//	-workers N        max concurrent mapping/simulation jobs (default GOMAXPROCS)
+//	-cache N          plan-cache capacity in entries (default 1024)
+//	-timeout D        per-request timeout, queueing included (default 30s)
+//	-journal-dir DIR  batch-job journal directory (default locmapd-journal
+//	                  under the OS temp dir; point it at durable storage
+//	                  to survive reboots)
+//	-batch-workers N  max concurrent batch jobs (default workers/2, min 1)
+//	-result-ttl D     batch-result retention after completion (default 15m)
+//	-pprof ADDR       serve net/http/pprof on ADDR (off by default)
+//	-metrics ADDR     serve GET /metrics (Prometheus text format) on ADDR
+//	                  (off by default)
+//	-log-json         emit structured logs as JSON instead of text
 //
-// Endpoints: POST /v1/map, POST /v1/simulate, GET /v1/stats,
-// GET /healthz (see API.md). The process drains in-flight requests and
-// exits cleanly on SIGINT/SIGTERM.
+// Endpoints: POST /v1/map, POST /v1/simulate, POST /v1/batch,
+// GET /v1/batch/{id}, GET|DELETE /v1/jobs/{id}, GET /v1/stats,
+// GET /healthz, GET /readyz (see API.md). The process drains in-flight
+// requests, then drains or persists queued batch jobs, and exits
+// cleanly on SIGINT/SIGTERM; on restart with the same -journal-dir it
+// replays the journal and resumes unfinished jobs.
 //
 // -pprof and -metrics expose the Go profiling endpoints and the
 // Prometheus exposition on separate listeners so production traffic
@@ -39,6 +47,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -57,6 +66,10 @@ func run() error {
 	workers := flag.Int("workers", 0, "max concurrent jobs (0 = GOMAXPROCS)")
 	cacheCap := flag.Int("cache", 1024, "plan-cache capacity in entries")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	journalDir := flag.String("journal-dir", filepath.Join(os.TempDir(), "locmapd-journal"),
+		"batch-job journal directory")
+	batchWorkers := flag.Int("batch-workers", 0, "max concurrent batch jobs (0 = workers/2)")
+	resultTTL := flag.Duration("result-ttl", 15*time.Minute, "batch-result retention after completion")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	metricsAddr := flag.String("metrics", "", "serve GET /metrics on this address (empty = disabled)")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON")
@@ -90,12 +103,18 @@ func run() error {
 		}()
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:        *workers,
 		CacheCapacity:  *cacheCap,
 		RequestTimeout: *timeout,
+		JournalDir:     *journalDir,
+		BatchWorkers:   *batchWorkers,
+		ResultTTL:      *resultTTL,
 		Logger:         logger,
 	})
+	if err != nil {
+		return err
+	}
 
 	if *metricsAddr != "" {
 		// Same policy as -pprof: diagnostics never share the API port.
@@ -132,5 +151,11 @@ func run() error {
 	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
-	return hs.Shutdown(shutCtx)
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	// Drain running batch jobs within the remaining grace period; jobs
+	// still queued (or interrupted) stay journaled and resume on the
+	// next start with the same -journal-dir.
+	return srv.Close(shutCtx)
 }

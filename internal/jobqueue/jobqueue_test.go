@@ -1,0 +1,654 @@
+package jobqueue
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// countingExec returns an Exec that records completed executions per
+// fingerprint and answers with a payload derived from the fingerprint.
+func countingExec(execs *sync.Map) func(ctx context.Context, j *Job) ([]byte, bool, error) {
+	return func(ctx context.Context, j *Job) ([]byte, bool, error) {
+		n, _ := execs.LoadOrStore(j.Fingerprint, new(atomic.Int64))
+		n.(*atomic.Int64).Add(1)
+		return []byte(fmt.Sprintf(`{"fp":%q}`, j.Fingerprint)), false, nil
+	}
+}
+
+func execCount(execs *sync.Map, fp string) int64 {
+	n, ok := execs.Load(fp)
+	if !ok {
+		return 0
+	}
+	return n.(*atomic.Int64).Load()
+}
+
+func mustOpen(t *testing.T, cfg Config) *Queue {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = discardLogger()
+	}
+	q, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return q
+}
+
+func closeQueue(t *testing.T, q *Queue) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := q.Close(ctx); err != nil && err != ErrClosed {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func specN(i int) Spec {
+	return Spec{Kind: "map", Fingerprint: fmt.Sprintf("fp-%d", i),
+		Request: json.RawMessage(fmt.Sprintf(`{"n":%d}`, i))}
+}
+
+func TestOpenRequiresExec(t *testing.T) {
+	if _, err := Open(Config{Logger: discardLogger()}); err == nil {
+		t.Fatal("Open without Exec succeeded")
+	}
+}
+
+func TestLifecycleAndBatchView(t *testing.T) {
+	var execs sync.Map
+	q := mustOpen(t, Config{Workers: 2, Exec: countingExec(&execs)})
+	defer closeQueue(t, q)
+
+	b, jobs, err := q.SubmitBatch("req-42", []Spec{specN(1), specN(2)})
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	if len(jobs) != 2 || len(b.JobIDs) != 2 {
+		t.Fatalf("submitted %d jobs, batch lists %d", len(jobs), len(b.JobIDs))
+	}
+	for _, j := range jobs {
+		if j.State != StateQueued || j.BatchID != b.ID || j.SubmitRequestID != "req-42" {
+			t.Errorf("fresh job %+v", j)
+		}
+	}
+
+	waitFor(t, "batch completion", func() bool {
+		_, js, ok := q.Batch(b.ID)
+		if !ok {
+			return false
+		}
+		for _, j := range js {
+			if !j.State.Terminal() {
+				return false
+			}
+		}
+		return true
+	})
+
+	_, js, ok := q.Batch(b.ID)
+	if !ok {
+		t.Fatal("batch vanished")
+	}
+	for i, j := range js {
+		if j.State != StateDone {
+			t.Errorf("job %d state = %s, want done", i, j.State)
+		}
+		if want := fmt.Sprintf(`{"fp":%q}`, j.Fingerprint); string(j.Result) != want {
+			t.Errorf("job %d result = %s, want %s", i, j.Result, want)
+		}
+		if j.Cached {
+			t.Errorf("job %d marked cached on a fresh execution", i)
+		}
+		if j.StartedAt.IsZero() || j.FinishedAt.IsZero() {
+			t.Errorf("job %d missing timestamps: %+v", i, j)
+		}
+		got, live := q.Job(j.ID)
+		if !live || got.State != StateDone {
+			t.Errorf("Job(%s) = %+v, %v", j.ID, got, live)
+		}
+	}
+	if n := execCount(&execs, "fp-1") + execCount(&execs, "fp-2"); n != 2 {
+		t.Errorf("executions = %d, want 2", n)
+	}
+	if q.Depth() != 0 {
+		t.Errorf("depth = %d after drain", q.Depth())
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	q := mustOpen(t, Config{Workers: 1, Exec: countingExec(new(sync.Map))})
+	defer closeQueue(t, q)
+	if _, _, err := q.SubmitBatch("r", nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, ok := q.Job("nope"); ok {
+		t.Error("unknown job found")
+	}
+	if _, _, ok := q.Batch("nope"); ok {
+		t.Error("unknown batch found")
+	}
+	if _, err := q.Cancel("nope"); err != ErrNotFound {
+		t.Errorf("Cancel(unknown) = %v, want ErrNotFound", err)
+	}
+}
+
+// TestSingleFlightDedup: concurrent jobs with one fingerprint execute
+// once — a leader runs, the twins park and share its result; a later
+// same-fingerprint job completes from the retained result.
+func TestSingleFlightDedup(t *testing.T) {
+	release := make(chan struct{})
+	var execs atomic.Int64
+	q := mustOpen(t, Config{Workers: 3, Exec: func(ctx context.Context, j *Job) ([]byte, bool, error) {
+		execs.Add(1)
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		return []byte(`{"shared":true}`), false, nil
+	}})
+	defer closeQueue(t, q)
+
+	same := Spec{Kind: "map", Fingerprint: "fp-same", Request: json.RawMessage(`{}`)}
+	b, _, err := q.SubmitBatch("r", []Spec{same, same, same})
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	// One leader claims the fingerprint; with 3 workers the other two
+	// jobs park behind it even though workers are free.
+	waitFor(t, "leader running", func() bool {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return len(q.running) == 1 && q.waiterCount() == 2
+	})
+	if execs.Load() != 1 {
+		t.Fatalf("executions before release = %d, want 1", execs.Load())
+	}
+	close(release)
+
+	waitFor(t, "batch completion", func() bool {
+		_, js, _ := q.Batch(b.ID)
+		for _, j := range js {
+			if j.State != StateDone {
+				return false
+			}
+		}
+		return true
+	})
+	if execs.Load() != 1 {
+		t.Errorf("executions = %d, want 1 (single-flight)", execs.Load())
+	}
+	_, js, _ := q.Batch(b.ID)
+	cached := 0
+	for _, j := range js {
+		if string(j.Result) != `{"shared":true}` {
+			t.Errorf("job %s result = %s", j.ID, j.Result)
+		}
+		if j.Cached {
+			cached++
+		}
+	}
+	if cached != 2 {
+		t.Errorf("cached twins = %d, want 2", cached)
+	}
+
+	// A later submission with the same fingerprint is answered from the
+	// retained result without executing.
+	b2, _, err := q.SubmitBatch("r2", []Spec{same})
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	waitFor(t, "dedup from retained result", func() bool {
+		_, js, _ := q.Batch(b2.ID)
+		return len(js) == 1 && js[0].State == StateDone
+	})
+	if execs.Load() != 1 {
+		t.Errorf("executions after dedup = %d, want 1", execs.Load())
+	}
+	q.mu.Lock()
+	dedups := q.dedups
+	q.mu.Unlock()
+	if dedups != 3 {
+		t.Errorf("dedups = %d, want 3 (two twins + one late job)", dedups)
+	}
+}
+
+func TestCancelSemantics(t *testing.T) {
+	release := make(chan struct{})
+	q := mustOpen(t, Config{Workers: 1, Exec: func(ctx context.Context, j *Job) ([]byte, bool, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		return []byte(`{}`), false, nil
+	}})
+	defer closeQueue(t, q)
+
+	b, jobs, err := q.SubmitBatch("r", []Spec{specN(1), specN(2)})
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	waitFor(t, "first job running", func() bool {
+		j, _ := q.Job(jobs[0].ID)
+		return j.State == StateRunning
+	})
+
+	// The queued job cancels; the running one refuses.
+	got, err := q.Cancel(jobs[1].ID)
+	if err != nil || got.State != StateCancelled {
+		t.Fatalf("Cancel(queued) = %+v, %v", got, err)
+	}
+	if _, err := q.Cancel(jobs[1].ID); err == nil {
+		t.Error("cancelled job cancelled twice")
+	}
+	if _, err := q.Cancel(jobs[0].ID); err == nil {
+		t.Error("running job was cancelled")
+	}
+	close(release)
+
+	waitFor(t, "leader done", func() bool {
+		j, _ := q.Job(jobs[0].ID)
+		return j.State == StateDone
+	})
+	_, js, _ := q.Batch(b.ID)
+	if js[0].State != StateDone || js[1].State != StateCancelled {
+		t.Errorf("states = %s, %s; want done, cancelled", js[0].State, js[1].State)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	q := mustOpen(t, Config{Workers: 1, QueueLimit: 2,
+		Exec: func(ctx context.Context, j *Job) ([]byte, bool, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			return []byte(`{}`), false, nil
+		}})
+	defer closeQueue(t, q)
+
+	_, first, err := q.SubmitBatch("r", []Spec{specN(0)})
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	waitFor(t, "first job claims the worker", func() bool {
+		j, _ := q.Job(first[0].ID)
+		return j.State == StateRunning
+	})
+	if _, _, err := q.SubmitBatch("r", []Spec{specN(1), specN(2)}); err != nil {
+		t.Fatalf("fill to limit: %v", err)
+	}
+	_, _, err = q.SubmitBatch("r", []Spec{specN(3)})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-limit submit = %v, want ErrQueueFull", err)
+	}
+	close(release)
+}
+
+// TestDurableCrashRecovery is the subsystem acceptance test: kill the
+// process mid-queue (journal abandoned without drain records), reopen
+// the same directory, and every non-cancelled job completes exactly
+// once — finished work is not re-executed, interrupted and queued work
+// runs, same-fingerprint work dedups.
+func TestDurableCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	blockB := make(chan struct{})
+	var execs1 sync.Map
+	q1 := mustOpen(t, Config{Dir: dir, Workers: 1,
+		Exec: func(ctx context.Context, j *Job) ([]byte, bool, error) {
+			if j.Fingerprint == "fp-b" {
+				select { // hold the worker so the rest stays queued
+				case <-blockB:
+				case <-ctx.Done():
+					return nil, false, ctx.Err()
+				}
+			}
+			return countingExec(&execs1)(ctx, j)
+		}})
+
+	specA := Spec{Kind: "map", Fingerprint: "fp-a", Request: json.RawMessage(`{"j":"a"}`)}
+	specB := Spec{Kind: "map", Fingerprint: "fp-b", Request: json.RawMessage(`{"j":"b"}`)}
+	specD := Spec{Kind: "map", Fingerprint: "fp-d", Request: json.RawMessage(`{"j":"d"}`)}
+	b, jobs, err := q1.SubmitBatch("req-crash", []Spec{specA, specB, specB, specD})
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	// With one worker: A finishes, B blocks mid-run, B's twin and D
+	// stay queued.
+	waitFor(t, "A done, B running", func() bool {
+		a, _ := q1.Job(jobs[0].ID)
+		bb, _ := q1.Job(jobs[1].ID)
+		return a.State == StateDone && bb.State == StateRunning
+	})
+	cancelled, err := q1.Cancel(jobs[3].ID)
+	if err != nil || cancelled.State != StateCancelled {
+		t.Fatalf("Cancel(D) = %+v, %v", cancelled, err)
+	}
+	q1.crash()
+
+	// The new process replays the same directory. Its executor never
+	// blocks; it must re-run B (interrupted mid-run) and nothing else.
+	var execs2 sync.Map
+	var replayed sync.Map
+	q2 := mustOpen(t, Config{Dir: dir, Workers: 2, Exec: countingExec(&execs2),
+		Replayed: func(j *Job) { replayed.Store(j.Fingerprint, string(j.Result)) }})
+	defer closeQueue(t, q2)
+
+	waitFor(t, "batch completion after restart", func() bool {
+		_, js, ok := q2.Batch(b.ID)
+		if !ok {
+			return false
+		}
+		for _, j := range js {
+			if !j.State.Terminal() {
+				return false
+			}
+		}
+		return true
+	})
+
+	_, js, _ := q2.Batch(b.ID)
+	wantStates := []State{StateDone, StateDone, StateDone, StateCancelled}
+	for i, j := range js {
+		if j.ID != jobs[i].ID {
+			t.Errorf("job %d id changed across restart: %s vs %s", i, j.ID, jobs[i].ID)
+		}
+		if j.State != wantStates[i] {
+			t.Errorf("job %d state = %s, want %s", i, j.State, wantStates[i])
+		}
+		if j.SubmitRequestID != "req-crash" {
+			t.Errorf("job %d lost its submit request id: %q", i, j.SubmitRequestID)
+		}
+	}
+	// A finished before the crash: replayed with its result, never
+	// re-executed.
+	if got, ok := replayed.Load("fp-a"); !ok || got != `{"fp":"fp-a"}` {
+		t.Errorf("replayed fp-a = %v, %v", got, ok)
+	}
+	if execCount(&execs2, "fp-a") != 0 {
+		t.Errorf("fp-a re-executed %d times after restart", execCount(&execs2, "fp-a"))
+	}
+	if string(js[0].Result) != `{"fp":"fp-a"}` {
+		t.Errorf("fp-a result lost: %s", js[0].Result)
+	}
+	// B was mid-run: exactly one execution in the new process, shared
+	// with its twin.
+	if n := execCount(&execs2, "fp-b"); n != 1 {
+		t.Errorf("fp-b executed %d times after restart, want 1", n)
+	}
+	if !js[1].Cached && !js[2].Cached {
+		t.Error("neither fp-b job marked cached: twin did not dedup")
+	}
+	// D was cancelled before the crash and must stay cancelled.
+	if n := execCount(&execs2, "fp-d"); n != 0 {
+		t.Errorf("cancelled fp-d executed %d times after restart", n)
+	}
+}
+
+// TestCloseDrainsRunningPersistsQueued: graceful shutdown finishes the
+// running job, leaves the queued one journaled, and the next process
+// completes it.
+func TestCloseDrainsRunningPersistsQueued(t *testing.T) {
+	dir := t.TempDir()
+	started := make(chan struct{}, 1)
+	var execs1 sync.Map
+	q1 := mustOpen(t, Config{Dir: dir, Workers: 1,
+		Exec: func(ctx context.Context, j *Job) ([]byte, bool, error) {
+			started <- struct{}{}
+			time.Sleep(30 * time.Millisecond)
+			return countingExec(&execs1)(ctx, j)
+		}})
+	_, jobs, err := q1.SubmitBatch("r", []Spec{specN(1), specN(2)})
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := q1.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, _, err := q1.SubmitBatch("r", []Spec{specN(3)}); err != ErrClosed {
+		t.Errorf("submit after close = %v, want ErrClosed", err)
+	}
+	if execCount(&execs1, "fp-1") != 1 {
+		t.Errorf("running job did not finish during drain")
+	}
+
+	var execs2 sync.Map
+	q2 := mustOpen(t, Config{Dir: dir, Workers: 1, Exec: countingExec(&execs2)})
+	defer closeQueue(t, q2)
+	waitFor(t, "queued job completes after restart", func() bool {
+		j, ok := q2.Job(jobs[1].ID)
+		return ok && j.State == StateDone
+	})
+	if j, _ := q2.Job(jobs[0].ID); j.State != StateDone {
+		t.Errorf("drained job state after restart = %s", j.State)
+	}
+	if execCount(&execs2, "fp-1") != 0 {
+		t.Errorf("drained job re-executed after restart")
+	}
+}
+
+// TestRetentionSweep: terminal jobs past ResultTTL are expired — gone
+// from direct lookup, stubbed in the batch view, journaled so the next
+// process agrees.
+func TestRetentionSweep(t *testing.T) {
+	dir := t.TempDir()
+	var nowMu sync.Mutex
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time {
+		nowMu.Lock()
+		defer nowMu.Unlock()
+		return now
+	}
+	release := make(chan struct{})
+	var execs sync.Map
+	q := mustOpen(t, Config{Dir: dir, Workers: 1, ResultTTL: time.Minute,
+		SweepInterval: time.Hour, // sweep manually, not on the ticker
+		Now:           clock,
+		Exec: func(ctx context.Context, j *Job) ([]byte, bool, error) {
+			if j.Fingerprint == "fp-2" {
+				select { // keep the batch partly non-terminal
+				case <-release:
+				case <-ctx.Done():
+					return nil, false, ctx.Err()
+				}
+			}
+			return countingExec(&execs)(ctx, j)
+		}})
+
+	b, jobs, err := q.SubmitBatch("r", []Spec{specN(1), specN(2)})
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	waitFor(t, "first job done, second running", func() bool {
+		j1, _ := q.Job(jobs[0].ID)
+		j2, _ := q.Job(jobs[1].ID)
+		return j1.State == StateDone && j2.State == StateRunning
+	})
+
+	q.sweep() // fresh result: retained
+	if _, ok := q.Job(jobs[0].ID); !ok {
+		t.Fatal("fresh result swept")
+	}
+
+	nowMu.Lock()
+	now = now.Add(2 * time.Minute)
+	nowMu.Unlock()
+	q.sweep()
+	if _, ok := q.Job(jobs[0].ID); ok {
+		t.Fatal("expired job still resident")
+	}
+	// The batch survives (one member is still running) and reports the
+	// expired member as a stub.
+	_, js, ok := q.Batch(b.ID)
+	if !ok || len(js) != 2 {
+		t.Fatalf("batch view after expiry = %+v, %v", js, ok)
+	}
+	if js[0].State != StateExpired || js[0].ID != jobs[0].ID {
+		t.Errorf("expired member stub = %+v", js[0])
+	}
+	if js[1].State != StateRunning {
+		t.Errorf("running member = %+v", js[1])
+	}
+	q.mu.Lock()
+	evictions := q.evictions
+	q.mu.Unlock()
+	if evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+	close(release)
+	waitFor(t, "second job done", func() bool {
+		j, _ := q.Job(jobs[1].ID)
+		return j.State == StateDone
+	})
+	closeQueue(t, q)
+
+	// Replay agrees: the expired job does not come back, the finished
+	// one does.
+	q2 := mustOpen(t, Config{Dir: dir, Workers: 1, Now: clock, Exec: countingExec(&execs)})
+	defer closeQueue(t, q2)
+	if _, ok := q2.Job(jobs[0].ID); ok {
+		t.Error("expired job resurrected by replay")
+	}
+	if j, ok := q2.Job(jobs[1].ID); !ok || j.State != StateDone {
+		t.Errorf("retained job after replay = %+v, %v", j, ok)
+	}
+	if execCount(&execs, "fp-1") != 1 || execCount(&execs, "fp-2") != 1 {
+		t.Errorf("re-execution after expiry/replay: fp-1=%d fp-2=%d",
+			execCount(&execs, "fp-1"), execCount(&execs, "fp-2"))
+	}
+}
+
+// TestCompaction: once the journal outgrows CompactBytes it folds into
+// the snapshot, the journal shrinks, and a restart replays the
+// compacted state intact.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	var execs sync.Map
+	q := mustOpen(t, Config{Dir: dir, Workers: 1, CompactBytes: 512,
+		Exec: countingExec(&execs)})
+
+	var ids []string
+	for i := 0; i < 8; i++ {
+		_, jobs, err := q.SubmitBatch("r", []Spec{specN(i)})
+		if err != nil {
+			t.Fatalf("SubmitBatch %d: %v", i, err)
+		}
+		ids = append(ids, jobs[0].ID)
+	}
+	waitFor(t, "all jobs done", func() bool {
+		for _, id := range ids {
+			if j, ok := q.Job(id); !ok || j.State != StateDone {
+				return false
+			}
+		}
+		return true
+	})
+	q.mu.Lock()
+	compactions := q.jrn.compactions
+	journalBytes := q.jrn.bytes
+	q.mu.Unlock()
+	if compactions == 0 {
+		t.Fatal("journal never compacted past CompactBytes=512")
+	}
+	if journalBytes >= 512+1024 {
+		t.Errorf("journal still %d bytes after compaction", journalBytes)
+	}
+	closeQueue(t, q)
+
+	q2 := mustOpen(t, Config{Dir: dir, Workers: 1, Exec: countingExec(&execs)})
+	defer closeQueue(t, q2)
+	for i, id := range ids {
+		j, ok := q2.Job(id)
+		if !ok || j.State != StateDone {
+			t.Errorf("job %d lost across compacted restart: %+v, %v", i, j, ok)
+			continue
+		}
+		if want := fmt.Sprintf(`{"fp":"fp-%d"}`, i); string(j.Result) != want {
+			t.Errorf("job %d result = %s, want %s", i, j.Result, want)
+		}
+	}
+}
+
+// TestFailedJobsRequeueWaiters: when a leader fails, parked twins get
+// their own runs instead of inheriting the failure.
+func TestFailedJobsRequeueWaiters(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	q := mustOpen(t, Config{Workers: 2, Exec: func(ctx context.Context, j *Job) ([]byte, bool, error) {
+		n := calls.Add(1)
+		if n == 1 {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			return nil, false, fmt.Errorf("injected failure")
+		}
+		return []byte(`{"ok":true}`), false, nil
+	}})
+	defer closeQueue(t, q)
+
+	same := Spec{Kind: "map", Fingerprint: "fp-flaky", Request: json.RawMessage(`{}`)}
+	b, jobs, err := q.SubmitBatch("r", []Spec{same, same})
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	waitFor(t, "twin parked behind leader", func() bool {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return q.waiterCount() == 1
+	})
+	close(release)
+
+	waitFor(t, "both jobs terminal", func() bool {
+		_, js, _ := q.Batch(b.ID)
+		for _, j := range js {
+			if !j.State.Terminal() {
+				return false
+			}
+		}
+		return true
+	})
+	leader, _ := q.Job(jobs[0].ID)
+	twin, _ := q.Job(jobs[1].ID)
+	if leader.State != StateFailed || leader.Error == "" {
+		t.Errorf("leader = %+v, want failed with message", leader)
+	}
+	if twin.State != StateDone || string(twin.Result) != `{"ok":true}` {
+		t.Errorf("twin = %+v, want its own successful run", twin)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("executions = %d, want 2", calls.Load())
+	}
+}

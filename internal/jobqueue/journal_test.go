@@ -1,0 +1,204 @@
+package jobqueue
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// copyFile copies src into dst verbatim (the golden journal ends in a
+// torn line without a newline, which must be preserved).
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatalf("read %s: %v", src, err)
+	}
+	if err := os.WriteFile(dst, b, 0o644); err != nil {
+		t.Fatalf("write %s: %v", dst, err)
+	}
+}
+
+// TestReplayGoldenJournal replays the handcrafted journal in testdata:
+// a five-job batch whose members ended in every non-expired state,
+// with a torn final line from a simulated crash mid-append. Finished
+// work must come back verbatim, interrupted and queued work must run.
+func TestReplayGoldenJournal(t *testing.T) {
+	dir := t.TempDir()
+	copyFile(t, filepath.Join("testdata", "replay_mixed.jsonl"),
+		filepath.Join(dir, journalFile))
+
+	var execs sync.Map
+	var replayed sync.Map
+	q := mustOpen(t, Config{Dir: dir, Workers: 2, Exec: countingExec(&execs),
+		Replayed: func(j *Job) { replayed.Store(j.ID, string(j.Result)) }})
+	defer closeQueue(t, q)
+
+	// job-run (mid-run at the crash, torn transition discarded) and
+	// job-wait (still queued) are the only jobs left to execute.
+	waitFor(t, "recovered jobs to finish", func() bool {
+		r, _ := q.Job("job-run")
+		w, _ := q.Job("job-wait")
+		return r.State == StateDone && w.State == StateDone
+	})
+
+	want := map[string]struct {
+		state  State
+		result string
+		errMsg string
+	}{
+		"job-done":   {StateDone, `{"golden":true}`, ""},
+		"job-run":    {StateDone, `{"fp":"fp-run"}`, ""},
+		"job-cancel": {StateCancelled, "", "cancelled by client"},
+		"job-fail":   {StateFailed, "", "injected: compile exploded"},
+		"job-wait":   {StateDone, `{"fp":"fp-wait"}`, ""},
+	}
+	for id, w := range want {
+		j, ok := q.Job(id)
+		if !ok {
+			t.Errorf("%s missing after replay", id)
+			continue
+		}
+		if j.State != w.state {
+			t.Errorf("%s state = %s, want %s", id, j.State, w.state)
+		}
+		if string(j.Result) != w.result {
+			t.Errorf("%s result = %s, want %s", id, j.Result, w.result)
+		}
+		if j.Error != w.errMsg {
+			t.Errorf("%s error = %q, want %q", id, j.Error, w.errMsg)
+		}
+		if j.SubmitRequestID != "req-golden" {
+			t.Errorf("%s lost its submit request id: %q", id, j.SubmitRequestID)
+		}
+	}
+
+	// Only the recovered pair executed; the finished job was replayed
+	// (with its original result), not re-run.
+	for _, fp := range []string{"fp-done", "fp-cancel", "fp-fail"} {
+		if n := execCount(&execs, fp); n != 0 {
+			t.Errorf("%s executed %d times during recovery", fp, n)
+		}
+	}
+	if n := execCount(&execs, "fp-run") + execCount(&execs, "fp-wait"); n != 2 {
+		t.Errorf("recovered executions = %d, want 2", n)
+	}
+	if got, ok := replayed.Load("job-done"); !ok || got != `{"golden":true}` {
+		t.Errorf("Replayed(job-done) = %v, %v", got, ok)
+	}
+	if _, ok := replayed.Load("job-fail"); ok {
+		t.Error("failed job passed to the Replayed warm-up hook")
+	}
+
+	b, js, ok := q.Batch("batch-01")
+	if !ok || b.SubmitRequestID != "req-golden" || len(js) != 5 {
+		t.Fatalf("batch after replay = %+v, %d jobs, %v", b, len(js), ok)
+	}
+}
+
+// TestReplayRejectsMidFileCorruption: a torn line is only tolerable at
+// the journal's tail; garbage earlier in the file is real corruption
+// and must fail Open instead of silently dropping records.
+func TestReplayRejectsMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	content := `{"v":1,"op":"batch","t":"2026-01-02T03:04:05Z","batch":{"id":"b1","job_ids":[]}}
+{this line is garbage}
+{"v":1,"op":"state","t":"2026-01-02T03:04:06Z","id":"x","state":"running"}
+`
+	if err := os.WriteFile(filepath.Join(dir, journalFile), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(Config{Dir: dir, Logger: discardLogger(),
+		Exec: countingExec(new(sync.Map))})
+	if err == nil {
+		t.Fatal("Open accepted a journal with mid-file corruption")
+	}
+}
+
+// TestReplayRejectsTornSnapshot: the snapshot is written and renamed
+// atomically, so it can never legitimately be torn — a torn snapshot
+// means disk corruption and must fail Open.
+func TestReplayRejectsTornSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	torn := `{"v":1,"op":"batch","t":"2026-01-02T03:04:05Z","batch":{"id":"b1","job_i`
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(Config{Dir: dir, Logger: discardLogger(),
+		Exec: countingExec(new(sync.Map))})
+	if err == nil {
+		t.Fatal("Open accepted a torn snapshot")
+	}
+}
+
+// TestCompactionCrashWindowIdempotent: a crash between the snapshot
+// rename and the journal truncation leaves already-compacted records
+// in the journal. Replaying them on top of the snapshot must not
+// duplicate batches, re-run done work, or move jobs backwards.
+func TestCompactionCrashWindowIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	snapshot := `{"v":1,"op":"batch","t":"2026-01-02T04:00:00Z","batch":{"id":"batch-01","submit_request_id":"req-1","submitted_at":"2026-01-02T03:04:05Z","job_ids":["job-1"]},"jobs":[{"kind":"map","fingerprint":"fp-1","request":{"n":1},"id":"job-1","batch_id":"batch-01","submit_request_id":"req-1","state":"done","result":{"snap":true},"submitted_at":"2026-01-02T03:04:05Z","started_at":"2026-01-02T03:04:06Z","finished_at":"2026-01-02T03:04:07Z"}]}
+`
+	// The journal still holds the pre-compaction history of the same
+	// batch: submission, running, done.
+	journal := `{"v":1,"op":"batch","t":"2026-01-02T03:04:05Z","batch":{"id":"batch-01","submit_request_id":"req-1","submitted_at":"2026-01-02T03:04:05Z","job_ids":["job-1"]},"jobs":[{"kind":"map","fingerprint":"fp-1","request":{"n":1},"id":"job-1","batch_id":"batch-01","submit_request_id":"req-1","state":"queued","submitted_at":"2026-01-02T03:04:05Z"}]}
+{"v":1,"op":"state","t":"2026-01-02T03:04:06Z","id":"job-1","state":"running"}
+{"v":1,"op":"state","t":"2026-01-02T03:04:07Z","id":"job-1","state":"done","result":{"snap":true}}
+`
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), []byte(snapshot), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, journalFile), []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warms atomic.Int64
+	var execs sync.Map
+	q := mustOpen(t, Config{Dir: dir, Workers: 1, Exec: countingExec(&execs),
+		Replayed: func(j *Job) { warms.Add(1) }})
+	defer closeQueue(t, q)
+
+	j, ok := q.Job("job-1")
+	if !ok || j.State != StateDone || string(j.Result) != `{"snap":true}` {
+		t.Fatalf("job after double replay = %+v, %v", j, ok)
+	}
+	if warms.Load() != 1 {
+		t.Errorf("Replayed called %d times, want 1 (no double-warm)", warms.Load())
+	}
+	if q.Depth() != 0 {
+		t.Errorf("depth = %d: done job went back in the queue", q.Depth())
+	}
+	// Give the (idle) workers a moment, then confirm nothing re-ran.
+	time.Sleep(20 * time.Millisecond)
+	if n := execCount(&execs, "fp-1"); n != 0 {
+		t.Errorf("done job re-executed %d times", n)
+	}
+	q.mu.Lock()
+	doneTransitions := q.transitions[StateDone]
+	batches := len(q.batches)
+	q.mu.Unlock()
+	if doneTransitions != 1 {
+		t.Errorf("done transitions = %d, want 1", doneTransitions)
+	}
+	if batches != 1 {
+		t.Errorf("batches = %d, want 1 (batch record deduplicated)", batches)
+	}
+}
+
+// TestCloseIsIdempotentAndRejectsWork: a second Close reports
+// ErrClosed without hanging.
+func TestCloseIsIdempotentAndRejectsWork(t *testing.T) {
+	q := mustOpen(t, Config{Workers: 1, Exec: countingExec(new(sync.Map))})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := q.Close(ctx); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := q.Close(ctx); err != ErrClosed {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+}

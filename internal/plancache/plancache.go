@@ -194,8 +194,10 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 
 // Put stores a copy of val under key, evicting the shard's
 // least-recently-used entries if it is over capacity. Putting an
-// existing key refreshes its value and recency.
-func (c *Cache) Put(key string, val []byte) {
+// existing key refreshes its value and recency. It reports whether a
+// new entry was inserted (false when an existing key was refreshed),
+// so callers warming the cache can count genuine additions.
+func (c *Cache) Put(key string, val []byte) bool {
 	cp := make([]byte, len(val))
 	copy(cp, val)
 	s := c.shardFor(key)
@@ -204,7 +206,7 @@ func (c *Cache) Put(key string, val []byte) {
 	if el, ok := s.items[key]; ok {
 		el.Value.(*entry).val = cp
 		s.ll.MoveToFront(el)
-		return
+		return false
 	}
 	s.items[key] = s.ll.PushFront(&entry{key: key, val: cp})
 	for s.ll.Len() > s.capacity {
@@ -213,6 +215,7 @@ func (c *Cache) Put(key string, val []byte) {
 		delete(s.items, oldest.Value.(*entry).key)
 		s.evictions++
 	}
+	return true
 }
 
 // Len reports the current number of cached entries.

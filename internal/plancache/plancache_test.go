@@ -137,6 +137,22 @@ func TestCacheCopiesValues(t *testing.T) {
 	}
 }
 
+// TestPutReportsInsertion: Put's return value distinguishes a new
+// entry from a refresh, so cache-warming callers (jobqueue replay)
+// can count genuine additions.
+func TestPutReportsInsertion(t *testing.T) {
+	c := New(8)
+	if !c.Put("k", []byte("v1")) {
+		t.Error("first Put reported no insertion")
+	}
+	if c.Put("k", []byte("v2")) {
+		t.Error("refreshing Put reported an insertion")
+	}
+	if !c.Put("k2", []byte("v3")) {
+		t.Error("distinct-key Put reported no insertion")
+	}
+}
+
 func TestCacheUpdateRefreshesValue(t *testing.T) {
 	c := New(8)
 	c.Put("k", []byte("v1"))

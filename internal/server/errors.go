@@ -43,6 +43,34 @@ const (
 	// The job keeps running and caches its result, so an identical
 	// retry is typically a cache hit.
 	ErrTimeout ErrorCode = "timeout"
+
+	// ErrBatchTooLarge: a batch submission carries more jobs than the
+	// configured per-batch maximum.
+	ErrBatchTooLarge ErrorCode = "batch_too_large"
+
+	// ErrBatchNotFound: no batch with that id (never submitted, or
+	// every member expired out of result retention).
+	ErrBatchNotFound ErrorCode = "batch_not_found"
+
+	// ErrJobNotFound: no job with that id (never submitted, or
+	// expired out of result retention).
+	ErrJobNotFound ErrorCode = "job_not_found"
+
+	// ErrJobNotCancellable: the job is already running or finished;
+	// only queued jobs can be cancelled.
+	ErrJobNotCancellable ErrorCode = "job_not_cancellable"
+
+	// ErrQueueFull: accepting the batch would push the job queue past
+	// its configured bound; resubmit later.
+	ErrQueueFull ErrorCode = "queue_full"
+
+	// ErrNotReady: the /readyz probe found the sync worker pool or
+	// the batch queue saturated past the readiness watermark.
+	ErrNotReady ErrorCode = "not_ready"
+
+	// ErrInternal: an unexpected internal failure (e.g. batch journal
+	// I/O). Defensive: no handler produces it in normal operation.
+	ErrInternal ErrorCode = "internal"
 )
 
 // apiError pairs an HTTP status with a stable code and message; every

@@ -3,11 +3,23 @@
 //
 // Endpoints (see API.md for the full contract):
 //
-//	POST /v1/map       compile a loop-nest program, return the schedule
-//	POST /v1/simulate  additionally execute it on the simulator and
-//	                   report the improvement over the default mapping
-//	GET  /v1/stats     service counters (requests, cache, latency)
-//	GET  /healthz      liveness probe
+//	POST   /v1/map        compile a loop-nest program, return the schedule
+//	POST   /v1/simulate   additionally execute it on the simulator and
+//	                      report the improvement over the default mapping
+//	POST   /v1/batch      submit an async batch of map/simulate jobs (202)
+//	GET    /v1/batch/{id} batch progress: per-state counts + member jobs
+//	GET    /v1/jobs/{id}  one job's state, timestamps and result
+//	DELETE /v1/jobs/{id}  cancel a still-queued job
+//	GET    /v1/stats      service counters (requests, cache, latency)
+//	GET    /healthz       liveness probe (also answers HEAD)
+//	GET    /readyz        readiness probe: 503 past the utilization
+//	                      watermark (also answers HEAD)
+//
+// Batch jobs run asynchronously on internal/jobqueue — a bounded
+// worker pool behind a durable append-only journal (Config.JournalDir;
+// empty = in-memory only). Batch and synchronous traffic share the
+// plan cache in both directions, and journal replay re-warms it on
+// restart.
 //
 // Routing uses Go 1.22 method-qualified mux patterns; a wrong method
 // gets a 405 with an Allow header and an unknown path a 404, both in
@@ -45,6 +57,7 @@ import (
 	"locmap/internal/compiler"
 	"locmap/internal/core"
 	"locmap/internal/inspector"
+	"locmap/internal/jobqueue"
 	"locmap/internal/lang"
 	"locmap/internal/metrics"
 	"locmap/internal/plancache"
@@ -76,6 +89,33 @@ type Config struct {
 	// Registry receives the service's metric families (default: a
 	// fresh registry, retrievable via Server.Registry).
 	Registry *metrics.Registry
+
+	// JournalDir is the batch-job journal directory. Empty runs the
+	// batch queue without durability: queued work is lost on exit.
+	JournalDir string
+
+	// BatchWorkers bounds concurrently executing batch jobs (default
+	// max(1, Workers/2)). Batch executions additionally compete with
+	// synchronous requests for the Workers-bounded compute pool, so
+	// total concurrent pipeline work never exceeds Workers.
+	BatchWorkers int
+
+	// ResultTTL bounds how long a finished batch job's result is
+	// retained for polling (default 15m).
+	ResultTTL time.Duration
+
+	// MaxBatchJobs bounds the jobs in one POST /v1/batch submission
+	// (default 64; beyond it the submit is rejected batch_too_large).
+	MaxBatchJobs int
+
+	// QueueLimit bounds the total queued batch jobs (default 1024;
+	// beyond it submissions are rejected queue_full).
+	QueueLimit int
+
+	// ReadyWatermark is the /readyz saturation threshold in [0,1]:
+	// the probe reports 503 when sync-pool occupancy or batch-queue
+	// fill reaches this fraction (default 0.9).
+	ReadyWatermark float64
 }
 
 // Server is the locmapd service state. Create with New; all methods
@@ -83,6 +123,7 @@ type Config struct {
 type Server struct {
 	cfg   Config
 	cache *plancache.Cache
+	queue *jobqueue.Queue
 	sem   chan struct{}
 	lat   *stats.Recorder
 	log   *slog.Logger
@@ -103,8 +144,10 @@ type Server struct {
 	simLegAvg    map[string]*metrics.Histogram
 }
 
-// New builds a Server, applying defaults for zero config fields.
-func New(cfg Config) *Server {
+// New builds a Server, applying defaults for zero config fields. It
+// fails only when the batch-job journal in cfg.JournalDir cannot be
+// opened or replayed.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -122,6 +165,24 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = metrics.New()
+	}
+	if cfg.BatchWorkers <= 0 {
+		cfg.BatchWorkers = cfg.Workers / 2
+		if cfg.BatchWorkers < 1 {
+			cfg.BatchWorkers = 1
+		}
+	}
+	if cfg.ResultTTL <= 0 {
+		cfg.ResultTTL = 15 * time.Minute
+	}
+	if cfg.MaxBatchJobs <= 0 {
+		cfg.MaxBatchJobs = 64
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 1024
+	}
+	if cfg.ReadyWatermark <= 0 || cfg.ReadyWatermark > 1 {
+		cfg.ReadyWatermark = 0.9
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -151,7 +212,42 @@ func New(cfg Config) *Server {
 			metrics.ExpBuckets(1, 2, 12), metrics.Labels{"leg": leg})
 	}
 	s.registerCollectors()
-	return s
+
+	// The batch queue executes through execBatchJob (plan-cache
+	// read-through, then the shared runJob pool) and warms the cache
+	// from journal-replayed results before serving any traffic.
+	replayWarms := s.reg.Counter("locmapd_plancache_replay_warms_total",
+		"Plan-cache entries warmed from journal-replayed batch results.", nil)
+	queue, err := jobqueue.Open(jobqueue.Config{
+		Dir:        cfg.JournalDir,
+		Workers:    cfg.BatchWorkers,
+		ResultTTL:  cfg.ResultTTL,
+		QueueLimit: cfg.QueueLimit,
+		Exec:       s.execBatchJob,
+		Replayed: func(j *jobqueue.Job) {
+			if s.cache.Put(j.Fingerprint, j.Result) {
+				replayWarms.Inc()
+			}
+		},
+		Registry: s.reg,
+		Logger:   cfg.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.queue = queue
+	return s, nil
+}
+
+// Queue exposes the batch-job queue (tests and embedding processes).
+func (s *Server) Queue() *jobqueue.Queue { return s.queue }
+
+// Close drains the batch subsystem for graceful shutdown: running
+// batch jobs get until ctx expires to finish and persist; queued jobs
+// stay queued in the journal for the next process. Call after the
+// HTTP listener has stopped accepting requests.
+func (s *Server) Close(ctx context.Context) error {
+	return s.queue.Close(ctx)
 }
 
 // Registry returns the server's metrics registry, so additional
@@ -181,8 +277,19 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/simulate", s.instrument("simulate", s.methodNotAllowed("POST")))
 	mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.Handle("/v1/stats", s.instrument("stats", s.methodNotAllowed("GET")))
+	mux.Handle("POST /v1/batch", s.instrument("batch", s.handleBatchSubmit))
+	mux.Handle("/v1/batch", s.instrument("batch", s.methodNotAllowed("POST")))
+	mux.Handle("GET /v1/batch/{id}", s.instrument("batch_status", s.handleBatchStatus))
+	mux.Handle("/v1/batch/{id}", s.instrument("batch_status", s.methodNotAllowed("GET")))
+	mux.Handle("GET /v1/jobs/{id}", s.instrument("job", s.handleJobStatus))
+	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("job", s.handleJobCancel))
+	mux.Handle("/v1/jobs/{id}", s.instrument("job", s.methodNotAllowed("DELETE, GET")))
+	// GET patterns also match HEAD (Go 1.22 mux), so load balancers
+	// probing with HEAD get a 200; the fallbacks advertise that.
 	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
-	mux.Handle("/healthz", s.instrument("healthz", s.methodNotAllowed("GET")))
+	mux.Handle("/healthz", s.instrument("healthz", s.methodNotAllowed("GET, HEAD")))
+	mux.Handle("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	mux.Handle("/readyz", s.instrument("readyz", s.methodNotAllowed("GET, HEAD")))
 	mux.Handle("/", s.instrument("other", s.handleNotFound))
 	return mux
 }

@@ -38,9 +38,17 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
 	return s, ts
 }
 
@@ -244,7 +252,11 @@ func TestMethodNotAllowed(t *testing.T) {
 		{http.MethodDelete, "/v1/map", "POST"},
 		{http.MethodGet, "/v1/simulate", "POST"},
 		{http.MethodPost, "/v1/stats", "GET"},
-		{http.MethodPost, "/healthz", "GET"},
+		{http.MethodGet, "/v1/batch", "POST"},
+		{http.MethodPost, "/v1/batch/some-id", "GET"},
+		{http.MethodPut, "/v1/jobs/some-id", "DELETE, GET"},
+		{http.MethodPost, "/healthz", "GET, HEAD"},
+		{http.MethodPost, "/readyz", "GET, HEAD"},
 	}
 	for _, tc := range tests {
 		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, nil)
@@ -310,7 +322,8 @@ func TestBodyTooLarge(t *testing.T) {
 // API.md): each must be reachable over HTTP with its documented
 // status, except timeout, whose job-side mapping is asserted directly.
 func TestErrorCodeContract(t *testing.T) {
-	s, ts := newTestServer(t, Config{Workers: 1, RequestTimeout: 50 * time.Millisecond, MaxBodyBytes: 512})
+	s, ts := newTestServer(t, Config{Workers: 1, RequestTimeout: 50 * time.Millisecond,
+		MaxBodyBytes: 512, MaxBatchJobs: 2, QueueLimit: 1})
 	got := map[ErrorCode]int{}
 
 	do := func(method, path, body string) {
@@ -342,9 +355,58 @@ func TestErrorCodeContract(t *testing.T) {
 	do("GET", "/v1/map", "")                                                      // method_not_allowed
 	do("GET", "/v1/missing", "")                                                  // not_found
 
+	bj := `{"kind":"map","request":{"source":"param N = 4"}}`
+	do("POST", "/v1/batch", fmt.Sprintf(`{"jobs":[%s,%s,%s]}`, bj, bj, bj)) // batch_too_large (MaxBatchJobs=2)
+	do("POST", "/v1/batch", fmt.Sprintf(`{"jobs":[%s,%s]}`, bj, bj))        // queue_full (QueueLimit=1)
+	do("GET", "/v1/batch/no-such-batch", "")                                // batch_not_found
+	do("GET", "/v1/jobs/no-such-job", "")                                   // job_not_found
+
+	// job_not_cancellable: only queued jobs can be cancelled, so run a
+	// one-job batch to a terminal state and then try to DELETE it.
+	var sub BatchSubmitResponse
+	// A source distinct from the overloaded probe's below: a batch job
+	// warms the plan cache, and a warmed sync request would bypass the
+	// worker pool instead of timing out on it.
+	resp, body := postJSON(t, ts.URL+"/v1/batch", BatchRequest{Jobs: []BatchJobSpec{{
+		Kind:    "map",
+		Request: json.RawMessage(fmt.Sprintf(`{"source":%q}`, "param N = 16\narray A[N]\nparallel for i = 0..N work 2 { A[i] = A[i] }")),
+	}}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch submit: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatalf("batch submit response: %v", err)
+	}
+	jobURL := ts.URL + "/v1/jobs/" + sub.Jobs[0].JobID
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(jobURL)
+		if err != nil {
+			t.Fatalf("GET job: %v", err)
+		}
+		var jr JobResponse
+		err = json.NewDecoder(r.Body).Decode(&jr)
+		r.Body.Close()
+		if err != nil {
+			t.Fatalf("decode job: %v", err)
+		}
+		if jr.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch job never finished (state %s)", jr.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	do("DELETE", jobURL[len(ts.URL):], "") // job_not_cancellable
+
 	s.sem <- struct{}{} // hold the only worker: next job request must 503
 	do("POST", "/v1/map", fmt.Sprintf(`{"source":%q}`, "param N = 8\narray A[N]\nparallel for i = 0..N work 1 { A[i] = A[i] }"))
 	<-s.sem
+
+	s.inflight.Add(1) // saturate the sync pool: readyz must report 503
+	do("GET", "/readyz", "")
+	s.inflight.Add(-1)
 
 	// timeout: a job that starts but outlives the deadline maps to 504.
 	_, apiErr := s.runJob(context.Background(), "contract-slow", func() ([]byte, error) {
@@ -357,15 +419,21 @@ func TestErrorCodeContract(t *testing.T) {
 	got[apiErr.code] = apiErr.status
 
 	want := map[ErrorCode]int{
-		ErrInvalidBody:      http.StatusBadRequest,
-		ErrBodyTooLarge:     http.StatusRequestEntityTooLarge,
-		ErrInvalidRequest:   http.StatusBadRequest,
-		ErrInvalidSource:    http.StatusBadRequest,
-		ErrCompileFailed:    http.StatusUnprocessableEntity,
-		ErrMethodNotAllowed: http.StatusMethodNotAllowed,
-		ErrNotFound:         http.StatusNotFound,
-		ErrOverloaded:       http.StatusServiceUnavailable,
-		ErrTimeout:          http.StatusGatewayTimeout,
+		ErrInvalidBody:       http.StatusBadRequest,
+		ErrBodyTooLarge:      http.StatusRequestEntityTooLarge,
+		ErrInvalidRequest:    http.StatusBadRequest,
+		ErrInvalidSource:     http.StatusBadRequest,
+		ErrCompileFailed:     http.StatusUnprocessableEntity,
+		ErrMethodNotAllowed:  http.StatusMethodNotAllowed,
+		ErrNotFound:          http.StatusNotFound,
+		ErrOverloaded:        http.StatusServiceUnavailable,
+		ErrTimeout:           http.StatusGatewayTimeout,
+		ErrBatchTooLarge:     http.StatusBadRequest,
+		ErrBatchNotFound:     http.StatusNotFound,
+		ErrJobNotFound:       http.StatusNotFound,
+		ErrJobNotCancellable: http.StatusConflict,
+		ErrQueueFull:         http.StatusServiceUnavailable,
+		ErrNotReady:          http.StatusServiceUnavailable,
 	}
 	for code, status := range want {
 		if got[code] != status {
@@ -585,7 +653,7 @@ func TestMetricsLoadCacheHitsObservable(t *testing.T) {
 // parseable (no duplicate families) with monotone counters, and that
 // the server, plancache and runner families are all present.
 func TestMetricsContract(t *testing.T) {
-	s, ts := newTestServer(t, Config{})
+	s, ts := newTestServer(t, Config{JournalDir: t.TempDir()})
 	ms := httptest.NewServer(s.MetricsHandler())
 	defer ms.Close()
 
@@ -615,6 +683,16 @@ func TestMetricsContract(t *testing.T) {
 		"locmapd_sim_cycles",
 		"locmapd_sim_llc_hit_fraction",
 		"locmapd_sim_leg_avg_cycles",
+		"locmapd_jobqueue_depth",
+		"locmapd_jobqueue_jobs",
+		"locmapd_jobqueue_transitions_total",
+		"locmapd_jobqueue_dedup_total",
+		"locmapd_jobqueue_retention_evictions_total",
+		"locmapd_jobqueue_replay_seconds",
+		"locmapd_jobqueue_journal_bytes",
+		"locmapd_jobqueue_journal_records_total",
+		"locmapd_jobqueue_compactions_total",
+		"locmapd_plancache_replay_warms_total",
 		"locmap_runner_jobs_requested_total",
 		"locmap_runner_jobs_executed_total",
 		"locmap_runner_jobs_memoized_total",
@@ -845,8 +923,11 @@ func TestCommonSpecCannotDrift(t *testing.T) {
 // still finishes on its worker and caches its payload, so the
 // client's retry is a cache hit instead of another doomed recompute.
 func TestTimedOutJobWarmsCache(t *testing.T) {
-	s := New(Config{Workers: 1, RequestTimeout: 20 * time.Millisecond,
+	s, err := New(Config{Workers: 1, RequestTimeout: 20 * time.Millisecond,
 		Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	release := make(chan struct{})
 	payload := []byte(`{"slow":true}`)
 	_, apiErr := s.runJob(context.Background(), "slow-key", func() ([]byte, error) {
@@ -923,6 +1004,65 @@ func TestHealthz(t *testing.T) {
 	body.ReadFrom(resp.Body)
 	if !strings.Contains(body.String(), "ok") {
 		t.Errorf("body = %q", body.String())
+	}
+}
+
+// TestProbesAllowHead: load balancers probe liveness/readiness with
+// HEAD, so /healthz and /readyz must answer HEAD like GET (the
+// method-qualified GET routes match HEAD too; this pins the contract).
+func TestProbesAllowHead(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		req, _ := http.NewRequest(http.MethodHead, ts.URL+path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("HEAD %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("HEAD %s: status = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestReadyz: ready when idle, 503 not_ready once the batch queue
+// fills past the watermark, ready again after the queue drains.
+func TestReadyz(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueLimit: 2, ReadyWatermark: 0.5})
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("idle readyz status = %d, want 200", resp.StatusCode)
+	}
+
+	// Saturate the sync pool instead of racing the batch workers: the
+	// probe must flip to 503 while both workers are busy.
+	s.inflight.Add(2)
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	s.inflight.Add(-2)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated readyz status = %d, want 503: %s", resp.StatusCode, body.String())
+	}
+	if eb := decodeErrorResponse(t, body.Bytes()); eb.Code != ErrNotReady {
+		t.Errorf("code = %q, want %q", eb.Code, ErrNotReady)
+	}
+
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("drained readyz status = %d, want 200", resp.StatusCode)
 	}
 }
 
