@@ -26,18 +26,23 @@ race:
 	$(GO) test -race ./...
 
 # `make bench` runs the simulator micro-benchmarks (RunNest, NoC send,
-# cache access) and the RunNest-dominated figure benchmarks, and merges
-# the numbers into BENCH_sim.json under BENCH_LABEL (default "post"; the
-# checked-in "pre" capture is the pre-optimization baseline of PR 3).
-# Short smoke run: make bench BENCHTIME_MICRO=1x BENCHTIME_FIG=1x
+# cache access), the RunNest-dominated figure benchmarks, and the
+# fast-tier benchmarks (estimate-tier serve p50/p99 latency and the
+# estimate-vs-simulation alpha error), and merges the numbers into
+# BENCH_sim.json under BENCH_LABEL (default "post"; the checked-in
+# "pre" capture is the pre-optimization baseline of PR 3).
+# Short smoke run: make bench BENCHTIME_MICRO=1x BENCHTIME_FIG=1x BENCHTIME_EST=5x
 BENCH_LABEL ?= post
 BENCHTIME_MICRO ?= 2s
 BENCHTIME_FIG ?= 3x
+BENCHTIME_EST ?= 50x
 bench:
 	@rm -f .bench.out
 	$(GO) test -run '^$$' -bench 'RunNest|NoCSend|CacheAccess|CacheLookup' \
 		-benchtime $(BENCHTIME_MICRO) -benchmem ./internal/sim ./internal/cache | tee -a .bench.out
 	$(GO) test -run '^$$' -bench 'BenchmarkFig02IdealNetwork|BenchmarkFig07Private|BenchmarkFig08Shared|BenchmarkMultiprogrammed' \
 		-benchtime $(BENCHTIME_FIG) -benchmem . | tee -a .bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkEstimateTierServe|BenchmarkEstimateAlphaError' \
+		-benchtime $(BENCHTIME_EST) ./internal/server ./internal/estimate | tee -a .bench.out
 	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_sim.json < .bench.out
 	@rm -f .bench.out

@@ -16,6 +16,9 @@
 //	-param N=V     set a symbolic parameter (repeatable)
 //	-run           also execute the program on the simulator and report
 //	               the improvement over the default mapping
+//	-estimate      also print the analytical fast-tier plan (predicted
+//	               hit fraction, affinity errors, per-leg NoC cost)
+//	               without running the simulator
 //
 // On any parse, validation or mapping error locmap prints the error to
 // stderr and exits non-zero without emitting a partial listing.
@@ -31,6 +34,7 @@ import (
 
 	"locmap/internal/compiler"
 	"locmap/internal/core"
+	"locmap/internal/estimate"
 	"locmap/internal/inspector"
 	"locmap/internal/lang"
 	"locmap/internal/server"
@@ -70,6 +74,7 @@ func run(w io.Writer) error {
 	meshStr := flag.String("mesh", "6x6", "mesh size WxH")
 	regStr := flag.String("regions", "3x3", "region grid XxY")
 	doRun := flag.Bool("run", false, "execute on the simulator and report improvement")
+	doEst := flag.Bool("estimate", false, "print the analytical plan without simulating")
 	params := paramList{}
 	flag.Var(params, "param", "symbolic parameter NAME=VALUE (repeatable)")
 	flag.Parse()
@@ -106,6 +111,15 @@ func run(w io.Writer) error {
 	var out strings.Builder
 	out.WriteString(res.Listing())
 
+	if *doEst {
+		p := res.Program
+		lang.GenerateIndexData(p, 1, 64) // demo inputs, as the simulate path
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		printEstimate(&out, estimate.New(estimate.Config{Cfg: cfg}).FromResult(res))
+	}
+
 	if *doRun {
 		p := res.Program
 		lang.GenerateIndexData(p, 1, 64) // demo inputs for unbound index arrays
@@ -129,4 +143,33 @@ func run(w io.Writer) error {
 	}
 	_, err = io.WriteString(w, out.String())
 	return err
+}
+
+// printEstimate renders the analytical plan as a trailing comment
+// block, mirroring the -run summary's shape so the two are easy to
+// diff by eye.
+func printEstimate(out *strings.Builder, plan *estimate.Plan) {
+	fmt.Fprintf(out, "\n/* estimate (analytical, tier %q):\n", estimate.TierEstimate)
+	fmt.Fprintf(out, "   alpha=%.4f predicted=%d cycles baseline=%d cycles improvement=%.1f%%\n",
+		plan.Alpha, plan.PredictedCycles, plan.BaselineCycles, plan.ImprovementPct)
+	for _, ne := range plan.Nests {
+		kind := "regular"
+		if ne.Irregular {
+			kind = "irregular"
+		}
+		fmt.Fprintf(out, "   nest %-12s %-9s sets=%-4d alpha=%.4f eta_m=%.4f",
+			ne.Name, kind, ne.Sets, ne.Alpha, ne.EtaM)
+		if ne.EtaC != 0 {
+			fmt.Fprintf(out, " eta_c=%.4f", ne.EtaC)
+		}
+		fmt.Fprintf(out, " llc_refs=%.0f cycles=%d\n", ne.LLCRefs, ne.Cycles)
+	}
+	for _, leg := range plan.Legs {
+		if leg.Packets == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "   leg %-12s packets=%.0f avg=%.1f total=%.0f cycles\n",
+			leg.Leg, leg.Packets, leg.AvgCycles, leg.TotalCycles)
+	}
+	out.WriteString("*/\n")
 }

@@ -18,12 +18,20 @@
 //	                  to survive reboots)
 //	-batch-workers N  max concurrent batch jobs (default workers/2, min 1)
 //	-result-ttl D     batch-result retention after completion (default 15m)
+//	-fast-tier        answer /v1/map from the analytical estimator (tier
+//	                  "estimate", microseconds) and verify each plan with
+//	                  a background simulation that upgrades the cached
+//	                  entry to "verified" or "refined"
+//	-alpha-tol F      verification tolerance on the LLC hit fraction
+//	                  before a plan is refined (default 0.1)
+//	-latency-tol F    verification tolerance on relative cycle-count
+//	                  drift before a plan is refined (default 0.5)
 //	-pprof ADDR       serve net/http/pprof on ADDR (off by default)
 //	-metrics ADDR     serve GET /metrics (Prometheus text format) on ADDR
 //	                  (off by default)
 //	-log-json         emit structured logs as JSON instead of text
 //
-// Endpoints: POST /v1/map, POST /v1/simulate, POST /v1/batch,
+// Endpoints: POST /v1/map, POST /v1/estimate, POST /v1/simulate, POST /v1/batch,
 // GET /v1/batch/{id}, GET|DELETE /v1/jobs/{id}, GET /v1/stats,
 // GET /healthz, GET /readyz (see API.md). The process drains in-flight
 // requests, then drains or persists queued batch jobs, and exits
@@ -70,6 +78,12 @@ func run() error {
 		"batch-job journal directory")
 	batchWorkers := flag.Int("batch-workers", 0, "max concurrent batch jobs (0 = workers/2)")
 	resultTTL := flag.Duration("result-ttl", 15*time.Minute, "batch-result retention after completion")
+	fastTier := flag.Bool("fast-tier", false,
+		"answer /v1/map from the analytical estimator and verify in the background")
+	alphaTol := flag.Float64("alpha-tol", 0.1,
+		"max |predicted - simulated| LLC hit fraction before a plan is refined")
+	latencyTol := flag.Float64("latency-tol", 0.5,
+		"max relative cycle-count drift before a plan is refined")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	metricsAddr := flag.String("metrics", "", "serve GET /metrics on this address (empty = disabled)")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON")
@@ -104,13 +118,16 @@ func run() error {
 	}
 
 	srv, err := server.New(server.Config{
-		Workers:        *workers,
-		CacheCapacity:  *cacheCap,
-		RequestTimeout: *timeout,
-		JournalDir:     *journalDir,
-		BatchWorkers:   *batchWorkers,
-		ResultTTL:      *resultTTL,
-		Logger:         logger,
+		Workers:          *workers,
+		CacheCapacity:    *cacheCap,
+		RequestTimeout:   *timeout,
+		JournalDir:       *journalDir,
+		BatchWorkers:     *batchWorkers,
+		ResultTTL:        *resultTTL,
+		FastTier:         *fastTier,
+		AlphaTolerance:   *alphaTol,
+		LatencyTolerance: *latencyTol,
+		Logger:           logger,
 	})
 	if err != nil {
 		return err

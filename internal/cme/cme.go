@@ -82,8 +82,12 @@ func New(cfg Config) *Estimator {
 	}
 }
 
-// splitmix64 is a small deterministic hash used for misclassification.
-func splitmix64(x uint64) uint64 {
+// Mix64 is the deterministic splitmix64 finalizer shared by every
+// hash-driven estimation component: the CME's misclassification draw
+// here and internal/estimate's reuse-distance line sampler. One mixer
+// keeps the "same input, same verdict" reproducibility story in one
+// place; consumers decorrelate by XORing distinct seeds into x.
+func Mix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
@@ -97,7 +101,7 @@ func (e *Estimator) noisy(hit bool) bool {
 		return hit
 	}
 	e.ctr++
-	h := splitmix64(e.cfg.Seed ^ e.ctr)
+	h := Mix64(e.cfg.Seed ^ e.ctr)
 	// Map to [0,1) with 53-bit precision.
 	u := float64(h>>11) / (1 << 53)
 	if u >= e.cfg.Accuracy {
@@ -195,5 +199,5 @@ func AccuracyFor(app string) float64 {
 		h ^= uint64(app[i])
 		h *= 1099511628211
 	}
-	return 0.76 + 0.17*float64(splitmix64(h)>>11)/(1<<53)
+	return 0.76 + 0.17*float64(Mix64(h)>>11)/(1<<53)
 }

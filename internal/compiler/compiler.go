@@ -112,9 +112,10 @@ func CompileProgram(p *loop.Program, opts Options) (*Result, error) {
 		p.Layout(0, cfg.PageSize)
 	}
 
-	// The simulator doubles as the architecture description: it owns
-	// the address map the compiler inspects (the VA→PA guarantee).
-	sys := sim.New(cfg)
+	// The simulator's Config doubles as the architecture description:
+	// AddrMapFor resolves the address map the compiler inspects (the
+	// VA→PA guarantee) without instantiating the cache models.
+	amap := sim.AddrMapFor(cfg)
 	shared := cfg.LLCOrg == cache.SharedSNUCA
 
 	acc := opts.CMEAccuracy
@@ -124,7 +125,7 @@ func CompileProgram(p *loop.Program, opts Options) (*Result, error) {
 	est := cme.New(cme.Config{
 		Mesh:        cfg.Mesh,
 		Org:         cfg.LLCOrg,
-		AMap:        sys.AddrMap(),
+		AMap:        amap,
 		L1Line:      cfg.L1Line,
 		ModelBytes:  cfg.L2PerCore,
 		ModelLine:   cfg.L2Line,

@@ -160,11 +160,24 @@ func (m *Mapper) mapWith(sets []affinity.SetAffinity, errFn func(*affinity.SetAf
 		Region: make([]topology.RegionID, len(sets)),
 		Core:   make([]topology.NodeID, len(sets)),
 	}
+	// The per-set × per-region error table, computed once. Phase 1
+	// needs every entry anyway; precomputing turns the balancing inner
+	// loop (which used to recompute Eta per candidate per transfer)
+	// and the final objective into array lookups, without changing a
+	// single value — locmapd's fast tier runs this on every request.
+	errTab := make([]float64, len(sets)*nr)
+	for k := range sets {
+		row := errTab[k*nr : (k+1)*nr : (k+1)*nr]
+		for r := 0; r < nr; r++ {
+			row[r] = errFn(&sets[k], r)
+		}
+	}
+	errAt := func(k, r int) float64 { return errTab[k*nr+r] }
 	// Phase 1: per-set argmin over regions (Algorithm 1 lines 8–14).
 	for k := range sets {
 		best, bi := math.Inf(1), 0
 		for r := 0; r < nr; r++ {
-			if e := errFn(&sets[k], r); e < best {
+			if e := errAt(k, r); e < best {
 				best, bi = e, r
 			}
 		}
@@ -172,10 +185,10 @@ func (m *Mapper) mapWith(sets []affinity.SetAffinity, errFn func(*affinity.SetAf
 	}
 	// Phase 2: location-aware load balancing (lines 15–24).
 	if !m.cfg.DisableBalance {
-		a.Moved = m.balance(sets, a.Region, errFn)
+		a.Moved = m.balance(len(sets), a.Region, errAt)
 	}
 	for k := range sets {
-		a.TotalError += errFn(&sets[k], int(a.Region[k]))
+		a.TotalError += errAt(k, int(a.Region[k]))
 	}
 	// Phase 3: within-region fine-granularity core assignment (§3.9).
 	m.assignCores(a)
@@ -186,7 +199,7 @@ func (m *Mapper) mapWith(sets []affinity.SetAffinity, errFn func(*affinity.SetAf
 // regions to under-loaded (receiver) regions, preferring close-by
 // donor/receiver pairs, until every region is within one set of the
 // average. Returns the number of sets moved.
-func (m *Mapper) balance(sets []affinity.SetAffinity, region []topology.RegionID, errFn func(*affinity.SetAffinity, int) float64) int {
+func (m *Mapper) balance(numSets int, region []topology.RegionID, errAt func(k, r int) float64) int {
 	nr := m.cfg.Mesh.NumRegions()
 	counts := make([]int, nr)
 	byRegion := make([][]int, nr) // set ids per region
@@ -197,8 +210,8 @@ func (m *Mapper) balance(sets []affinity.SetAffinity, region []topology.RegionID
 	// Exact targets: every region ends with base or base+1 sets. The
 	// regions that already hold the most sets keep the +1, minimizing
 	// the number of transfers.
-	base := len(sets) / nr
-	extra := len(sets) % nr
+	base := numSets / nr
+	extra := numSets % nr
 	order := make([]int, nr)
 	for r := range order {
 		order[r] = r
@@ -240,7 +253,7 @@ func (m *Mapper) balance(sets []affinity.SetAffinity, region []topology.RegionID
 			// location-friendly as possible.
 			bestIdx, bestDelta := -1, math.Inf(1)
 			for idx, k := range byRegion[p.donor] {
-				delta := errFn(&sets[k], p.recv) - errFn(&sets[k], p.donor)
+				delta := errAt(k, p.recv) - errAt(k, p.donor)
 				if delta < bestDelta {
 					bestDelta, bestIdx = delta, idx
 				}

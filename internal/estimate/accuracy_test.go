@@ -1,0 +1,164 @@
+package estimate
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"locmap/internal/cache"
+	"locmap/internal/compiler"
+	"locmap/internal/core"
+	"locmap/internal/inspector"
+	"locmap/internal/lang"
+	"locmap/internal/sim"
+	"locmap/internal/workloads"
+)
+
+// updateAccuracy rewrites testdata/accuracy_bounds.json from the
+// current estimate-vs-simulation errors (plus headroom):
+//
+//	go test ./internal/estimate -run TestAccuracyRegression -update-accuracy
+//
+// Only do this when a model change is intended: the bounds document
+// how far the analytical tier is allowed to drift from the simulator,
+// and a silently growing error is exactly what this test exists to
+// catch.
+var updateAccuracy = flag.Bool("update-accuracy", false, "rewrite the accuracy bounds")
+
+const accuracyPath = "testdata/accuracy_bounds.json"
+
+// accuracyBound pins the allowed estimate-vs-simulation error for one
+// (workload, LLC organization) configuration: absolute α drift and
+// relative cycle-count drift.
+type accuracyBound struct {
+	Name       string  `json:"name"`
+	LLC        string  `json:"llc"`
+	AlphaErr   float64 `json:"alpha_err"`
+	LatencyErr float64 `json:"latency_err"`
+}
+
+// accuracyConfigs is the fixed sweep: seven workloads — five regular
+// (the estimator reads the compiler's CME affinities) and two
+// irregular (the reuse-distance sketch predicts the inspector's
+// schedule) — under both LLC organizations, 14 configurations in all,
+// mirroring the golden experiment set's breadth at scale 1.
+func accuracyConfigs() []struct{ app, llc string } {
+	apps := []string{"mxm", "swim", "fft", "jacobi-3d", "lu", "hpccg", "moldyn"}
+	var out []struct{ app, llc string }
+	for _, llc := range []string{"private", "shared"} {
+		for _, app := range apps {
+			out = append(out, struct{ app, llc string }{app, llc})
+		}
+	}
+	return out
+}
+
+// measureAccuracy runs one configuration through both the analytical
+// tier and the simulator and returns the two drifts the verification
+// path would compute.
+func measureAccuracy(t *testing.T, app, llc string) (alphaErr, latencyErr float64) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	if llc == "shared" {
+		cfg.LLCOrg = cache.SharedSNUCA
+	}
+	p := workloads.MustNew(app, 1)
+	res, err := compiler.CompileProgram(p, compiler.Options{Cfg: cfg})
+	if err != nil {
+		t.Fatalf("%s/%s: compile: %v", app, llc, err)
+	}
+	lang.GenerateIndexData(p, 1, 64)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("%s/%s: validate: %v", app, llc, err)
+	}
+	plan := New(Config{Cfg: cfg}).FromResult(res)
+
+	sys := sim.New(cfg)
+	var simCycles int64
+	if res.NeedsInspector {
+		mapper := core.NewMapper(core.Config{Mesh: cfg.Mesh})
+		simCycles = inspector.Run(sys, p, mapper, inspector.DefaultOverhead()).TotalCycles()
+	} else {
+		simCycles = sim.TotalCycles(sys.RunTiming(p, func(int) *sim.Schedule { return res.Schedule }))
+	}
+	simAlpha := sys.Stats().LLCHitFraction()
+
+	alphaErr = math.Abs(plan.Alpha - simAlpha)
+	latencyErr = math.Abs(float64(plan.PredictedCycles-simCycles)) / float64(simCycles)
+	return alphaErr, latencyErr
+}
+
+// TestAccuracyRegression sweeps the 14 configurations and holds every
+// estimate inside its checked-in error bound. Estimator and simulator
+// are both deterministic, so the measured errors are exactly
+// reproducible; the bounds carry headroom only for intentional small
+// model adjustments.
+func TestAccuracyRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	measured := make([]accuracyBound, 0, 14)
+	for _, c := range accuracyConfigs() {
+		aErr, lErr := measureAccuracy(t, c.app, c.llc)
+		t.Logf("%-10s %-7s alpha_err=%.4f latency_err=%.4f", c.app, c.llc, aErr, lErr)
+		measured = append(measured, accuracyBound{Name: c.app, LLC: c.llc, AlphaErr: aErr, LatencyErr: lErr})
+	}
+
+	if *updateAccuracy {
+		// Headroom: +0.05 absolute on α, 1.25× +0.05 on latency, so an
+		// intentional tweak elsewhere does not force a regeneration,
+		// while a real model regression still trips the bound.
+		for i := range measured {
+			measured[i].AlphaErr = round4(measured[i].AlphaErr + 0.05)
+			measured[i].LatencyErr = round4(measured[i].LatencyErr*1.25 + 0.05)
+		}
+		if err := os.MkdirAll(filepath.Dir(accuracyPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(measured, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(accuracyPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d bounds", accuracyPath, len(measured))
+		return
+	}
+
+	data, err := os.ReadFile(accuracyPath)
+	if err != nil {
+		t.Fatalf("missing bounds (run with -update-accuracy to create): %v", err)
+	}
+	var bounds []accuracyBound
+	if err := json.Unmarshal(data, &bounds); err != nil {
+		t.Fatalf("corrupt %s: %v", accuracyPath, err)
+	}
+	byKey := make(map[string]accuracyBound, len(bounds))
+	for _, b := range bounds {
+		byKey[b.Name+"/"+b.LLC] = b
+	}
+	for _, m := range measured {
+		b, ok := byKey[m.Name+"/"+m.LLC]
+		if !ok {
+			t.Errorf("%s/%s: no checked-in bound (run -update-accuracy)", m.Name, m.LLC)
+			continue
+		}
+		if m.AlphaErr > b.AlphaErr {
+			t.Errorf("%s/%s: alpha error %.4f exceeds bound %.4f", m.Name, m.LLC, m.AlphaErr, b.AlphaErr)
+		}
+		if m.LatencyErr > b.LatencyErr {
+			t.Errorf("%s/%s: latency error %.4f exceeds bound %.4f", m.Name, m.LLC, m.LatencyErr, b.LatencyErr)
+		}
+	}
+	if len(bounds) != len(measured) {
+		t.Errorf("bounds file has %d entries, sweep has %d", len(bounds), len(measured))
+	}
+}
+
+func round4(v float64) float64 {
+	return math.Round(v*1e4) / 1e4
+}

@@ -1,0 +1,73 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"locmap/internal/cache"
+	"locmap/internal/compiler"
+	"locmap/internal/core"
+	"locmap/internal/inspector"
+	"locmap/internal/lang"
+	"locmap/internal/sim"
+	"locmap/internal/workloads"
+)
+
+// BenchmarkEstimateAlphaError times the analytical tier on the golden
+// workloads (one regular, one irregular, both LLC organizations) and
+// reports the mean |predicted − simulated| LLC hit fraction as an
+// "alphaErr" metric, so `make bench` records model accuracy next to
+// model speed in BENCH_sim.json. The ground-truth simulations run
+// once, outside the timed region; the loop measures FromResult alone.
+func BenchmarkEstimateAlphaError(b *testing.B) {
+	type benchCfg struct {
+		app, llc string
+	}
+	cfgs := []benchCfg{
+		{"mxm", "private"}, {"mxm", "shared"},
+		{"moldyn", "private"}, {"moldyn", "shared"},
+	}
+
+	type prepared struct {
+		cfg      sim.Config
+		res      *compiler.Result
+		simAlpha float64
+	}
+	preps := make([]prepared, 0, len(cfgs))
+	for _, c := range cfgs {
+		cfg := sim.DefaultConfig()
+		if c.llc == "shared" {
+			cfg.LLCOrg = cache.SharedSNUCA
+		}
+		p := workloads.MustNew(c.app, 1)
+		res, err := compiler.CompileProgram(p, compiler.Options{Cfg: cfg})
+		if err != nil {
+			b.Fatalf("%s/%s: compile: %v", c.app, c.llc, err)
+		}
+		lang.GenerateIndexData(p, 1, 64)
+		if err := p.Validate(); err != nil {
+			b.Fatalf("%s/%s: validate: %v", c.app, c.llc, err)
+		}
+		sys := sim.New(cfg)
+		if res.NeedsInspector {
+			mapper := core.NewMapper(core.Config{Mesh: cfg.Mesh})
+			inspector.Run(sys, p, mapper, inspector.DefaultOverhead())
+		} else {
+			sys.RunTiming(p, func(int) *sim.Schedule { return res.Schedule })
+		}
+		preps = append(preps, prepared{cfg: cfg, res: res, simAlpha: sys.Stats().LLCHitFraction()})
+	}
+
+	var meanErr float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		for _, pr := range preps {
+			plan := New(Config{Cfg: pr.cfg}).FromResult(pr.res)
+			sum += math.Abs(plan.Alpha - pr.simAlpha)
+		}
+		meanErr = sum / float64(len(preps))
+	}
+	b.StopTimer()
+	b.ReportMetric(meanErr, "alphaErr")
+}

@@ -1,0 +1,103 @@
+package estimate
+
+import (
+	"container/list"
+	"math"
+
+	"locmap/internal/cme"
+)
+
+// Sketch is a hash-sampled reuse-distance estimator in the spirit of
+// SHARDS ("Beyond Reuse Distance Analysis", see PAPERS.md): cache lines
+// are sampled by a fixed hash threshold at rate R, sampled lines are
+// kept on an exact LRU stack, and the stack position of a re-accessed
+// sampled line scaled by 1/R estimates its true reuse distance over the
+// full stream. Comparing that distance against an LLC's capacity in
+// lines yields a hit/miss verdict per sampled access — the piece the
+// compile-time CME walk cannot provide for irregular (index-array)
+// reference streams, whose addresses it only sees once the index data
+// is bound.
+//
+// The sketch is deliberately tiny and deterministic: the hash seed is
+// fixed, so the same reference stream always yields the same verdicts,
+// preserving locmapd's byte-identical-payload invariant.
+type Sketch struct {
+	threshold uint64  // sample a line iff hash(line) < threshold
+	scale     float64 // 1/rate: sampled stack positions → full-stream distance
+	maxStack  int     // retained sampled lines; deeper reuse saturates to a miss
+
+	ll  *list.List // front = most recently used sampled line
+	pos map[uint64]*list.Element
+
+	accesses uint64
+	sampled  uint64
+}
+
+// sketchSeed decorrelates the line-sampling hash from the CME
+// misclassification hash, which draws from the same cme.Mix64 mixer.
+const sketchSeed = 0x5bf0f5e4a1c3d2e7
+
+// NewSketch builds a sketch sampling lines at the given rate (clamped
+// to (0,1]) and retaining at most maxStack sampled lines. Zero values
+// select the defaults (rate 1/8, 4096 lines).
+func NewSketch(rate float64, maxStack int) *Sketch {
+	if rate <= 0 || rate > 1 {
+		rate = defaultSketchRate
+	}
+	if maxStack <= 0 {
+		maxStack = defaultSketchStack
+	}
+	s := &Sketch{
+		scale:    1 / rate,
+		maxStack: maxStack,
+		ll:       list.New(),
+		pos:      make(map[uint64]*list.Element, maxStack),
+	}
+	if rate >= 1 {
+		s.threshold = math.MaxUint64
+	} else {
+		s.threshold = uint64(rate * math.MaxUint64)
+	}
+	return s
+}
+
+// Access feeds one cache-line id into the sketch. It reports whether
+// the line is in the sampled set and, if so, the estimated full-stream
+// reuse distance in lines (+Inf for a first touch or a reuse deeper
+// than the retained stack). Unsampled lines cost one hash and nothing
+// else.
+func (s *Sketch) Access(line uint64) (sampled bool, dist float64) {
+	s.accesses++
+	if cme.Mix64(line^sketchSeed) >= s.threshold {
+		return false, 0
+	}
+	s.sampled++
+	if el, ok := s.pos[line]; ok {
+		// Stack position by walking from the MRU end: reuse
+		// distances are overwhelmingly short, so the walk is cheap
+		// in practice and bounded by maxStack in the worst case.
+		p := 0
+		for e := s.ll.Front(); e != el; e = e.Next() {
+			p++
+		}
+		s.ll.MoveToFront(el)
+		return true, float64(p) * s.scale
+	}
+	s.pos[line] = s.ll.PushFront(line)
+	if s.ll.Len() > s.maxStack {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.pos, back.Value.(uint64))
+	}
+	return true, math.Inf(1)
+}
+
+// Sampled reports how many of the accesses fed so far were sampled.
+func (s *Sketch) Sampled() (sampled, total uint64) { return s.sampled, s.accesses }
+
+// Reset clears the stack and the counters.
+func (s *Sketch) Reset() {
+	s.ll.Init()
+	clear(s.pos)
+	s.accesses, s.sampled = 0, 0
+}

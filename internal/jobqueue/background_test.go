@@ -1,0 +1,248 @@
+package jobqueue
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestBackgroundRunsAfterBatch: with one worker held, queued batch
+// work drains strictly before queued background work, regardless of
+// submission order.
+func TestBackgroundRunsAfterBatch(t *testing.T) {
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	q := mustOpen(t, Config{Workers: 1,
+		Exec: func(ctx context.Context, j *Job) ([]byte, bool, error) {
+			if j.Fingerprint == "gate" {
+				select {
+				case <-release:
+				case <-ctx.Done():
+					return nil, false, ctx.Err()
+				}
+			}
+			mu.Lock()
+			order = append(order, j.Fingerprint)
+			mu.Unlock()
+			return []byte(`{}`), false, nil
+		}})
+	defer closeQueue(t, q)
+
+	if _, _, err := q.SubmitBatch("r", []Spec{{Kind: "map", Fingerprint: "gate"}}); err != nil {
+		t.Fatalf("SubmitBatch(gate): %v", err)
+	}
+	waitFor(t, "gate running", func() bool {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return len(q.running) == 1
+	})
+	// Background first, then batch: the batch job must still win.
+	for _, fp := range []string{"bg-1", "bg-2"} {
+		if _, err := q.SubmitBackground("r", Spec{Kind: "verify", Fingerprint: fp}); err != nil {
+			t.Fatalf("SubmitBackground(%s): %v", fp, err)
+		}
+	}
+	b, _, err := q.SubmitBatch("r", []Spec{{Kind: "map", Fingerprint: "late-batch"}})
+	if err != nil {
+		t.Fatalf("SubmitBatch(late): %v", err)
+	}
+	if d, bd := q.Depth(), q.BackgroundDepth(); d != 1 || bd != 2 {
+		t.Fatalf("depths = (%d batch, %d background), want (1, 2)", d, bd)
+	}
+	close(release)
+
+	waitFor(t, "all work drained", func() bool {
+		if _, ok := q.Result("bg-2"); !ok {
+			return false
+		}
+		_, js, _ := q.Batch(b.ID)
+		return len(js) == 1 && js[0].State == StateDone
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"gate", "late-batch", "bg-1", "bg-2"}
+	if len(order) != len(want) {
+		t.Fatalf("execution order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestBackgroundNotDurable: background jobs are never journaled — a
+// crash forgets them, while interrupted batch work is replayed.
+func TestBackgroundNotDurable(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	q1 := mustOpen(t, Config{Dir: dir, Workers: 1,
+		Exec: func(ctx context.Context, j *Job) ([]byte, bool, error) {
+			select { // hold the worker so the background job stays queued
+			case <-release:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			return []byte(`{}`), false, nil
+		}})
+
+	if _, _, err := q1.SubmitBatch("r", []Spec{{Kind: "map", Fingerprint: "fp-batch"}}); err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	waitFor(t, "batch job running", func() bool {
+		q1.mu.Lock()
+		defer q1.mu.Unlock()
+		return len(q1.running) == 1
+	})
+	bg, err := q1.SubmitBackground("r", Spec{Kind: "verify", Fingerprint: "fp-bg"})
+	if err != nil {
+		t.Fatalf("SubmitBackground: %v", err)
+	}
+	if q1.BackgroundDepth() != 1 {
+		t.Fatalf("BackgroundDepth = %d, want 1", q1.BackgroundDepth())
+	}
+	q1.crash()
+
+	var execs sync.Map
+	q2 := mustOpen(t, Config{Dir: dir, Workers: 1, Exec: countingExec(&execs)})
+	defer closeQueue(t, q2)
+	// The interrupted batch job replays and re-runs...
+	waitFor(t, "batch job replayed and done", func() bool {
+		_, ok := q2.Result("fp-batch")
+		return ok
+	})
+	// ...the background job left no trace.
+	if _, ok := q2.Job(bg.ID); ok {
+		t.Error("background job survived the restart")
+	}
+	if n := execCount(&execs, "fp-bg"); n != 0 {
+		t.Errorf("background job executed %d times after restart", n)
+	}
+	if q2.BackgroundDepth() != 0 {
+		t.Errorf("BackgroundDepth after replay = %d", q2.BackgroundDepth())
+	}
+}
+
+// TestBackgroundLimit: background submissions are bounded by their own
+// limit, independent of the batch queue's, and rejected with
+// ErrQueueFull beyond it.
+func TestBackgroundLimit(t *testing.T) {
+	release := make(chan struct{})
+	q := mustOpen(t, Config{Workers: 1, BackgroundLimit: 2,
+		Exec: func(ctx context.Context, j *Job) ([]byte, bool, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			return []byte(`{}`), false, nil
+		}})
+	defer func() { close(release); closeQueue(t, q) }()
+
+	if q.BackgroundLimit() != 2 {
+		t.Fatalf("BackgroundLimit() = %d, want 2", q.BackgroundLimit())
+	}
+	if _, _, err := q.SubmitBatch("r", []Spec{{Kind: "map", Fingerprint: "gate"}}); err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	waitFor(t, "gate running", func() bool {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return len(q.running) == 1
+	})
+	for _, fp := range []string{"bg-1", "bg-2"} {
+		if _, err := q.SubmitBackground("r", Spec{Kind: "verify", Fingerprint: fp}); err != nil {
+			t.Fatalf("SubmitBackground(%s): %v", fp, err)
+		}
+	}
+	if _, err := q.SubmitBackground("r", Spec{Kind: "verify", Fingerprint: "bg-3"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third background submission: err = %v, want ErrQueueFull", err)
+	}
+	// The background bound never counts against the batch queue.
+	if _, _, err := q.SubmitBatch("r", []Spec{{Kind: "map", Fingerprint: "still-room"}}); err != nil {
+		t.Errorf("batch submission rejected by background pressure: %v", err)
+	}
+	// Re-submitting a queued fingerprint coalesces instead of filling
+	// the queue further.
+	if _, err := q.SubmitBackground("r", Spec{Kind: "verify", Fingerprint: "bg-1"}); err != nil {
+		t.Errorf("coalescing submission rejected: %v", err)
+	}
+	if bd := q.BackgroundDepth(); bd != 2 {
+		t.Errorf("BackgroundDepth = %d, want 2", bd)
+	}
+}
+
+// TestBackgroundCoalesceAndResult: equal-fingerprint background
+// submissions collapse onto one job through the whole lifecycle, and
+// Result exposes the retained payload once it is done.
+func TestBackgroundCoalesceAndResult(t *testing.T) {
+	release := make(chan struct{})
+	var execs sync.Map
+	q := mustOpen(t, Config{Workers: 1,
+		Exec: func(ctx context.Context, j *Job) ([]byte, bool, error) {
+			if j.Fingerprint == "gate" {
+				select {
+				case <-release:
+				case <-ctx.Done():
+					return nil, false, ctx.Err()
+				}
+			}
+			return countingExec(&execs)(ctx, j)
+		}})
+	defer closeQueue(t, q)
+
+	if _, _, err := q.SubmitBatch("r", []Spec{{Kind: "map", Fingerprint: "gate"}}); err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	waitFor(t, "gate running", func() bool {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return len(q.running) == 1
+	})
+	sp := Spec{Kind: "verify", Fingerprint: "bg-x", Request: json.RawMessage(`{}`)}
+	j1, err := q.SubmitBackground("r", sp)
+	if err != nil {
+		t.Fatalf("SubmitBackground: %v", err)
+	}
+	if _, ok := q.Result("bg-x"); ok {
+		t.Error("Result reported a payload before the job ran")
+	}
+	// Queued twin coalesces onto the same job.
+	j2, err := q.SubmitBackground("r", sp)
+	if err != nil || j2.ID != j1.ID {
+		t.Fatalf("queued coalesce: job %s, err %v; want %s", j2.ID, err, j1.ID)
+	}
+	if bd := q.BackgroundDepth(); bd != 1 {
+		t.Fatalf("BackgroundDepth = %d, want 1", bd)
+	}
+	close(release)
+
+	waitFor(t, "background job done", func() bool {
+		j, ok := q.Job(j1.ID)
+		return ok && j.State == StateDone
+	})
+	if n := execCount(&execs, "bg-x"); n != 1 {
+		t.Errorf("bg-x executed %d times, want 1", n)
+	}
+	payload, ok := q.Result("bg-x")
+	if !ok || string(payload) != `{"fp":"bg-x"}` {
+		t.Fatalf("Result(bg-x) = %s, %v", payload, ok)
+	}
+	// A done twin is answered with the finished job's snapshot.
+	j3, err := q.SubmitBackground("r", sp)
+	if err != nil || j3.ID != j1.ID || j3.State != StateDone {
+		t.Fatalf("done coalesce: %+v, %v", j3, err)
+	}
+	if string(j3.Result) != `{"fp":"bg-x"}` {
+		t.Errorf("coalesced snapshot result = %s", j3.Result)
+	}
+	if n := execCount(&execs, "bg-x"); n != 1 {
+		t.Errorf("bg-x executed %d times after re-submit, want 1", n)
+	}
+	if _, ok := q.Result("never-ran"); ok {
+		t.Error("Result invented a payload for an unknown fingerprint")
+	}
+}

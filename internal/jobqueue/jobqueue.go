@@ -23,6 +23,12 @@
 // concurrent jobs with the same fingerprint are single-flighted — one
 // executes, the rest wait and share its result.
 //
+// Jobs come in two scheduling classes (Priority): user-submitted
+// batch work, which is durable and drained first, and opportunistic
+// background work (SubmitBackground — locmapd's estimate-verification
+// jobs), which is non-durable, separately bounded, and only runs when
+// no batch job is waiting.
+//
 // The package knows nothing about HTTP or the mapping pipeline: the
 // owner supplies an Exec callback (locmapd routes it through the
 // Server.runJob/plancache path, so batch results warm — and are
@@ -101,6 +107,23 @@ func (s State) rank() int {
 	return -1
 }
 
+// Priority separates user-facing batch work from opportunistic
+// background work. Workers always drain batch-priority jobs first, so
+// background fan-out (locmapd's estimate-verification jobs) can never
+// starve explicit batch traffic.
+type Priority int
+
+const (
+	// PriorityBatch is the default: user-submitted, durable work.
+	PriorityBatch Priority = iota
+	// PriorityBackground is opportunistic work that runs only when no
+	// batch job is waiting. Background jobs are non-durable: they are
+	// never journaled, do not survive a restart, and are bounded by
+	// BackgroundLimit instead of QueueLimit.
+	PriorityBackground
+	numPriorities
+)
+
 // Spec is what a client submits for one job.
 type Spec struct {
 	// Kind names the result type ("map" or "simulate" in locmapd).
@@ -111,6 +134,10 @@ type Spec struct {
 	// executes each fingerprint at most once.
 	Fingerprint string `json:"fingerprint"`
 
+	// Priority selects the scheduling class. SubmitBatch forces
+	// PriorityBatch; SubmitBackground forces PriorityBackground.
+	Priority Priority `json:"priority,omitempty"`
+
 	// Request is the opaque request body the executor will decode.
 	Request json.RawMessage `json:"request,omitempty"`
 }
@@ -120,8 +147,10 @@ type Spec struct {
 type Job struct {
 	Spec
 
-	ID      string `json:"id"`
-	BatchID string `json:"batch_id"`
+	ID string `json:"id"`
+
+	// BatchID groups user-submitted jobs; background jobs have none.
+	BatchID string `json:"batch_id,omitempty"`
 
 	// SubmitRequestID is the correlation id of the HTTP request that
 	// submitted the job, persisted so a job is traceable back to its
@@ -192,9 +221,16 @@ type Config struct {
 	// is retained after it finishes (default 15m).
 	ResultTTL time.Duration
 
-	// QueueLimit bounds the number of queued-but-not-finished jobs a
-	// submission may grow the queue to (default 1024).
+	// QueueLimit bounds the number of queued-but-not-finished
+	// batch-priority jobs a submission may grow the queue to
+	// (default 1024).
 	QueueLimit int
+
+	// BackgroundLimit bounds queued background-priority jobs
+	// (default: QueueLimit). Background submissions beyond it are
+	// rejected with ErrQueueFull — callers treat background work as
+	// best-effort and drop it.
+	BackgroundLimit int
 
 	// CompactBytes triggers journal compaction once the live journal
 	// file exceeds this size (default 4MiB).
@@ -233,9 +269,9 @@ type Queue struct {
 	cond    *sync.Cond
 	jobs    map[string]*Job
 	batches map[string]*Batch
-	pending []string          // FIFO of queued job ids
-	byFP    map[string]string // fingerprint -> id of a done job holding a result
-	running map[string]string // fingerprint -> id of the running leader
+	pending [numPriorities][]string // FIFO of queued job ids per priority
+	byFP    map[string]string       // fingerprint -> id of a done job holding a result
+	running map[string]string       // fingerprint -> id of the running leader
 	waiters map[string][]string
 	jrn     *journal // nil when Dir == ""
 	closing bool
@@ -287,6 +323,9 @@ func Open(cfg Config) (*Queue, error) {
 	if cfg.QueueLimit <= 0 {
 		cfg.QueueLimit = 1024
 	}
+	if cfg.BackgroundLimit <= 0 {
+		cfg.BackgroundLimit = cfg.QueueLimit
+	}
 	if cfg.CompactBytes <= 0 {
 		cfg.CompactBytes = 4 << 20
 	}
@@ -322,7 +361,7 @@ func Open(cfg Config) (*Queue, error) {
 		}
 		q.replayDur = time.Since(start)
 		q.log.Info("jobqueue replayed", "dir", cfg.Dir,
-			"jobs", len(q.jobs), "queued", len(q.pending),
+			"jobs", len(q.jobs), "queued", len(q.pending[PriorityBatch]),
 			"elapsed", q.replayDur)
 	}
 	q.register(cfg.Registry)
@@ -352,13 +391,16 @@ func (q *Queue) replay(jrn *journal) error {
 			q.batches[b.ID] = &b
 			for _, jr := range rec.Jobs {
 				j := *jr
+				// Only batch jobs are journaled; anything replayed is
+				// batch priority by construction.
+				j.Priority = PriorityBatch
 				switch j.State {
 				case StateQueued, StateRunning:
 					// A job that was mid-run when the process died is
 					// re-run from scratch.
 					j.State = StateQueued
 					j.StartedAt = time.Time{}
-					q.pending = append(q.pending, j.ID)
+					q.pending[PriorityBatch] = append(q.pending[PriorityBatch], j.ID)
 					q.transitions[StateQueued]++
 				case StateDone:
 					q.byFP[j.Fingerprint] = j.ID
@@ -407,12 +449,14 @@ func (q *Queue) replay(jrn *journal) error {
 	}, q.log)
 }
 
-// unqueue removes id from the pending FIFO if present.
+// unqueue removes id from its pending FIFO if present.
 func (q *Queue) unqueue(id string) {
-	for i, p := range q.pending {
-		if p == id {
-			q.pending = append(q.pending[:i], q.pending[i+1:]...)
-			return
+	for pr := range q.pending {
+		for i, p := range q.pending[pr] {
+			if p == id {
+				q.pending[pr] = append(q.pending[pr][:i], q.pending[pr][i+1:]...)
+				return
+			}
 		}
 	}
 }
@@ -451,8 +495,13 @@ func (q *Queue) register(reg *metrics.Registry) {
 		}
 	}
 	reg.GaugeFunc("locmapd_jobqueue_depth",
-		"Batch jobs queued and waiting for a worker.", nil,
-		locked(func() float64 { return float64(len(q.pending)) }))
+		"Jobs queued and waiting for a worker, by scheduling class.",
+		metrics.Labels{"priority": "batch"},
+		locked(func() float64 { return float64(len(q.pending[PriorityBatch])) }))
+	reg.GaugeFunc("locmapd_jobqueue_depth",
+		"Jobs queued and waiting for a worker, by scheduling class.",
+		metrics.Labels{"priority": "background"},
+		locked(func() float64 { return float64(len(q.pending[PriorityBackground])) }))
 	for _, st := range States {
 		st := st
 		reg.CounterFunc("locmapd_jobqueue_transitions_total",
@@ -497,15 +546,46 @@ func (q *Queue) register(reg *metrics.Registry) {
 	}
 }
 
-// Depth reports the number of jobs queued and waiting for a worker.
+// Depth reports the number of batch-priority jobs queued and waiting
+// for a worker (the user-facing backlog readiness checks care about).
 func (q *Queue) Depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.pending)
+	return len(q.pending[PriorityBatch])
 }
 
-// QueueLimit reports the configured queue bound.
+// BackgroundDepth reports the queued background-priority backlog.
+func (q *Queue) BackgroundDepth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending[PriorityBackground])
+}
+
+// QueueLimit reports the configured batch queue bound.
 func (q *Queue) QueueLimit() int { return q.cfg.QueueLimit }
+
+// BackgroundLimit reports the configured background queue bound.
+func (q *Queue) BackgroundLimit() int { return q.cfg.BackgroundLimit }
+
+// Result returns a copy of the retained result of a done job with the
+// given fingerprint, if any. It lets owners re-apply a completed
+// background job's payload (e.g. a finished verification) without
+// submitting new work.
+func (q *Queue) Result(fingerprint string) (json.RawMessage, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	id, ok := q.byFP[fingerprint]
+	if !ok {
+		return nil, false
+	}
+	j, live := q.jobs[id]
+	if !live || j.State != StateDone {
+		return nil, false
+	}
+	out := make(json.RawMessage, len(j.Result))
+	copy(out, j.Result)
+	return out, true
+}
 
 // SubmitBatch atomically accepts specs as one batch: every job is
 // journaled (one fsync'd record) before the call returns. requestID
@@ -520,9 +600,10 @@ func (q *Queue) SubmitBatch(requestID string, specs []Spec) (Batch, []Job, error
 	if q.closing {
 		return Batch{}, nil, ErrClosed
 	}
-	if len(q.pending)+q.waiterCount()+len(specs) > q.cfg.QueueLimit {
+	depth := len(q.pending[PriorityBatch]) + q.waiterCount(PriorityBatch)
+	if depth+len(specs) > q.cfg.QueueLimit {
 		return Batch{}, nil, fmt.Errorf("%w: %d queued of %d", ErrQueueFull,
-			len(q.pending)+q.waiterCount(), q.cfg.QueueLimit)
+			depth, q.cfg.QueueLimit)
 	}
 	now := q.now()
 	b := &Batch{
@@ -533,6 +614,7 @@ func (q *Queue) SubmitBatch(requestID string, specs []Spec) (Batch, []Job, error
 	}
 	jobs := make([]*Job, 0, len(specs))
 	for _, sp := range specs {
+		sp.Priority = PriorityBatch
 		j := &Job{
 			Spec:            sp,
 			ID:              newID(),
@@ -552,7 +634,7 @@ func (q *Queue) SubmitBatch(requestID string, specs []Spec) (Batch, []Job, error
 	q.batches[b.ID] = b
 	for _, j := range jobs {
 		q.jobs[j.ID] = j
-		q.pending = append(q.pending, j.ID)
+		q.pending[PriorityBatch] = append(q.pending[PriorityBatch], j.ID)
 		q.transitions[StateQueued]++
 	}
 	q.cond.Broadcast()
@@ -564,12 +646,62 @@ func (q *Queue) SubmitBatch(requestID string, specs []Spec) (Batch, []Job, error
 	return *b, out, nil
 }
 
-func (q *Queue) waiterCount() int {
+func (q *Queue) waiterCount(pr Priority) int {
 	n := 0
-	for _, w := range q.waiters {
-		n += len(w)
+	for _, ws := range q.waiters {
+		for _, id := range ws {
+			if j, ok := q.jobs[id]; ok && j.Priority == pr {
+				n++
+			}
+		}
 	}
 	return n
+}
+
+// SubmitBackground enqueues one background-priority job. Background
+// work is opportunistic: it is never journaled (a restart forgets it),
+// it runs only when no batch job is waiting, and submissions beyond
+// BackgroundLimit are rejected with ErrQueueFull. A job whose
+// fingerprint is already done, running or queued is coalesced — the
+// existing job's snapshot is returned and nothing new is enqueued.
+func (q *Queue) SubmitBackground(requestID string, sp Spec) (Job, error) {
+	sp.Priority = PriorityBackground
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closing {
+		return Job{}, ErrClosed
+	}
+	if doneID, ok := q.byFP[sp.Fingerprint]; ok {
+		if done, live := q.jobs[doneID]; live && done.State == StateDone {
+			return *done, nil
+		}
+	}
+	if leadID, ok := q.running[sp.Fingerprint]; ok {
+		if lead, live := q.jobs[leadID]; live {
+			return *lead, nil
+		}
+	}
+	for _, id := range q.pending[PriorityBackground] {
+		if j, ok := q.jobs[id]; ok && j.State == StateQueued && j.Fingerprint == sp.Fingerprint {
+			return *j, nil
+		}
+	}
+	if len(q.pending[PriorityBackground]) >= q.cfg.BackgroundLimit {
+		return Job{}, fmt.Errorf("%w: %d background queued of %d", ErrQueueFull,
+			len(q.pending[PriorityBackground]), q.cfg.BackgroundLimit)
+	}
+	j := &Job{
+		Spec:            sp,
+		ID:              newID(),
+		SubmitRequestID: requestID,
+		State:           StateQueued,
+		SubmittedAt:     q.now(),
+	}
+	q.jobs[j.ID] = j
+	q.pending[PriorityBackground] = append(q.pending[PriorityBackground], j.ID)
+	q.transitions[StateQueued]++
+	q.cond.Broadcast()
+	return *j, nil
 }
 
 // Job returns a snapshot of the job, or false if it does not exist
@@ -638,7 +770,9 @@ func (q *Queue) Cancel(id string) (Job, error) {
 // holds mu.
 func (q *Queue) transitionLocked(j *Job, st State, result []byte, cached bool, errMsg string) error {
 	now := q.now()
-	if q.jrn != nil {
+	// Background jobs are non-durable by design: never journaled, so
+	// their transitions are memory-only.
+	if q.jrn != nil && j.Priority == PriorityBatch {
 		if err := q.jrn.AppendState(j.ID, st, result, cached, errMsg, now); err != nil {
 			return fmt.Errorf("jobqueue: journal transition: %w", err)
 		}
@@ -663,21 +797,26 @@ func (q *Queue) transitionLocked(j *Job, st State, result []byte, cached bool, e
 	return nil
 }
 
-// worker is one pool goroutine: claim the oldest queued job, dedup
-// against finished and in-flight fingerprints, execute, complete.
+// worker is one pool goroutine: claim the oldest queued job — batch
+// priority strictly first — dedup against finished and in-flight
+// fingerprints, execute, complete.
 func (q *Queue) worker() {
 	defer q.wg.Done()
 	for {
 		q.mu.Lock()
-		for len(q.pending) == 0 && !q.closing {
+		for len(q.pending[PriorityBatch])+len(q.pending[PriorityBackground]) == 0 && !q.closing {
 			q.cond.Wait()
 		}
 		if q.closing {
 			q.mu.Unlock()
 			return
 		}
-		id := q.pending[0]
-		q.pending = q.pending[1:]
+		pr := PriorityBatch
+		if len(q.pending[pr]) == 0 {
+			pr = PriorityBackground
+		}
+		id := q.pending[pr][0]
+		q.pending[pr] = q.pending[pr][1:]
 		j, ok := q.jobs[id]
 		if !ok || j.State != StateQueued {
 			q.mu.Unlock() // cancelled or expired while queued
@@ -749,19 +888,26 @@ func (q *Queue) completeDedupLocked(j *Job, result json.RawMessage) {
 	q.dedups++
 }
 
-// requeueLocked puts still-queued waiter jobs back at the head of the
-// pending FIFO, preserving their order.
+// requeueLocked puts still-queued waiter jobs back at the head of
+// their priority's pending FIFO, preserving their order.
 func (q *Queue) requeueLocked(ids []string) {
-	live := ids[:0]
+	var live [numPriorities][]string
+	n := 0
 	for _, id := range ids {
 		if j, ok := q.jobs[id]; ok && j.State == StateQueued {
-			live = append(live, id)
+			live[j.Priority] = append(live[j.Priority], id)
+			n++
 		}
 	}
-	if len(live) == 0 {
+	if n == 0 {
 		return
 	}
-	q.pending = append(append(make([]string, 0, len(live)+len(q.pending)), live...), q.pending...)
+	for pr := range live {
+		if len(live[pr]) == 0 {
+			continue
+		}
+		q.pending[pr] = append(append(make([]string, 0, len(live[pr])+len(q.pending[pr])), live[pr]...), q.pending[pr]...)
+	}
 	q.cond.Broadcast()
 }
 
@@ -809,7 +955,7 @@ func (q *Queue) sweep() {
 		if !j.State.Terminal() || j.FinishedAt.After(cutoff) {
 			continue
 		}
-		if q.jrn != nil {
+		if q.jrn != nil && j.Priority == PriorityBatch {
 			if err := q.jrn.AppendState(j.ID, StateExpired, nil, false, "", q.now()); err != nil {
 				q.log.Error("jobqueue journal expiry failed", "job", j.ID, "error", err)
 				continue

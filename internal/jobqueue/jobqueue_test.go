@@ -184,7 +184,7 @@ func TestSingleFlightDedup(t *testing.T) {
 	waitFor(t, "leader running", func() bool {
 		q.mu.Lock()
 		defer q.mu.Unlock()
-		return len(q.running) == 1 && q.waiterCount() == 2
+		return len(q.running) == 1 && q.waiterCount(PriorityBatch) == 2
 	})
 	if execs.Load() != 1 {
 		t.Fatalf("executions before release = %d, want 1", execs.Load())
@@ -627,7 +627,7 @@ func TestFailedJobsRequeueWaiters(t *testing.T) {
 	waitFor(t, "twin parked behind leader", func() bool {
 		q.mu.Lock()
 		defer q.mu.Unlock()
-		return q.waiterCount() == 1
+		return q.waiterCount(PriorityBatch) == 1
 	})
 	close(release)
 

@@ -134,18 +134,20 @@ type Cache struct {
 }
 
 type shard struct {
-	mu        sync.Mutex
-	ll        *list.List // front = most recent
-	items     map[string]*list.Element
-	capacity  int
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	mu           sync.Mutex
+	ll           *list.List // front = most recent
+	items        map[string]*list.Element
+	capacity     int
+	hits         uint64
+	misses       uint64
+	evictions    uint64
+	tierUpgrades uint64
 }
 
 type entry struct {
-	key string
-	val []byte
+	key  string
+	val  []byte
+	tier string
 }
 
 // New builds a cache holding at most capacity entries in total
@@ -173,42 +175,64 @@ func (c *Cache) shardFor(key string) *shard {
 	return &c.shards[f.Sum32()&(numShards-1)]
 }
 
+// Entry is a cached value plus its confidence tier (the serving tier
+// of the stored plan: "static", "sim", "estimate", "verified" or
+// "refined"; empty for entries stored through the tierless Put).
+type Entry struct {
+	Payload []byte
+	Tier    string
+}
+
 // Get returns a copy of the value cached under key, marking the entry
 // most-recently-used, or (nil, false) on a miss.
 func (c *Cache) Get(key string) ([]byte, bool) {
+	e, ok := c.GetEntry(key)
+	return e.Payload, ok
+}
+
+// GetEntry is Get plus the entry's tier tag.
+func (c *Cache) GetEntry(key string) (Entry, bool) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el, ok := s.items[key]
 	if !ok {
 		s.misses++
-		return nil, false
+		return Entry{}, false
 	}
 	s.hits++
 	s.ll.MoveToFront(el)
-	v := el.Value.(*entry).val
-	out := make([]byte, len(v))
-	copy(out, v)
-	return out, true
+	en := el.Value.(*entry)
+	out := make([]byte, len(en.val))
+	copy(out, en.val)
+	return Entry{Payload: out, Tier: en.tier}, true
 }
 
-// Put stores a copy of val under key, evicting the shard's
-// least-recently-used entries if it is over capacity. Putting an
-// existing key refreshes its value and recency. It reports whether a
-// new entry was inserted (false when an existing key was refreshed),
-// so callers warming the cache can count genuine additions.
+// Put stores a copy of val under key with no tier tag; see PutTier.
 func (c *Cache) Put(key string, val []byte) bool {
+	return c.PutTier(key, val, "")
+}
+
+// PutTier stores a copy of val under key tagged with tier, evicting
+// the shard's least-recently-used entries if it is over capacity.
+// Putting an existing key refreshes its value, tier and recency. It
+// reports whether a new entry was inserted (false when an existing
+// key was refreshed), so callers warming the cache can count genuine
+// additions.
+func (c *Cache) PutTier(key string, val []byte, tier string) bool {
 	cp := make([]byte, len(val))
 	copy(cp, val)
 	s := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[key]; ok {
-		el.Value.(*entry).val = cp
+		en := el.Value.(*entry)
+		en.val = cp
+		en.tier = tier
 		s.ll.MoveToFront(el)
 		return false
 	}
-	s.items[key] = s.ll.PushFront(&entry{key: key, val: cp})
+	s.items[key] = s.ll.PushFront(&entry{key: key, val: cp, tier: tier})
 	for s.ll.Len() > s.capacity {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
@@ -216,6 +240,36 @@ func (c *Cache) Put(key string, val []byte) bool {
 		s.evictions++
 	}
 	return true
+}
+
+// Upgrade replaces an existing entry's payload and tier in place —
+// the verification path promoting an "estimate" entry to "verified"
+// or "refined" under the same fingerprint. It reports whether the key
+// was present (and counts it as a tier upgrade); when the entry was
+// already evicted the upgraded value is inserted instead, so the work
+// is never thrown away, but the upgrade counter stays untouched.
+func (c *Cache) Upgrade(key string, val []byte, tier string) bool {
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		en := el.Value.(*entry)
+		en.val = cp
+		en.tier = tier
+		s.ll.MoveToFront(el)
+		s.tierUpgrades++
+		return true
+	}
+	s.items[key] = s.ll.PushFront(&entry{key: key, val: cp, tier: tier})
+	for s.ll.Len() > s.capacity {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*entry).key)
+		s.evictions++
+	}
+	return false
 }
 
 // Len reports the current number of cached entries.
@@ -232,11 +286,12 @@ func (c *Cache) Len() int {
 
 // Stats is a point-in-time counter snapshot.
 type Stats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
-	Capacity  int    `json:"capacity"`
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Evictions    uint64 `json:"evictions"`
+	TierUpgrades uint64 `json:"tier_upgrades"`
+	Entries      int    `json:"entries"`
+	Capacity     int    `json:"capacity"`
 }
 
 // NumShards reports the shard count (fixed at construction).
@@ -250,11 +305,12 @@ func (c *Cache) ShardStat(i int) Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Hits:      s.hits,
-		Misses:    s.misses,
-		Evictions: s.evictions,
-		Entries:   s.ll.Len(),
-		Capacity:  s.capacity,
+		Hits:         s.hits,
+		Misses:       s.misses,
+		Evictions:    s.evictions,
+		TierUpgrades: s.tierUpgrades,
+		Entries:      s.ll.Len(),
+		Capacity:     s.capacity,
 	}
 }
 
@@ -267,6 +323,7 @@ func (c *Cache) Stats() Stats {
 		st.Hits += s.hits
 		st.Misses += s.misses
 		st.Evictions += s.evictions
+		st.TierUpgrades += s.tierUpgrades
 		st.Entries += s.ll.Len()
 		st.Capacity += s.capacity
 		s.mu.Unlock()

@@ -267,3 +267,79 @@ func TestShardStatsSumToTotals(t *testing.T) {
 		t.Errorf("shard sum %+v != aggregate %+v", sum, total)
 	}
 }
+
+func TestTierTagLifecycle(t *testing.T) {
+	c := New(8)
+	c.PutTier("k", []byte("analytical"), "estimate")
+	e, ok := c.GetEntry("k")
+	if !ok || e.Tier != "estimate" || string(e.Payload) != "analytical" {
+		t.Fatalf("GetEntry = %+v, %v", e, ok)
+	}
+	// Get sees the same entry without the tag.
+	if v, ok := c.Get("k"); !ok || string(v) != "analytical" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	// Untagged Put clears the tier: the legacy path owns the entry now.
+	c.Put("k", []byte("legacy"))
+	if e, _ := c.GetEntry("k"); e.Tier != "" || string(e.Payload) != "legacy" {
+		t.Errorf("after Put: %+v", e)
+	}
+}
+
+func TestUpgradeInPlace(t *testing.T) {
+	c := New(8)
+	if c.Stats().TierUpgrades != 0 {
+		t.Fatal("fresh cache reports upgrades")
+	}
+	c.PutTier("k", []byte("analytical"), "estimate")
+	if !c.Upgrade("k", []byte("checked"), "verified") {
+		t.Fatal("Upgrade of a present key reported absence")
+	}
+	e, ok := c.GetEntry("k")
+	if !ok || e.Tier != "verified" || string(e.Payload) != "checked" {
+		t.Fatalf("after upgrade: %+v, %v", e, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Upgrade duplicated the entry: len = %d", c.Len())
+	}
+	if got := c.Stats().TierUpgrades; got != 1 {
+		t.Errorf("TierUpgrades = %d, want 1", got)
+	}
+}
+
+func TestUpgradeAfterEvictionInsertsWithoutCounting(t *testing.T) {
+	c := New(8)
+	// The verified payload must not be thrown away just because the
+	// estimate entry was evicted first...
+	if c.Upgrade("gone", []byte("checked"), "verified") {
+		t.Fatal("Upgrade of a missing key claimed it was present")
+	}
+	e, ok := c.GetEntry("gone")
+	if !ok || e.Tier != "verified" || string(e.Payload) != "checked" {
+		t.Fatalf("upgrade-insert lost the value: %+v, %v", e, ok)
+	}
+	// ...but it is not an in-place upgrade either.
+	if got := c.Stats().TierUpgrades; got != 0 {
+		t.Errorf("TierUpgrades = %d, want 0", got)
+	}
+}
+
+func TestShardStatsCountTierUpgrades(t *testing.T) {
+	c := New(64)
+	const n = 10
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		c.PutTier(k, []byte("e"), "estimate")
+		c.Upgrade(k, []byte("v"), "verified")
+	}
+	var sum uint64
+	for i := 0; i < c.NumShards(); i++ {
+		sum += c.ShardStat(i).TierUpgrades
+	}
+	if sum != n {
+		t.Errorf("per-shard upgrades sum = %d, want %d", sum, n)
+	}
+	if tot := c.Stats().TierUpgrades; tot != n {
+		t.Errorf("Stats().TierUpgrades = %d, want %d", tot, n)
+	}
+}

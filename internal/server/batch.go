@@ -305,12 +305,16 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is the readiness probe: 503 (with the error envelope)
-// when the synchronous worker pool or the batch queue is saturated
-// past the configured watermark, 200 otherwise. Distinct from
-// /healthz, which only reports liveness.
+// when the synchronous worker pool or the user-facing batch queue is
+// saturated past the configured watermark, 200 otherwise. Background
+// verification depth is reported separately and never gates
+// readiness: verification is best-effort shed load, and a backlog of
+// it must not pull a replica out of rotation for user traffic.
+// Distinct from /healthz, which only reports liveness.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	syncUtil := float64(s.inflight.Load()) / float64(s.cfg.Workers)
 	queueUtil := float64(s.queue.Depth()) / float64(s.queue.QueueLimit())
+	bgUtil := float64(s.queue.BackgroundDepth()) / float64(s.queue.BackgroundLimit())
 	wm := s.cfg.ReadyWatermark
 	if syncUtil >= wm || queueUtil >= wm {
 		s.writeError(w, r, errf(http.StatusServiceUnavailable, ErrNotReady,
@@ -319,9 +323,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":            "ready",
-		"sync_utilization":  syncUtil,
-		"queue_utilization": queueUtil,
+		"status":                 "ready",
+		"sync_utilization":       syncUtil,
+		"queue_utilization":      queueUtil,
+		"background_utilization": bgUtil,
 	})
 }
 
@@ -330,15 +335,21 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // misses run on the shared bounded worker pool via runJob, which
 // caches the payload on success (batch work warms synchronous
 // traffic). The jobqueue marks cache-served results Cached.
+// Background "verify" jobs bypass both cache directions: their
+// fingerprint namespace is never cached, and the verdict reaches the
+// cache through Upgrade inside runVerify instead.
 func (s *Server) execBatchJob(ctx context.Context, j *jobqueue.Job) ([]byte, bool, error) {
-	if payload, ok := s.cache.Get(j.Fingerprint); ok {
+	cacheKey := j.Fingerprint
+	if j.Kind == "verify" {
+		cacheKey = ""
+	} else if payload, ok := s.cache.Get(j.Fingerprint); ok {
 		return payload, true, nil
 	}
 	job, err := s.batchJobFunc(j)
 	if err != nil {
 		return nil, false, err
 	}
-	payload, apiErr := s.runJob(ctx, j.Fingerprint, job)
+	payload, apiErr := s.runJob(ctx, cacheKey, tierForKind(j.Kind), job)
 	if apiErr != nil {
 		return nil, false, fmt.Errorf("%s: %s", apiErr.code, apiErr.msg)
 	}
@@ -376,6 +387,12 @@ func (s *Server) batchJobFunc(j *jobqueue.Job) (func() ([]byte, error), error) {
 			s.observeSim(res)
 			return json.Marshal(res)
 		}, nil
+	case "verify":
+		var vr verifyRequest
+		if err := json.Unmarshal(j.Request, &vr); err != nil {
+			return nil, fmt.Errorf("decode verify request: %w", err)
+		}
+		return func() ([]byte, error) { return s.runVerify(&vr) }, nil
 	}
 	return nil, fmt.Errorf("unknown persisted job kind %q", j.Kind)
 }

@@ -323,7 +323,8 @@ func TestBatchMetricsConsistency(t *testing.T) {
 			t.Errorf("%s%v = %g, %v; want %g", fam, labels, v, ok, want)
 		}
 	}
-	expectValue("locmapd_jobqueue_depth", nil, 0)
+	expectValue("locmapd_jobqueue_depth", metrics.Labels{"priority": "batch"}, 0)
+	expectValue("locmapd_jobqueue_depth", metrics.Labels{"priority": "background"}, 0)
 	expectValue("locmapd_jobqueue_transitions_total", metrics.Labels{"state": "queued"}, 3)
 	expectValue("locmapd_jobqueue_transitions_total", metrics.Labels{"state": "done"}, 3)
 	expectValue("locmapd_jobqueue_jobs", metrics.Labels{"state": "done"}, 3)

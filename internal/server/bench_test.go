@@ -1,0 +1,68 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+)
+
+// BenchmarkEstimateTierServe measures cold fast-tier /v1/map round
+// trips through the full handler stack (mux, middleware, estimator,
+// cache insert, verify enqueue). Every iteration uses a fresh seed,
+// so nothing is answered from the plan cache, and the background
+// verification simulations run concurrently exactly as they would in
+// production under -fast-tier — the reported tail includes that
+// contention. Besides ns/op it reports the p50/p99 request latency in
+// milliseconds, which `make bench` records into BENCH_sim.json.
+func BenchmarkEstimateTierServe(b *testing.B) {
+	s, err := New(Config{FastTier: true, Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	}()
+	h := s.Handler()
+
+	lat := make([]float64, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := mapReq(fastSrc)
+		req.Seed = int64(i + 1)
+		body, err := json.Marshal(req)
+		if err != nil {
+			b.Fatalf("marshal: %v", err)
+		}
+		r := httptest.NewRequest(http.MethodPost, "/v1/map", bytes.NewReader(body))
+		r.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		start := time.Now()
+		h.ServeHTTP(w, r)
+		lat = append(lat, time.Since(start).Seconds()*1e3)
+		if w.Code != http.StatusOK {
+			b.Fatalf("iteration %d: status %d: %s", i, w.Code, w.Body.Bytes())
+		}
+	}
+	b.StopTimer()
+	sort.Float64s(lat)
+	b.ReportMetric(quantileMS(lat, 0.50), "p50-ms")
+	b.ReportMetric(quantileMS(lat, 0.99), "p99-ms")
+}
+
+// quantileMS reads the q-quantile from an already-sorted latency
+// slice (nearest-rank; exact at the sample sizes bench runs use).
+func quantileMS(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}

@@ -176,6 +176,9 @@ func (s *Server) registerCollectors() {
 		s.reg.CounterFunc("locmapd_plancache_evictions_total",
 			"Plan-cache evictions by shard.", shard,
 			func() float64 { return float64(s.cache.ShardStat(i).Evictions) })
+		s.reg.CounterFunc("locmapd_plancache_tier_upgrades_total",
+			"Plan-cache entries upgraded in place to a higher confidence tier, by shard.", shard,
+			func() float64 { return float64(s.cache.ShardStat(i).TierUpgrades) })
 		s.reg.GaugeFunc("locmapd_plancache_entries",
 			"Plan-cache resident entries by shard.", shard,
 			func() float64 { return float64(s.cache.ShardStat(i).Entries) })

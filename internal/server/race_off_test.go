@@ -1,0 +1,8 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether the race detector is compiled in; the
+// fast-tier latency bound is only asserted without it (instrumentation
+// slows the pipeline by an order of magnitude).
+const raceEnabled = false

@@ -114,8 +114,28 @@ type Config struct {
 
 	// ReadyWatermark is the /readyz saturation threshold in [0,1]:
 	// the probe reports 503 when sync-pool occupancy or batch-queue
-	// fill reaches this fraction (default 0.9).
+	// fill reaches this fraction (default 0.9). Background
+	// verification jobs are reported but never gate readiness.
 	ReadyWatermark float64
+
+	// FastTier routes /v1/map through the analytical estimator
+	// (internal/estimate): a cold request is answered in microseconds
+	// with tier "estimate", and a background verification job
+	// upgrades the cached plan to "verified" or "refined" once the
+	// full simulation has checked it. /v1/estimate always uses the
+	// fast tier regardless of this flag.
+	FastTier bool
+
+	// AlphaTolerance is the verification bound on |predicted α −
+	// simulated α| (default 0.1): estimates within it become
+	// "verified", outside it "refined".
+	AlphaTolerance float64
+
+	// LatencyTolerance is the verification bound on the relative
+	// predicted-vs-simulated cycle-count error (default 0.5 — the
+	// analytical model is contention-free, so its value is ordering,
+	// not absolute cycles).
+	LatencyTolerance float64
 }
 
 // Server is the locmapd service state. Create with New; all methods
@@ -136,12 +156,15 @@ type Server struct {
 	timeouts atomic.Uint64 // jobs that started but outlived the timeout
 	inflight atomic.Int64  // jobs currently holding a worker slot
 
-	httpInflight *metrics.Gauge
-	rejectsTotal *metrics.Counter
-	timeoutTotal *metrics.Counter
-	simCycles    *metrics.Histogram
-	simLLCHit    *metrics.Histogram
-	simLegAvg    map[string]*metrics.Histogram
+	httpInflight  *metrics.Gauge
+	rejectsTotal  *metrics.Counter
+	timeoutTotal  *metrics.Counter
+	simCycles     *metrics.Histogram
+	simLLCHit     *metrics.Histogram
+	simLegAvg     map[string]*metrics.Histogram
+	alphaDrift    *metrics.Histogram
+	latencyDrift  *metrics.Histogram
+	verifyDropped *metrics.Counter
 }
 
 // New builds a Server, applying defaults for zero config fields. It
@@ -184,6 +207,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ReadyWatermark <= 0 || cfg.ReadyWatermark > 1 {
 		cfg.ReadyWatermark = 0.9
 	}
+	if cfg.AlphaTolerance <= 0 {
+		cfg.AlphaTolerance = 0.1
+	}
+	if cfg.LatencyTolerance <= 0 {
+		cfg.LatencyTolerance = 0.5
+	}
 	s := &Server{
 		cfg:   cfg,
 		cache: plancache.New(cfg.CacheCapacity),
@@ -211,6 +240,19 @@ func New(cfg Config) (*Server, error) {
 			"Mean per-leg NoC transit latency of executed /v1/simulate requests.",
 			metrics.ExpBuckets(1, 2, 12), metrics.Labels{"leg": leg})
 	}
+	s.alphaDrift = s.reg.Histogram("locmapd_verify_alpha_drift",
+		"Absolute predicted-vs-simulated α error observed by background verification.",
+		metrics.LinearBuckets(0.02, 0.02, 15), nil)
+	s.latencyDrift = s.reg.Histogram("locmapd_verify_latency_drift",
+		"Relative predicted-vs-simulated cycle-count error observed by background verification.",
+		metrics.ExpBuckets(0.01, 2, 12), nil)
+	s.verifyDropped = s.reg.Counter("locmapd_verify_dropped_total",
+		"Background verification jobs dropped because the background queue was full.", nil)
+	// Eagerly register every serving tier so the family is complete in
+	// the exposition before the first request of each tier.
+	for _, tier := range servingTiers {
+		s.reg.Counter(tierServedName, tierServedHelp, metrics.Labels{"tier": tier})
+	}
 	s.registerCollectors()
 
 	// The batch queue executes through execBatchJob (plan-cache
@@ -225,7 +267,7 @@ func New(cfg Config) (*Server, error) {
 		QueueLimit: cfg.QueueLimit,
 		Exec:       s.execBatchJob,
 		Replayed: func(j *jobqueue.Job) {
-			if s.cache.Put(j.Fingerprint, j.Result) {
+			if s.cache.PutTier(j.Fingerprint, j.Result, tierForKind(j.Kind)) {
 				replayWarms.Inc()
 			}
 		},
@@ -275,6 +317,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/map", s.instrument("map", s.methodNotAllowed("POST")))
 	mux.Handle("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	mux.Handle("/v1/simulate", s.instrument("simulate", s.methodNotAllowed("POST")))
+	mux.Handle("POST /v1/estimate", s.instrument("estimate", s.handleEstimate))
+	mux.Handle("/v1/estimate", s.instrument("estimate", s.methodNotAllowed("POST")))
 	mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.Handle("/v1/stats", s.instrument("stats", s.methodNotAllowed("GET")))
 	mux.Handle("POST /v1/batch", s.instrument("batch", s.handleBatchSubmit))
@@ -309,6 +353,12 @@ type MapResponse struct {
 
 	// Cached reports whether Plan was served from the plan cache.
 	Cached bool `json:"cached"`
+
+	// Tier is the confidence tier of Plan: "static" (the legacy
+	// compile-only /v1/map), "sim" (a full simulation), or the
+	// analytical fast tier's "estimate" / "verified" / "refined"
+	// lifecycle (see API.md).
+	Tier string `json:"tier,omitempty"`
 
 	// Resolved echoes the effective configuration the request mapped
 	// to after defaults were applied.
@@ -429,10 +479,12 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 
 // runJob executes job on the bounded worker pool under the request
 // timeout. It returns the job's serialized payload or the apiError to
-// report. A successful payload is cached under key from inside the
-// job goroutine, so even a job whose request already timed out warms
-// the plan cache for the client's retry.
-func (s *Server) runJob(ctx context.Context, key string, job func() ([]byte, error)) ([]byte, *apiError) {
+// report. A successful payload is cached under key tagged with tier
+// from inside the job goroutine, so even a job whose request already
+// timed out warms the plan cache for the client's retry. An empty key
+// skips caching (verification jobs manage their cache entry
+// themselves, via Upgrade).
+func (s *Server) runJob(ctx context.Context, key, tier string, job func() ([]byte, error)) ([]byte, *apiError) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
 	select {
@@ -455,8 +507,8 @@ func (s *Server) runJob(ctx context.Context, key string, job func() ([]byte, err
 			<-s.sem
 		}()
 		payload, err := job()
-		if err == nil {
-			s.cache.Put(key, payload)
+		if err == nil && key != "" {
+			s.cache.PutTier(key, payload, tier)
 		}
 		done <- jobResult{payload, err}
 	}()
@@ -490,8 +542,10 @@ type apiRequest interface {
 }
 
 // serve is the shared handler body: validate, consult the cache, run
-// the job on a worker if needed, respond.
-func (s *Server) serve(w http.ResponseWriter, r *http.Request, req apiRequest, kind string, job func() ([]byte, error)) {
+// the job on a worker if needed, respond. tier tags fresh results in
+// the plan cache and the response envelope ("static" for compile-only
+// maps, "sim" for simulations); a cached entry keeps its stored tag.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, req apiRequest, kind, tier string, job func() ([]byte, error)) {
 	if err := req.Validate(); err != nil {
 		s.writeError(w, r, errf(http.StatusBadRequest, ErrInvalidRequest,
 			"invalid request: %v", err))
@@ -523,23 +577,30 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, req apiRequest, k
 			"Cacheable requests by endpoint and plan-cache outcome.",
 			metrics.Labels{"endpoint": kind, "result": result}).Inc()
 	}
-	if payload, ok := s.cache.Get(key); ok {
+	if entry, ok := s.cache.GetEntry(key); ok {
 		cacheReqs("hit")
 		if info != nil {
 			info.cached = true
 		}
 		resp.Cached = true
-		resp.Plan = payload
+		resp.Tier = entry.Tier
+		if resp.Tier == "" {
+			resp.Tier = tier // pre-tiering entry (old journal replay)
+		}
+		resp.Plan = entry.Payload
+		s.observeTier(resp.Tier)
 		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	cacheReqs("miss")
-	payload, apiErr := s.runJob(r.Context(), key, job)
+	payload, apiErr := s.runJob(r.Context(), key, tier, job)
 	if apiErr != nil {
 		s.writeError(w, r, apiErr)
 		return
 	}
+	resp.Tier = tier
 	resp.Plan = payload
+	s.observeTier(tier)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -548,7 +609,14 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	s.serve(w, r, &req, "map", func() ([]byte, error) {
+	if s.cfg.FastTier {
+		// The fast tier shares /v1/estimate's fingerprints and payload
+		// shape, so the same request hits the same cache entry on both
+		// endpoints and observes the same verify/refine lifecycle.
+		s.serveEstimate(w, r, &req, "map")
+		return
+	}
+	s.serve(w, r, &req, "map", TierStatic, func() ([]byte, error) {
 		plan, err := compilePlan(&req)
 		if err != nil {
 			return nil, err
@@ -562,7 +630,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	s.serve(w, r, &req, "simulate", func() ([]byte, error) {
+	s.serve(w, r, &req, "simulate", TierSim, func() ([]byte, error) {
 		res, err := simulate(&req)
 		if err != nil {
 			return nil, err

@@ -409,7 +409,7 @@ func TestErrorCodeContract(t *testing.T) {
 	s.inflight.Add(-1)
 
 	// timeout: a job that starts but outlives the deadline maps to 504.
-	_, apiErr := s.runJob(context.Background(), "contract-slow", func() ([]byte, error) {
+	_, apiErr := s.runJob(context.Background(), "contract-slow", TierStatic, func() ([]byte, error) {
 		time.Sleep(200 * time.Millisecond)
 		return []byte("{}"), nil
 	})
@@ -683,6 +683,11 @@ func TestMetricsContract(t *testing.T) {
 		"locmapd_sim_cycles",
 		"locmapd_sim_llc_hit_fraction",
 		"locmapd_sim_leg_avg_cycles",
+		"locmapd_tier_served_total",
+		"locmapd_verify_alpha_drift",
+		"locmapd_verify_latency_drift",
+		"locmapd_verify_dropped_total",
+		"locmapd_plancache_tier_upgrades_total",
 		"locmapd_jobqueue_depth",
 		"locmapd_jobqueue_jobs",
 		"locmapd_jobqueue_transitions_total",
@@ -701,6 +706,17 @@ func TestMetricsContract(t *testing.T) {
 		if first.Families[fam] == nil {
 			t.Errorf("family %s missing from exposition", fam)
 		}
+	}
+
+	// Every serving tier is registered eagerly, so dashboards see the
+	// whole lifecycle before the first request of each tier.
+	for _, tier := range servingTiers {
+		if _, ok := first.Value(tierServedName, metrics.Labels{"tier": tier}); !ok {
+			t.Errorf("%s{tier=%q} missing from exposition", tierServedName, tier)
+		}
+	}
+	if v, ok := first.Value(tierServedName, metrics.Labels{"tier": TierStatic}); !ok || v < 1 {
+		t.Errorf("tier_served_total{static} = %g, %v; want >= 1", v, ok)
 	}
 
 	// Every 4xx/405/404 response above must be counted per endpoint.
@@ -930,7 +946,7 @@ func TestTimedOutJobWarmsCache(t *testing.T) {
 	}
 	release := make(chan struct{})
 	payload := []byte(`{"slow":true}`)
-	_, apiErr := s.runJob(context.Background(), "slow-key", func() ([]byte, error) {
+	_, apiErr := s.runJob(context.Background(), "slow-key", TierStatic, func() ([]byte, error) {
 		<-release
 		return payload, nil
 	})

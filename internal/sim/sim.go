@@ -121,6 +121,24 @@ type System struct {
 	legCnt [numLegs]uint64
 }
 
+// AddrMapFor resolves the address map a Config implies: the explicit
+// cfg.AddrMap if set, otherwise the default interleaved map. It is the
+// map New would install, without paying for the cache models — callers
+// that only inspect placement (the compiler, the analytical estimator)
+// should use this instead of constructing a System.
+func AddrMapFor(cfg Config) mem.Map {
+	if cfg.Mesh == nil {
+		panic("sim: Config.Mesh is nil")
+	}
+	if cfg.AddrMap != nil {
+		return cfg.AddrMap
+	}
+	im := mem.NewInterleaved(cfg.PageSize, cfg.L2Line, cfg.Mesh.NumMCs(), cfg.Mesh.NumNodes())
+	im.MCGran = cfg.MCGran
+	im.BankGran = cfg.BankGran
+	return im
+}
+
 // New builds a System. It panics on inconsistent cache geometry, which is
 // always a programming error in a static config.
 func New(cfg Config) *System {
@@ -128,13 +146,7 @@ func New(cfg Config) *System {
 		panic("sim: Config.Mesh is nil")
 	}
 	nodes := cfg.Mesh.NumNodes()
-	amap := cfg.AddrMap
-	if amap == nil {
-		im := mem.NewInterleaved(cfg.PageSize, cfg.L2Line, cfg.Mesh.NumMCs(), nodes)
-		im.MCGran = cfg.MCGran
-		im.BankGran = cfg.BankGran
-		amap = im
-	}
+	amap := AddrMapFor(cfg)
 	llc, err := cache.NewLLC(cfg.LLCOrg, nodes, cfg.L2PerCore, cfg.L2Line, cfg.L2Ways, amap)
 	if err != nil {
 		panic(fmt.Sprintf("sim: LLC geometry: %v", err))
