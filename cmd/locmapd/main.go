@@ -26,6 +26,13 @@
 //	                  before a plan is refined (default 0.1)
 //	-latency-tol F    verification tolerance on relative cycle-count
 //	                  drift before a plan is refined (default 0.5)
+//	-peers LIST       comma-separated base URLs of every cluster member,
+//	                  this node included; requests are routed to each
+//	                  fingerprint's owning node (off by default — see
+//	                  README's cluster quickstart)
+//	-node-id URL      this node's own entry in -peers (required with
+//	                  -peers)
+//	-cluster-timeout D  per-peer cache-operation timeout (default 2s)
 //	-pprof ADDR       serve net/http/pprof on ADDR (off by default)
 //	-metrics ADDR     serve GET /metrics (Prometheus text format) on ADDR
 //	                  (off by default)
@@ -56,6 +63,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -67,6 +75,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "locmapd:", err)
 		os.Exit(1)
 	}
+}
+
+// splitPeers turns the -peers flag value into a member list, dropping
+// empty segments so trailing commas are harmless.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 func run() error {
@@ -84,6 +104,11 @@ func run() error {
 		"max |predicted - simulated| LLC hit fraction before a plan is refined")
 	latencyTol := flag.Float64("latency-tol", 0.5,
 		"max relative cycle-count drift before a plan is refined")
+	peers := flag.String("peers", "",
+		"comma-separated base URLs of every cluster member, this node included (empty = single node)")
+	nodeID := flag.String("node-id", "", "this node's own entry in -peers")
+	clusterTimeout := flag.Duration("cluster-timeout", 2*time.Second,
+		"per-peer cache-operation timeout")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	metricsAddr := flag.String("metrics", "", "serve GET /metrics on this address (empty = disabled)")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON")
@@ -127,6 +152,9 @@ func run() error {
 		FastTier:         *fastTier,
 		AlphaTolerance:   *alphaTol,
 		LatencyTolerance: *latencyTol,
+		Peers:            splitPeers(*peers),
+		NodeID:           *nodeID,
+		ClusterTimeout:   *clusterTimeout,
 		Logger:           logger,
 	})
 	if err != nil {

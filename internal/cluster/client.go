@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"locmap/internal/store"
+)
+
+// PlanPath is the peer-API route prefix for plan entries; the entry's
+// fingerprint is appended as the final path element. Both the minimal
+// NewKVHandler and locmapd's server mount it, so a Client can talk to
+// either.
+const PlanPath = "/v1/cluster/plan/"
+
+// PlanDoc is the wire form of a store.Entry. Payload is raw plan
+// bytes (base64 in JSON, per encoding/json convention). On PUT,
+// Upgrade selects the tier-lifecycle write (store.KV.Upgrade) instead
+// of a plain refresh.
+type PlanDoc struct {
+	Payload []byte `json:"payload"`
+	Tier    string `json:"tier,omitempty"`
+	Upgrade bool   `json:"upgrade,omitempty"`
+}
+
+// PutResult reports what a peer write did.
+type PutResult struct {
+	// Inserted is true when the write created the key (mirrors
+	// store.KV.Put's return; a PUT with Upgrade set reports
+	// !present through the same field).
+	Inserted bool `json:"inserted"`
+}
+
+// Client is a store.KV backed by one peer's plan cache over HTTP.
+// Every operation is best-effort with the configured timeout: a
+// network or server failure reads as a miss on Get and a no-op on
+// writes — cluster peers are an optimization, never a dependency.
+// The optional OnError callback observes those swallowed failures
+// (locmapd counts them as peer errors).
+type Client struct {
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+
+	// OnError, if set, is called with the operation name ("get",
+	// "put", "delete") and the underlying error whenever a remote
+	// operation is swallowed into a miss/no-op.
+	OnError func(op string, err error)
+}
+
+// NewClient builds a client for the peer at base (scheme://host:port,
+// no trailing slash needed). timeout bounds each operation end to end
+// (<= 0 selects 2s, a ceiling chosen so a dead peer delays a request
+// far less than recomputing a plan would).
+func NewClient(base string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &Client{
+		base:    base,
+		hc:      &http.Client{Timeout: timeout},
+		timeout: timeout,
+	}
+}
+
+// Base returns the peer's base URL.
+func (c *Client) Base() string { return c.base }
+
+func (c *Client) planURL(key string) string {
+	return c.base + PlanPath + url.PathEscape(key)
+}
+
+func (c *Client) fail(op string, err error) {
+	if c.OnError != nil {
+		c.OnError(op, err)
+	}
+}
+
+// GetE fetches the entry stored under key on the peer, distinguishing
+// a genuine miss (nil error, ok false) from a peer failure (non-nil
+// error) — locmapd uses the distinction to decide between proxying to
+// the owner and degrading to local compute.
+func (c *Client) GetE(ctx context.Context, key string) (store.Entry, bool, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.planURL(key), nil)
+	if err != nil {
+		return store.Entry{}, false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return store.Entry{}, false, err
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var doc PlanDoc
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&doc); err != nil {
+			return store.Entry{}, false, fmt.Errorf("cluster: decode plan doc: %w", err)
+		}
+		return store.Entry{Payload: doc.Payload, Tier: doc.Tier}, true, nil
+	case http.StatusNotFound:
+		return store.Entry{}, false, nil
+	default:
+		return store.Entry{}, false, fmt.Errorf("cluster: peer returned %s", resp.Status)
+	}
+}
+
+// Get implements store.KV: a peer failure reads as a miss.
+func (c *Client) Get(key string) (store.Entry, bool) {
+	e, ok, err := c.GetE(context.Background(), key)
+	if err != nil {
+		c.fail("get", err)
+		return store.Entry{}, false
+	}
+	return e, ok
+}
+
+// put performs the shared PUT for Put and Upgrade.
+func (c *Client) put(key string, doc PlanDoc) (PutResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return PutResult{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.planURL(key), bytes.NewReader(body))
+	if err != nil {
+		return PutResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return PutResult{}, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return PutResult{}, fmt.Errorf("cluster: peer returned %s", resp.Status)
+	}
+	var res PutResult
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&res); err != nil {
+		return PutResult{}, fmt.Errorf("cluster: decode put result: %w", err)
+	}
+	return res, nil
+}
+
+// Put implements store.KV: stores e under key on the peer, reporting
+// whether a new key was inserted. A peer failure is a no-op reported
+// as no insertion.
+func (c *Client) Put(key string, e store.Entry) bool {
+	res, err := c.put(key, PlanDoc{Payload: e.Payload, Tier: e.Tier})
+	if err != nil {
+		c.fail("put", err)
+		return false
+	}
+	return res.Inserted
+}
+
+// Upgrade implements store.KV: the tier-lifecycle write, reporting
+// whether the key was present. A peer failure is a no-op reported as
+// not present.
+func (c *Client) Upgrade(key string, e store.Entry) bool {
+	res, err := c.put(key, PlanDoc{Payload: e.Payload, Tier: e.Tier, Upgrade: true})
+	if err != nil {
+		c.fail("put", err)
+		return false
+	}
+	return !res.Inserted
+}
+
+// Delete implements store.KV: removes key on the peer; failures are
+// no-ops.
+func (c *Client) Delete(key string) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.planURL(key), nil)
+	if err != nil {
+		c.fail("delete", err)
+		return
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.fail("delete", err)
+		return
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusNotFound {
+		c.fail("delete", fmt.Errorf("cluster: peer returned %s", resp.Status))
+	}
+}
+
+// drain discards the rest of a response body and closes it so the
+// underlying connection is reusable.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

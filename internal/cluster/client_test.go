@@ -1,0 +1,78 @@
+package cluster_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"locmap/internal/cluster"
+	"locmap/internal/store"
+	"locmap/internal/store/conformancetest"
+)
+
+// TestRemoteKVConformance runs the full store.KV contract over the
+// wire: a Client talking to NewKVHandler over a real HTTP server must
+// be indistinguishable from the in-process backend.
+func TestRemoteKVConformance(t *testing.T) {
+	conformancetest.KV(t, func(t *testing.T) store.KV {
+		srv := httptest.NewServer(cluster.NewKVHandler(store.NewMemory()))
+		t.Cleanup(srv.Close)
+		return cluster.NewClient(srv.URL, time.Second)
+	})
+}
+
+// TestClientDistinguishesMissFromFailure: GetE must separate "the
+// owner does not have this plan" (proxy to it) from "the owner is
+// unreachable" (degrade to local compute).
+func TestClientDistinguishesMissFromFailure(t *testing.T) {
+	srv := httptest.NewServer(cluster.NewKVHandler(store.NewMemory()))
+	c := cluster.NewClient(srv.URL, time.Second)
+
+	if _, ok, err := c.GetE(context.Background(), "absent"); err != nil || ok {
+		t.Fatalf("GetE on live peer without the key = ok=%v err=%v, want genuine miss", ok, err)
+	}
+
+	srv.Close()
+	if _, ok, err := c.GetE(context.Background(), "absent"); err == nil || ok {
+		t.Fatalf("GetE on dead peer = ok=%v err=%v, want an error", ok, err)
+	}
+}
+
+// TestClientSwallowsPeerFailures: through the plain store.KV surface a
+// dead peer reads as miss/no-op, and OnError observes every swallowed
+// failure.
+func TestClientSwallowsPeerFailures(t *testing.T) {
+	srv := httptest.NewServer(cluster.NewKVHandler(store.NewMemory()))
+	srv.Close() // dead from the start
+
+	c := cluster.NewClient(srv.URL, 200*time.Millisecond)
+	var mu sync.Mutex
+	failed := map[string]int{}
+	c.OnError = func(op string, err error) {
+		if err == nil {
+			t.Errorf("OnError(%q) called with nil error", op)
+		}
+		mu.Lock()
+		failed[op]++
+		mu.Unlock()
+	}
+
+	if _, ok := c.Get("k"); ok {
+		t.Error("Get against a dead peer reported a hit")
+	}
+	if c.Put("k", store.Entry{Payload: []byte("v")}) {
+		t.Error("Put against a dead peer reported an insertion")
+	}
+	if c.Upgrade("k", store.Entry{Payload: []byte("v"), Tier: "verified"}) {
+		t.Error("Upgrade against a dead peer reported presence")
+	}
+	c.Delete("k") // must not panic
+
+	mu.Lock()
+	defer mu.Unlock()
+	if failed["get"] != 1 || failed["put"] != 2 || failed["delete"] != 1 {
+		t.Errorf("OnError calls = %v, want get:1 put:2 delete:1", failed)
+	}
+}

@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"locmap/internal/store"
+)
+
+// NewKVHandler serves the peer plan API over kv: the minimal wire
+// protocol a Client speaks, with plain status codes and JSON bodies.
+//
+//	GET    /v1/cluster/plan/{fingerprint}  -> 200 PlanDoc | 404
+//	PUT    /v1/cluster/plan/{fingerprint}  <- PlanDoc, -> 200 PutResult
+//	DELETE /v1/cluster/plan/{fingerprint}  -> 204
+//
+// locmapd mounts its own version of these routes (same shapes, the
+// service's error envelope); this handler exists so any store.KV can
+// be exposed to a Client directly — the remote-KV conformance tests
+// run the suite over exactly this pairing.
+func NewKVHandler(kv store.KV) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PlanPath+"{fingerprint}", func(w http.ResponseWriter, r *http.Request) {
+		e, ok := kv.Get(r.PathValue("fingerprint"))
+		if !ok {
+			http.Error(w, "plan not found", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(PlanDoc{Payload: e.Payload, Tier: e.Tier})
+	})
+	mux.HandleFunc("PUT "+PlanPath+"{fingerprint}", func(w http.ResponseWriter, r *http.Request) {
+		var doc PlanDoc
+		if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&doc); err != nil {
+			http.Error(w, "bad plan doc: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		key := r.PathValue("fingerprint")
+		e := store.Entry{Payload: doc.Payload, Tier: doc.Tier}
+		var inserted bool
+		if doc.Upgrade {
+			inserted = !kv.Upgrade(key, e)
+		} else {
+			inserted = kv.Put(key, e)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(PutResult{Inserted: inserted})
+	})
+	mux.HandleFunc("DELETE "+PlanPath+"{fingerprint}", func(w http.ResponseWriter, r *http.Request) {
+		kv.Delete(r.PathValue("fingerprint"))
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("fingerprint-%04d", i)
+	}
+	return out
+}
+
+func TestRingDeterministicAcrossMemberOrder(t *testing.T) {
+	a := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	b := NewRing([]string{"http://c", "http://a", "http://b", "http://a"}, 0)
+	for _, k := range keys(200) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings over the same member set disagree on %q: %s vs %s",
+				k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingRebalanceMovesKeysOnlyToNewNode pins the consistent-hashing
+// property the cluster depends on: growing the ring by one node only
+// moves keys onto the new node — no key shuffles between survivors,
+// so at most 1/n of every existing node's cache goes cold.
+func TestRingRebalanceMovesKeysOnlyToNewNode(t *testing.T) {
+	old := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	grown := NewRing([]string{"http://a", "http://b", "http://c", "http://d"}, 0)
+
+	moved := 0
+	ks := keys(2000)
+	for _, k := range ks {
+		before, after := old.Owner(k), grown.Owner(k)
+		if before == after {
+			continue
+		}
+		if after != "http://d" {
+			t.Fatalf("key %q moved %s -> %s: keys may only move to the new node",
+				k, before, after)
+		}
+		moved++
+	}
+	// Expect roughly 1/4 of keys on the new node; anything over half
+	// means the hash is not consistent in any useful sense.
+	if moved == 0 || moved > len(ks)/2 {
+		t.Fatalf("%d of %d keys moved to the new node, want ~%d",
+			moved, len(ks), len(ks)/4)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := NewRing(nodes, 0)
+	counts := make(map[string]int)
+	ks := keys(4000)
+	for _, k := range ks {
+		counts[r.Owner(k)]++
+	}
+	for _, n := range nodes {
+		// Perfect balance is 1000 each; with 128 virtual nodes the
+		// spread stays well inside a 2x band.
+		if counts[n] < len(ks)/8 || counts[n] > len(ks)/2 {
+			t.Errorf("node %s owns %d of %d keys: outside [%d, %d]",
+				n, counts[n], len(ks), len(ks)/8, len(ks)/2)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if got := empty.Owner("anything"); got != "" {
+		t.Errorf("empty ring Owner = %q, want \"\"", got)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("empty ring Len = %d", empty.Len())
+	}
+
+	solo := NewRing([]string{"http://only"}, 0)
+	for _, k := range keys(50) {
+		if solo.Owner(k) != "http://only" {
+			t.Fatalf("single-node ring routed %q elsewhere", k)
+		}
+	}
+
+	dedup := NewRing([]string{"http://a", "http://a", ""}, 0)
+	if dedup.Len() != 1 {
+		t.Errorf("ring with duplicate + empty names has Len %d, want 1", dedup.Len())
+	}
+}

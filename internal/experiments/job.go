@@ -1,13 +1,10 @@
 package experiments
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"fmt"
-	"math"
 
 	"locmap/internal/baselines"
+	"locmap/internal/fingerprint"
 	"locmap/internal/inspector"
 	"locmap/internal/knl"
 	"locmap/internal/sim"
@@ -63,107 +60,89 @@ func (j Job) scale() int {
 
 // Fingerprint returns the canonical memo key for the job: a hex SHA-256
 // over the kind, the application and scale, and every sim.Config /
-// core.Config field that affects the result (the internal/plancache
-// spec-hashing idiom). Fields a kind does not read are excluded, so e.g.
-// baseline jobs that differ only in mapper knobs share one key, and a
-// nil Mapper.Mesh fingerprints as Cfg.Mesh — exactly what RunApp
-// substitutes. A custom Cfg.AddrMap is keyed by pointer identity:
-// distinct map objects never alias, at the cost of missing dedup between
-// separately built but identical maps.
+// core.Config field that affects the result, in the shared
+// fingerprint.Hasher encoding (the same construction behind
+// internal/plancache spec keys). Fields a kind does not read are
+// excluded, so e.g. baseline jobs that differ only in mapper knobs
+// share one key, and a nil Mapper.Mesh fingerprints as Cfg.Mesh —
+// exactly what RunApp substitutes. A custom Cfg.AddrMap is keyed by
+// pointer identity: distinct map objects never alias, at the cost of
+// missing dedup between separately built but identical maps.
 func (j Job) Fingerprint() string {
-	h := sha256.New()
-	writeInt := func(v int64) {
-		var n [8]byte
-		binary.LittleEndian.PutUint64(n[:], uint64(v))
-		h.Write(n[:])
-	}
-	writeStr := func(s string) {
-		writeInt(int64(len(s)))
-		h.Write([]byte(s))
-	}
-	writeBool := func(b bool) {
-		if b {
-			writeInt(1)
-		} else {
-			writeInt(0)
-		}
-	}
-	writeFloat := func(f float64) {
-		writeInt(int64(math.Float64bits(f)))
-	}
+	fp := fingerprint.New()
 	writeMesh := func(m *topology.Mesh) {
 		if m == nil {
-			writeInt(-1)
+			fp.Int(-1)
 			return
 		}
-		writeInt(int64(m.Width))
-		writeInt(int64(m.Height))
-		writeInt(int64(m.RegionsX))
-		writeInt(int64(m.RegionsY))
-		writeBool(m.Wrap)
-		writeInt(int64(m.Placement))
+		fp.Int(int64(m.Width))
+		fp.Int(int64(m.Height))
+		fp.Int(int64(m.RegionsX))
+		fp.Int(int64(m.RegionsY))
+		fp.Bool(m.Wrap)
+		fp.Int(int64(m.Placement))
 	}
 
-	writeInt(int64(j.Kind))
-	writeStr(j.App)
-	writeInt(int64(j.scale()))
+	fp.Int(int64(j.Kind))
+	fp.Str(j.App)
+	fp.Int(int64(j.scale()))
 
 	if j.Kind == KindKNL {
-		writeInt(int64(j.KNLMode))
-		writeBool(j.KNLOpt)
-		return hex.EncodeToString(h.Sum(nil))
+		fp.Int(int64(j.KNLMode))
+		fp.Bool(j.KNLOpt)
+		return fp.Sum()
 	}
 
 	cfg := j.Variant.Cfg
 	writeMesh(cfg.Mesh)
-	writeInt(cfg.NoC.RouterCycles)
-	writeInt(cfg.NoC.LinkCycles)
-	writeBool(cfg.NoC.Ideal)
-	writeInt(int64(cfg.LLCOrg))
-	writeInt(int64(cfg.L1Size))
-	writeInt(int64(cfg.L1Line))
-	writeInt(int64(cfg.L1Ways))
-	writeInt(int64(cfg.L2PerCore))
-	writeInt(int64(cfg.L2Line))
-	writeInt(int64(cfg.L2Ways))
-	writeInt(cfg.L1Latency)
-	writeInt(cfg.L2Latency)
-	writeInt(int64(cfg.PageSize))
-	writeStr(cfg.DRAM.Timing.Name)
-	writeInt(cfg.DRAM.Timing.RowHit)
-	writeInt(cfg.DRAM.Timing.RowConflict)
-	writeInt(cfg.DRAM.Timing.RowEmpty)
-	writeInt(cfg.DRAM.Timing.Burst)
-	writeInt(int64(cfg.DRAM.MCs))
-	writeInt(int64(cfg.DRAM.BanksPerMC))
-	writeInt(cfg.DRAM.RowBufBytes)
-	writeInt(int64(cfg.DRAM.QueueEntries))
-	writeInt(int64(cfg.MCGran))
-	writeInt(int64(cfg.BankGran))
-	writeFloat(cfg.IterSetFrac)
+	fp.Int(cfg.NoC.RouterCycles)
+	fp.Int(cfg.NoC.LinkCycles)
+	fp.Bool(cfg.NoC.Ideal)
+	fp.Int(int64(cfg.LLCOrg))
+	fp.Int(int64(cfg.L1Size))
+	fp.Int(int64(cfg.L1Line))
+	fp.Int(int64(cfg.L1Ways))
+	fp.Int(int64(cfg.L2PerCore))
+	fp.Int(int64(cfg.L2Line))
+	fp.Int(int64(cfg.L2Ways))
+	fp.Int(cfg.L1Latency)
+	fp.Int(cfg.L2Latency)
+	fp.Int(int64(cfg.PageSize))
+	fp.Str(cfg.DRAM.Timing.Name)
+	fp.Int(cfg.DRAM.Timing.RowHit)
+	fp.Int(cfg.DRAM.Timing.RowConflict)
+	fp.Int(cfg.DRAM.Timing.RowEmpty)
+	fp.Int(cfg.DRAM.Timing.Burst)
+	fp.Int(int64(cfg.DRAM.MCs))
+	fp.Int(int64(cfg.DRAM.BanksPerMC))
+	fp.Int(cfg.DRAM.RowBufBytes)
+	fp.Int(int64(cfg.DRAM.QueueEntries))
+	fp.Int(int64(cfg.MCGran))
+	fp.Int(int64(cfg.BankGran))
+	fp.Float(cfg.IterSetFrac)
 	if cfg.AddrMap != nil {
-		writeStr(fmt.Sprintf("%p", cfg.AddrMap))
+		fp.Str(fmt.Sprintf("%p", cfg.AddrMap))
 	} else {
-		writeStr("")
+		fp.Str("")
 	}
 
 	if j.Kind == KindApp || j.Kind == KindBaseline {
-		writeBool(j.Variant.WithIdeal)
+		fp.Bool(j.Variant.WithIdeal)
 	}
 	if j.Kind == KindApp {
-		writeBool(j.Variant.Oracle)
+		fp.Bool(j.Variant.Oracle)
 		mc := j.Variant.Mapper
 		mesh := mc.Mesh
 		if mesh == nil {
 			mesh = cfg.Mesh
 		}
 		writeMesh(mesh)
-		writeBool(mc.FineMAC)
-		writeInt(int64(mc.Intra))
-		writeInt(mc.Seed)
-		writeBool(mc.DisableBalance)
+		fp.Bool(mc.FineMAC)
+		fp.Int(int64(mc.Intra))
+		fp.Int(mc.Seed)
+		fp.Bool(mc.DisableBalance)
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	return fp.Sum()
 }
 
 // run executes the job. It must remain a pure function of the

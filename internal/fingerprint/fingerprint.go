@@ -1,0 +1,70 @@
+// Package fingerprint builds locmap's canonical content fingerprints:
+// hex SHA-256 digests over a fixed-width, little-endian field
+// encoding. The plan cache (internal/plancache.Spec) and the
+// experiment memoizer (internal/experiments.Job) both key on these
+// digests — and in cluster mode the digest also routes a request to
+// its owning node — so the byte layout is a compatibility contract:
+// changing it silently invalidates every persisted cache and reshards
+// the cluster. The pin test in this package locks known inputs to
+// known digests to make any drift a loud test failure.
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// Hasher accumulates fields into a SHA-256 digest. Each field is
+// written in a fixed-width encoding so adjacent fields can never
+// collide by concatenation:
+//
+//	Int    8-byte little-endian two's-complement
+//	Str    Int(len) followed by the raw bytes
+//	Bool   Int(1) or Int(0)
+//	Float  Int of the IEEE-754 bit pattern
+//
+// The zero Hasher is not usable; call New.
+type Hasher struct {
+	h hash.Hash
+}
+
+// New returns an empty Hasher.
+func New() *Hasher {
+	return &Hasher{h: sha256.New()}
+}
+
+// Int writes v as 8 little-endian bytes.
+func (fp *Hasher) Int(v int64) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(v))
+	fp.h.Write(n[:])
+}
+
+// Str writes s length-prefixed: Int(len(s)) then the raw bytes.
+func (fp *Hasher) Str(s string) {
+	fp.Int(int64(len(s)))
+	fp.h.Write([]byte(s))
+}
+
+// Bool writes b as Int(1) or Int(0).
+func (fp *Hasher) Bool(b bool) {
+	if b {
+		fp.Int(1)
+	} else {
+		fp.Int(0)
+	}
+}
+
+// Float writes f's IEEE-754 bit pattern as an Int.
+func (fp *Hasher) Float(f float64) {
+	fp.Int(int64(math.Float64bits(f)))
+}
+
+// Sum returns the accumulated digest as lowercase hex. The Hasher
+// remains usable: further writes extend the same stream.
+func (fp *Hasher) Sum() string {
+	return hex.EncodeToString(fp.h.Sum(nil))
+}

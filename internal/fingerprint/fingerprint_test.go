@@ -1,0 +1,78 @@
+package fingerprint_test
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"testing"
+
+	"locmap/internal/fingerprint"
+)
+
+// TestEncodingLayout pins the byte layout of every field writer
+// against a hand-built SHA-256 stream. If this fails, the canonical
+// fingerprint encoding changed and every persisted cache key and
+// cluster route derived from it is invalid.
+func TestEncodingLayout(t *testing.T) {
+	fp := fingerprint.New()
+	fp.Str("plan")
+	fp.Int(-3)
+	fp.Bool(true)
+	fp.Bool(false)
+	fp.Float(0.75)
+
+	h := sha256.New()
+	le := func(v uint64) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], v)
+		h.Write(n[:])
+	}
+	le(4) // len("plan")
+	h.Write([]byte("plan"))
+	minus3 := int64(-3)
+	le(uint64(minus3))
+	le(1)
+	le(0)
+	le(math.Float64bits(0.75))
+
+	if got, want := fp.Sum(), hex.EncodeToString(h.Sum(nil)); got != want {
+		t.Fatalf("Hasher digest = %s, want %s", got, want)
+	}
+}
+
+// TestLengthPrefixSeparatesFields verifies adjacent strings cannot be
+// re-split into a colliding pair — the property the length prefix buys.
+func TestLengthPrefixSeparatesFields(t *testing.T) {
+	a := fingerprint.New()
+	a.Str("ab")
+	a.Str("c")
+	b := fingerprint.New()
+	b.Str("a")
+	b.Str("bc")
+	if a.Sum() == b.Sum() {
+		t.Fatal(`Str("ab")+Str("c") collides with Str("a")+Str("bc")`)
+	}
+}
+
+// TestSumIsIncremental documents that Sum snapshots the stream without
+// finalizing it.
+func TestSumIsIncremental(t *testing.T) {
+	fp := fingerprint.New()
+	fp.Int(1)
+	first := fp.Sum()
+	if again := fp.Sum(); again != first {
+		t.Fatalf("repeated Sum changed: %s then %s", first, again)
+	}
+	fp.Int(2)
+	if fp.Sum() == first {
+		t.Fatal("Sum unchanged after writing another field")
+	}
+
+	whole := fingerprint.New()
+	whole.Int(1)
+	whole.Int(2)
+	if fp.Sum() != whole.Sum() {
+		t.Fatal("incremental stream diverged from one-shot stream")
+	}
+}

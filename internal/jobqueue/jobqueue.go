@@ -350,7 +350,7 @@ func Open(cfg Config) (*Queue, error) {
 	q.runCtx, q.runStop = context.WithCancel(context.Background())
 	if cfg.Dir != "" {
 		start := time.Now()
-		jrn, err := openJournal(cfg.Dir)
+		jrn, err := openJournal(cfg.Dir, q.log)
 		if err != nil {
 			return nil, err
 		}
@@ -446,7 +446,7 @@ func (q *Queue) replay(jrn *journal) error {
 				q.transitions[StateExpired]++
 			}
 		}
-	}, q.log)
+	})
 }
 
 // unqueue removes id from its pending FIFO if present.

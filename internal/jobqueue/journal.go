@@ -1,38 +1,27 @@
 package jobqueue
 
 import (
-	"bufio"
 	"encoding/json"
-	"errors"
-	"fmt"
-	"io"
 	"log/slog"
-	"os"
-	"path/filepath"
 	"time"
+
+	"locmap/internal/store"
 )
 
-// The journal is two JSONL files in the queue directory:
+// The queue's durability layer is a store.FileJournal — two JSONL
+// files in the queue directory (see internal/store for the crash
+// semantics: fsync'd appends, atomic snapshot compaction, a tolerated
+// torn final journal line). This file owns what the store does not:
+// the record schema, and folding live queue state into a snapshot.
 //
-//	snapshot.jsonl  full state at the last compaction (batch records)
-//	journal.jsonl   records appended since, one fsync'd line each
-//
-// Replay reads the snapshot, then the journal. Every append is
-// fsync'd before the submitting call returns, so an accepted batch or
-// an applied transition survives a crash at any instant. A torn final
-// journal line (the crash hit mid-write) is tolerated and discarded;
-// a malformed line anywhere else is corruption and fails Open.
-//
-// Compaction rewrites the full live state into snapshot.tmp, fsyncs,
-// renames it over snapshot.jsonl (atomic), and only then truncates
-// journal.jsonl. A crash between the rename and the truncation leaves
-// already-compacted records in the journal; replay applies them
-// idempotently (batch ids deduplicate, transitions never move a job
+// Replay applies already-compacted records idempotently when a crash
+// hit the window between the snapshot rename and the journal
+// truncation (batch ids deduplicate, transitions never move a job
 // backwards — see State.rank).
 
 const (
-	journalFile  = "journal.jsonl"
-	snapshotFile = "snapshot.jsonl"
+	journalFile  = store.JournalFile
+	snapshotFile = store.SnapshotFile
 
 	opBatch = "batch"
 	opState = "state"
@@ -57,83 +46,39 @@ type record struct {
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
+// journal adapts the queue's typed records onto a store.Journal. The
+// counters mirror the store so the queue's metrics (and tests) can
+// read them under q.mu without reaching into the backend.
 type journal struct {
-	dir string
-	f   *os.File // journal.jsonl, append-only
+	j store.Journal
 
-	bytes       int64 // current journal.jsonl size
+	bytes       int64 // current live-journal size
 	appended    uint64
 	compactions uint64
 }
 
 // openJournal opens (creating if needed) the queue directory and its
-// live journal file.
-func openJournal(dir string) (*journal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("jobqueue: journal dir: %w", err)
-	}
-	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+// live journal file. logger receives the store's torn-tail warnings.
+func openJournal(dir string, logger *slog.Logger) (*journal, error) {
+	fj, err := store.OpenFileJournal(dir, logger)
 	if err != nil {
-		return nil, fmt.Errorf("jobqueue: open journal: %w", err)
+		return nil, err
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("jobqueue: stat journal: %w", err)
-	}
-	return &journal{dir: dir, f: f, bytes: st.Size()}, nil
+	return &journal{j: fj, bytes: fj.Size()}, nil
 }
 
 // Replay streams every durable record — snapshot first, then journal —
-// through apply.
-func (j *journal) Replay(apply func(*record), log *slog.Logger) error {
-	if err := replayFile(filepath.Join(j.dir, snapshotFile), false, apply, log); err != nil {
-		return err
-	}
-	return replayFile(filepath.Join(j.dir, journalFile), true, apply, log)
-}
-
-// replayFile reads one JSONL file. tolerateTorn permits a final line
-// that is incomplete (no trailing newline, or unparsable): the live
-// journal may end mid-write after a crash; the snapshot is renamed in
-// atomically and must parse in full.
-func replayFile(path string, tolerateTorn bool, apply func(*record), log *slog.Logger) error {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
+// through apply. Unparsable records are corruption (or, at the live
+// journal's tail, a torn write the store discards).
+func (j *journal) Replay(apply func(*record)) error {
+	return j.j.Replay(func(raw []byte) error {
+		var rec record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return err
+		}
+		apply(&rec)
 		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("jobqueue: open %s: %w", filepath.Base(path), err)
-	}
-	defer f.Close()
-	rd := bufio.NewReaderSize(f, 1<<16)
-	line := 0
-	for {
-		raw, err := rd.ReadBytes('\n')
-		atEOF := errors.Is(err, io.EOF)
-		if err != nil && !atEOF {
-			return fmt.Errorf("jobqueue: read %s: %w", filepath.Base(path), err)
-		}
-		if len(raw) > 0 {
-			line++
-			var rec record
-			if jerr := json.Unmarshal(raw, &rec); jerr != nil {
-				// A final line without a newline (or that does not
-				// parse) is a torn write from a crash mid-append.
-				if atEOF && tolerateTorn {
-					log.Warn("jobqueue: discarding torn journal tail",
-						"file", filepath.Base(path), "line", line, "bytes", len(raw))
-					return nil
-				}
-				return fmt.Errorf("jobqueue: %s line %d: corrupt record: %w",
-					filepath.Base(path), line, jerr)
-			}
-			apply(&rec)
-		}
-		if atEOF {
-			return nil
-		}
-	}
+	})
 }
 
 // append writes one record line and fsyncs it.
@@ -143,14 +88,10 @@ func (j *journal) append(rec *record) error {
 	if err != nil {
 		return err
 	}
-	b = append(b, '\n')
-	if _, err := j.f.Write(b); err != nil {
+	if err := j.j.Append(b); err != nil {
 		return err
 	}
-	if err := j.f.Sync(); err != nil {
-		return err
-	}
-	j.bytes += int64(len(b))
+	j.bytes = j.j.Size()
 	j.appended++
 	return nil
 }
@@ -172,75 +113,33 @@ func (j *journal) AppendState(id string, st State, result []byte, cached bool, e
 // the maps, so compaction is also where old records physically
 // disappear.
 func (j *journal) Compact(batches map[string]*Batch, jobs map[string]*Job, now time.Time) error {
-	tmp := filepath.Join(j.dir, snapshotFile+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("jobqueue: snapshot tmp: %w", err)
-	}
-	w := bufio.NewWriterSize(f, 1<<16)
-	enc := json.NewEncoder(w) // Encode appends the record's newline
-	for _, b := range batches {
-		rec := record{V: 1, Op: opBatch, T: now, Batch: b}
-		for _, id := range b.JobIDs {
-			if job, live := jobs[id]; live {
-				rec.Jobs = append(rec.Jobs, job)
+	err := j.j.Compact(func(emit func([]byte) error) error {
+		for _, b := range batches {
+			rec := record{V: 1, Op: opBatch, T: now, Batch: b}
+			for _, id := range b.JobIDs {
+				if job, live := jobs[id]; live {
+					rec.Jobs = append(rec.Jobs, job)
+				}
+			}
+			line, err := json.Marshal(&rec)
+			if err != nil {
+				return err
+			}
+			if err := emit(line); err != nil {
+				return err
 			}
 		}
-		if err := enc.Encode(&rec); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return fmt.Errorf("jobqueue: snapshot encode: %w", err)
-		}
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("jobqueue: snapshot flush: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("jobqueue: snapshot sync: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("jobqueue: snapshot close: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(j.dir, snapshotFile)); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("jobqueue: snapshot rename: %w", err)
-	}
-	if err := syncDir(j.dir); err != nil {
+		return nil
+	})
+	if err != nil {
 		return err
 	}
-	// The snapshot now holds everything; drop the journal's contents.
-	// (A crash before this truncation replays the old records on top
-	// of the new snapshot — harmless, see the idempotence notes.)
-	if err := j.f.Truncate(0); err != nil {
-		return fmt.Errorf("jobqueue: truncate journal: %w", err)
-	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("jobqueue: sync journal: %w", err)
-	}
-	j.bytes = 0
+	j.bytes = j.j.Size()
 	j.compactions++
-	return nil
-}
-
-// syncDir fsyncs a directory so a rename within it is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("jobqueue: open dir: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("jobqueue: sync dir: %w", err)
-	}
 	return nil
 }
 
 // Close closes the live journal file.
 func (j *journal) Close() error {
-	return j.f.Close()
+	return j.j.Close()
 }

@@ -4,27 +4,29 @@
 // cached, a repeated request skips the whole affinity-estimation +
 // mapping + balancing pipeline and is answered from memory.
 //
-// The cache is a sharded, size-bounded LRU. Keys are fingerprints of
-// everything that determines the plan: the canonicalized loop-nest
-// source (token stream — whitespace and comments do not change the
-// key), the symbolic parameters (order-independent), the mesh and
-// region geometry, the LLC organization, and the α/accuracy and
-// mapper knobs. Values are opaque byte slices (the service stores the
-// serialized plan), copied on both Put and Get so cached bytes can
-// never be aliased by callers.
+// The cache is the policy half of a policy/storage split: this package
+// owns sharding, LRU recency, capacity eviction, the tier lifecycle
+// and the hit/miss counters, while the entry bytes live behind the
+// store.KV interface (an in-process store.Memory by default; NewOver
+// accepts any backend). Keys are fingerprints of everything that
+// determines the plan: the canonicalized loop-nest source (token
+// stream — whitespace and comments do not change the key), the
+// symbolic parameters (order-independent), the mesh and region
+// geometry, the LLC organization, and the α/accuracy and mapper knobs.
+// Values are opaque byte slices (the service stores the serialized
+// plan), copied on both Put and Get so cached bytes can never be
+// aliased by callers.
 package plancache
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"hash/fnv"
-	"math"
 	"sort"
 	"sync"
 
+	"locmap/internal/fingerprint"
 	"locmap/internal/lang"
+	"locmap/internal/store"
 )
 
 // Spec is everything that determines a plan's content. Fingerprint
@@ -69,67 +71,51 @@ type Spec struct {
 
 // Fingerprint returns the canonical cache key for the spec: a hex
 // SHA-256 over the canonicalized source and every plan-determining
-// field. Sources that differ only in whitespace/comments, and specs
-// that differ only in Params map order, fingerprint identically. It
-// fails only when the source cannot be tokenized.
+// field, in the fixed fingerprint.Hasher encoding. Sources that differ
+// only in whitespace/comments, and specs that differ only in Params
+// map order, fingerprint identically. It fails only when the source
+// cannot be tokenized. In cluster mode this key also selects the
+// owning node, so its byte layout is pinned by the fingerprint
+// package's tests.
 func (s Spec) Fingerprint() (string, error) {
 	canon, err := lang.Canonical(s.Source)
 	if err != nil {
 		return "", err
 	}
-	h := sha256.New()
-	writeStr := func(str string) {
-		var n [8]byte
-		binary.LittleEndian.PutUint64(n[:], uint64(len(str)))
-		h.Write(n[:])
-		h.Write([]byte(str))
-	}
-	writeInt := func(v int64) {
-		var n [8]byte
-		binary.LittleEndian.PutUint64(n[:], uint64(v))
-		h.Write(n[:])
-	}
-	writeStr(s.Kind)
-	writeStr(canon)
+	fp := fingerprint.New()
+	fp.Str(s.Kind)
+	fp.Str(canon)
 	names := make([]string, 0, len(s.Params))
 	for name := range s.Params {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	writeInt(int64(len(names)))
+	fp.Int(int64(len(names)))
 	for _, name := range names {
-		writeStr(name)
-		writeInt(s.Params[name])
+		fp.Str(name)
+		fp.Int(s.Params[name])
 	}
-	writeInt(int64(s.MeshW))
-	writeInt(int64(s.MeshH))
-	writeInt(int64(s.RegionsX))
-	writeInt(int64(s.RegionsY))
-	if s.SharedLLC {
-		writeInt(1)
-	} else {
-		writeInt(0)
-	}
-	var alpha [8]byte
-	binary.LittleEndian.PutUint64(alpha[:], math.Float64bits(s.Alpha))
-	h.Write(alpha[:])
-	writeInt(s.Seed)
-	if s.FineMAC {
-		writeInt(1)
-	} else {
-		writeInt(0)
-	}
-	writeInt(int64(s.Intra))
-	writeInt(int64(s.TimingIters))
-	return hex.EncodeToString(h.Sum(nil)), nil
+	fp.Int(int64(s.MeshW))
+	fp.Int(int64(s.MeshH))
+	fp.Int(int64(s.RegionsX))
+	fp.Int(int64(s.RegionsY))
+	fp.Bool(s.SharedLLC)
+	fp.Float(s.Alpha)
+	fp.Int(s.Seed)
+	fp.Bool(s.FineMAC)
+	fp.Int(int64(s.Intra))
+	fp.Int(int64(s.TimingIters))
+	return fp.Sum(), nil
 }
 
 // numShards spreads lock contention; must be a power of two.
 const numShards = 16
 
 // Cache is a sharded LRU of serialized plans, bounded by a total entry
-// count. All methods are safe for concurrent use.
+// count. The shards hold recency order and counters; the bytes live in
+// the backing store.KV. All methods are safe for concurrent use.
 type Cache struct {
+	kv     store.KV
 	shards [numShards]shard
 }
 
@@ -144,21 +130,30 @@ type shard struct {
 	tierUpgrades uint64
 }
 
+// entry is a shard's LRU bookkeeping node; the payload and tier for
+// its key live in the backing KV.
 type entry struct {
-	key  string
-	val  []byte
-	tier string
+	key string
 }
 
 // New builds a cache holding at most capacity entries in total
 // (rounded up to a multiple of the shard count; capacity < 1 gets a
-// minimal one-entry-per-shard cache).
+// minimal one-entry-per-shard cache), backed by a private in-process
+// store.
 func New(capacity int) *Cache {
+	return NewOver(store.NewMemory(), capacity)
+}
+
+// NewOver is New with an explicit backing store. The cache assumes
+// exclusive ownership: entries it evicts are Deleted from kv, and an
+// entry present in the LRU but missing from kv (a backend that lost
+// data) is dropped and served as a miss.
+func NewOver(kv store.KV, capacity int) *Cache {
 	per := (capacity + numShards - 1) / numShards
 	if per < 1 {
 		per = 1
 	}
-	c := &Cache{}
+	c := &Cache{kv: kv}
 	for i := range c.shards {
 		c.shards[i] = shard{
 			ll:       list.New(),
@@ -200,12 +195,17 @@ func (c *Cache) GetEntry(key string) (Entry, bool) {
 		s.misses++
 		return Entry{}, false
 	}
+	se, ok := c.kv.Get(key)
+	if !ok {
+		// The backend lost the bytes; drop the stale LRU node.
+		s.ll.Remove(el)
+		delete(s.items, key)
+		s.misses++
+		return Entry{}, false
+	}
 	s.hits++
 	s.ll.MoveToFront(el)
-	en := el.Value.(*entry)
-	out := make([]byte, len(en.val))
-	copy(out, en.val)
-	return Entry{Payload: out, Tier: en.tier}, true
+	return Entry{Payload: se.Payload, Tier: se.Tier}, true
 }
 
 // Put stores a copy of val under key with no tier tag; see PutTier.
@@ -220,25 +220,16 @@ func (c *Cache) Put(key string, val []byte) bool {
 // key was refreshed), so callers warming the cache can count genuine
 // additions.
 func (c *Cache) PutTier(key string, val []byte, tier string) bool {
-	cp := make([]byte, len(val))
-	copy(cp, val)
 	s := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	c.kv.Put(key, store.Entry{Payload: val, Tier: tier})
 	if el, ok := s.items[key]; ok {
-		en := el.Value.(*entry)
-		en.val = cp
-		en.tier = tier
 		s.ll.MoveToFront(el)
 		return false
 	}
-	s.items[key] = s.ll.PushFront(&entry{key: key, val: cp, tier: tier})
-	for s.ll.Len() > s.capacity {
-		oldest := s.ll.Back()
-		s.ll.Remove(oldest)
-		delete(s.items, oldest.Value.(*entry).key)
-		s.evictions++
-	}
+	s.items[key] = s.ll.PushFront(&entry{key: key})
+	c.evictOverCapacityLocked(s)
 	return true
 }
 
@@ -249,27 +240,44 @@ func (c *Cache) PutTier(key string, val []byte, tier string) bool {
 // already evicted the upgraded value is inserted instead, so the work
 // is never thrown away, but the upgrade counter stays untouched.
 func (c *Cache) Upgrade(key string, val []byte, tier string) bool {
-	cp := make([]byte, len(val))
-	copy(cp, val)
 	s := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	c.kv.Upgrade(key, store.Entry{Payload: val, Tier: tier})
 	if el, ok := s.items[key]; ok {
-		en := el.Value.(*entry)
-		en.val = cp
-		en.tier = tier
 		s.ll.MoveToFront(el)
 		s.tierUpgrades++
 		return true
 	}
-	s.items[key] = s.ll.PushFront(&entry{key: key, val: cp, tier: tier})
+	s.items[key] = s.ll.PushFront(&entry{key: key})
+	c.evictOverCapacityLocked(s)
+	return false
+}
+
+// Delete removes key from the cache and its backing store. Deleting an
+// absent key is a no-op.
+func (c *Cache) Delete(key string) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.ll.Remove(el)
+		delete(s.items, key)
+	}
+	c.kv.Delete(key)
+}
+
+// evictOverCapacityLocked drops the shard's least-recently-used
+// entries until it is back within capacity. Caller holds s.mu.
+func (c *Cache) evictOverCapacityLocked(s *shard) {
 	for s.ll.Len() > s.capacity {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
-		delete(s.items, oldest.Value.(*entry).key)
+		key := oldest.Value.(*entry).key
+		delete(s.items, key)
+		c.kv.Delete(key)
 		s.evictions++
 	}
-	return false
 }
 
 // Len reports the current number of cached entries.

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newClusterPair boots two servers that know each other as peers. The
+// listeners are created first so each node's base URL exists before
+// server.New needs it in Config.Peers.
+func newClusterPair(t *testing.T) (sa, sb *Server, tsa, tsb *httptest.Server) {
+	t.Helper()
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	urlA := "http://" + lnA.Addr().String()
+	urlB := "http://" + lnB.Addr().String()
+	peers := []string{urlA, urlB}
+
+	mk := func(ln net.Listener, self string) (*Server, *httptest.Server) {
+		s, err := New(Config{
+			JournalDir: t.TempDir(),
+			Peers:      peers,
+			NodeID:     self,
+			Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+		})
+		if err != nil {
+			t.Fatalf("New(%s): %v", self, err)
+		}
+		ts := httptest.NewUnstartedServer(s.Handler())
+		ts.Listener.Close()
+		ts.Listener = ln
+		ts.Start()
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			s.Close(ctx)
+		})
+		return s, ts
+	}
+	sa, tsa = mk(lnA, urlA)
+	sb, tsb = mk(lnB, urlB)
+	return sa, sb, tsa, tsb
+}
+
+// TestClusterRoutesToOwner maps the same program via both nodes and
+// verifies the plan is computed exactly once: the non-owner either
+// proxies the cold request to the owner or serves the owner's cached
+// plan as a remote hit, and a repeat against the non-owner hits its
+// warmed local cache.
+func TestClusterRoutesToOwner(t *testing.T) {
+	sa, sb, tsa, tsb := newClusterPair(t)
+
+	resp, body := postJSON(t, tsa.URL+"/v1/map", mapReq(triadSrc))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("map via A: %d %s", resp.StatusCode, body)
+	}
+	mrA := decodeMapResponse(t, body)
+	if mrA.Cached {
+		t.Fatalf("first request reported cached")
+	}
+
+	resp, body = postJSON(t, tsb.URL+"/v1/map", mapReq(triadSrc))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("map via B: %d %s", resp.StatusCode, body)
+	}
+	mrB := decodeMapResponse(t, body)
+	if mrA.Fingerprint != mrB.Fingerprint {
+		t.Fatalf("fingerprints differ: %s vs %s", mrA.Fingerprint, mrB.Fingerprint)
+	}
+
+	switch {
+	case mrA.Cluster == nil:
+		// A owns the fingerprint: B must have served A's cached plan.
+		if mrB.Cluster == nil || !mrB.Cluster.RemoteHit || !mrB.Cached {
+			t.Fatalf("B response not a remote hit: %+v", mrB.Cluster)
+		}
+		if got := sb.clusterRemoteHits.Value(); got != 1 {
+			t.Errorf("B remote hits = %d, want 1", got)
+		}
+		// The remote hit warmed B's cache: a repeat stays local.
+		_, body = postJSON(t, tsb.URL+"/v1/map", mapReq(triadSrc))
+		if mr := decodeMapResponse(t, body); !mr.Cached || mr.Cluster != nil {
+			t.Errorf("repeat via B not a local hit: cached=%v cluster=%+v", mr.Cached, mr.Cluster)
+		}
+	case mrA.Cluster.Proxied:
+		// B owns it: A forwarded the cold request, so B computed and
+		// cached, and a repeat against B is a plain local hit.
+		if got := sa.clusterForwards.Value(); got != 1 {
+			t.Errorf("A forwards = %d, want 1", got)
+		}
+		if mrB.Cluster != nil || !mrB.Cached {
+			t.Errorf("owner B response not a local hit: cached=%v cluster=%+v", mrB.Cached, mrB.Cluster)
+		}
+	default:
+		t.Fatalf("unexpected A routing outcome: %+v", mrA.Cluster)
+	}
+}
+
+// TestClusterDegradesWhenPeerDown kills one node and checks the
+// survivor still answers every request with 200 — peer-owned
+// fingerprints are computed locally and flagged degraded, and the
+// failures land in the peer-error counters instead of the client.
+func TestClusterDegradesWhenPeerDown(t *testing.T) {
+	sa, _, tsa, tsb := newClusterPair(t)
+	tsb.Close()
+
+	degraded := 0
+	for i := 0; i < 8; i++ {
+		src := fmt.Sprintf(`
+param N = %d
+array A[N]
+array B[N]
+parallel for i = 0..N work 32 {
+  A[i] = B[i]
+}
+`, 1024<<i)
+		resp, body := postJSON(t, tsa.URL+"/v1/map", mapReq(src))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("map %d via survivor: %d %s", i, resp.StatusCode, body)
+		}
+		mr := decodeMapResponse(t, body)
+		if mr.Cluster != nil {
+			if !mr.Cluster.Degraded {
+				t.Errorf("peer-owned request %d not degraded: %+v", i, mr.Cluster)
+			}
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatalf("no request hashed to the dead peer; widen the probe set")
+	}
+	if got := sa.clusterPeerErr["get"].Value(); got == 0 {
+		t.Errorf("peer get errors = 0, want > 0 after %d degraded requests", degraded)
+	}
+}
+
+// TestSingleNodePeerListStaysLocal: a peer list that collapses to one
+// distinct member (or none) leaves cluster mode off.
+func TestSingleNodePeerListStaysLocal(t *testing.T) {
+	s, err := New(Config{
+		JournalDir: t.TempDir(),
+		Peers:      []string{"http://one:1/", " http://one:1", ""},
+		NodeID:     "http://one:1",
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close(context.Background())
+	if s.cluster != nil {
+		t.Fatalf("single-member peer list enabled cluster mode")
+	}
+
+	if _, err := New(Config{
+		JournalDir: t.TempDir(),
+		Peers:      []string{"http://one:1", "http://two:2"},
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}); err == nil {
+		t.Fatalf("missing NodeID accepted")
+	}
+	if _, err := New(Config{
+		JournalDir: t.TempDir(),
+		Peers:      []string{"http://one:1", "http://two:2"},
+		NodeID:     "http://three:3",
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}); err == nil {
+		t.Fatalf("NodeID outside Peers accepted")
+	}
+}
+
+// TestClusterPlanAPI exercises the peer-facing plan endpoints directly:
+// put, get, conditional upgrade, delete.
+func TestClusterPlanAPI(t *testing.T) {
+	_, ts := newTestServer(t, Config{JournalDir: t.TempDir()})
+	base := ts.URL + "/v1/cluster/plan/abcd"
+
+	resp, _ := httpDo(t, http.MethodGet, base)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get absent = %d, want 404", resp.StatusCode)
+	}
+
+	resp, body := postDoc(t, base, `{"payload":"eyJ4IjoxfQ==","tier":"static"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put = %d %s", resp.StatusCode, body)
+	}
+
+	resp, body = httpDo(t, http.MethodGet, base)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get = %d %s", resp.StatusCode, body)
+	}
+
+	// Upgrade on a present key must report inserted=false.
+	resp, body = postDoc(t, base, `{"payload":"eyJ4IjoyfQ==","tier":"verified","upgrade":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upgrade = %d %s", resp.StatusCode, body)
+	}
+	if string(body) != `{"inserted":false}`+"\n" {
+		t.Errorf("upgrade body = %q, want inserted=false", body)
+	}
+
+	resp, _ = httpDo(t, http.MethodDelete, base)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete = %d, want 204", resp.StatusCode)
+	}
+	resp, _ = httpDo(t, http.MethodGet, base)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete = %d, want 404", resp.StatusCode)
+	}
+}
+
+func httpDo(t *testing.T, method, url string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, body
+}
+
+func postDoc(t *testing.T, url, doc string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PUT %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, body
+}

@@ -68,6 +68,10 @@ const (
 	// the batch queue saturated past the readiness watermark.
 	ErrNotReady ErrorCode = "not_ready"
 
+	// ErrPlanNotFound: the peer plan API has no cached plan under the
+	// requested fingerprint (GET /v1/cluster/plan/{fingerprint}).
+	ErrPlanNotFound ErrorCode = "plan_not_found"
+
 	// ErrInternal: an unexpected internal failure (e.g. batch journal
 	// I/O). Defensive: no handler produces it in normal operation.
 	ErrInternal ErrorCode = "internal"

@@ -210,6 +210,12 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, req *MapR
 		return
 	}
 	cacheReqs("miss")
+	// On a remote hit or forward the owner runs the verify lifecycle
+	// for its own cache entry; this node does not enqueue one.
+	handled, ci := s.clusterRespond(w, r, req, endpoint, key, &resp)
+	if handled {
+		return
+	}
 	payload, apiErr := s.runJob(r.Context(), key, estimate.TierEstimate, func() ([]byte, error) {
 		er, err := computeEstimate(req)
 		if err != nil {
@@ -221,6 +227,8 @@ func (s *Server) serveEstimate(w http.ResponseWriter, r *http.Request, req *MapR
 		s.writeError(w, r, apiErr)
 		return
 	}
+	s.clusterPublish(ci, key, payload, estimate.TierEstimate)
+	resp.Cluster = ci
 	s.ensureVerify(RequestIDFromContext(r.Context()), req, key)
 	resp.Tier = estimate.TierEstimate
 	resp.Plan = payload

@@ -136,6 +136,20 @@ type Config struct {
 	// analytical model is contention-free, so its value is ordering,
 	// not absolute cycles).
 	LatencyTolerance float64
+
+	// Peers lists every cluster member's base URL
+	// (scheme://host:port), this node's included; all members must be
+	// started with the same list. Empty — or naming only this node —
+	// runs single-node. See internal/cluster for the routing model.
+	Peers []string
+
+	// NodeID is this node's own entry in Peers (required when Peers
+	// names other members).
+	NodeID string
+
+	// ClusterTimeout bounds each peer cache operation (default 2s).
+	// Whole-request forwards use RequestTimeout instead.
+	ClusterTimeout time.Duration
 }
 
 // Server is the locmapd service state. Create with New; all methods
@@ -165,6 +179,11 @@ type Server struct {
 	alphaDrift    *metrics.Histogram
 	latencyDrift  *metrics.Histogram
 	verifyDropped *metrics.Counter
+
+	cluster           *clusterState // nil on single-node servers
+	clusterForwards   *metrics.Counter
+	clusterRemoteHits *metrics.Counter
+	clusterPeerErr    map[string]*metrics.Counter
 }
 
 // New builds a Server, applying defaults for zero config fields. It
@@ -213,6 +232,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.LatencyTolerance <= 0 {
 		cfg.LatencyTolerance = 0.5
 	}
+	if cfg.ClusterTimeout <= 0 {
+		cfg.ClusterTimeout = 2 * time.Second
+	}
 	s := &Server{
 		cfg:   cfg,
 		cache: plancache.New(cfg.CacheCapacity),
@@ -253,7 +275,11 @@ func New(cfg Config) (*Server, error) {
 	for _, tier := range servingTiers {
 		s.reg.Counter(tierServedName, tierServedHelp, metrics.Labels{"tier": tier})
 	}
+	s.registerClusterMetrics()
 	s.registerCollectors()
+	if err := s.initCluster(); err != nil {
+		return nil, err
+	}
 
 	// The batch queue executes through execBatchJob (plan-cache
 	// read-through, then the shared runJob pool) and warms the cache
@@ -328,6 +354,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("job", s.handleJobStatus))
 	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("job", s.handleJobCancel))
 	mux.Handle("/v1/jobs/{id}", s.instrument("job", s.methodNotAllowed("DELETE, GET")))
+	mux.Handle("GET /v1/cluster/plan/{fingerprint}", s.instrument("cluster_plan", s.handleClusterPlanGet))
+	mux.Handle("PUT /v1/cluster/plan/{fingerprint}", s.instrument("cluster_plan", s.handleClusterPlanPut))
+	mux.Handle("DELETE /v1/cluster/plan/{fingerprint}", s.instrument("cluster_plan", s.handleClusterPlanDelete))
+	mux.Handle("/v1/cluster/plan/{fingerprint}", s.instrument("cluster_plan", s.methodNotAllowed("DELETE, GET, PUT")))
 	// GET patterns also match HEAD (Go 1.22 mux), so load balancers
 	// probing with HEAD get a 200; the fallbacks advertise that.
 	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -367,6 +397,12 @@ type MapResponse struct {
 	// Plan is the serialized Plan (for /v1/map) or SimResult (for
 	// /v1/simulate).
 	Plan json.RawMessage `json:"plan"`
+
+	// Cluster describes how cluster routing served the request:
+	// remote hit, forwarded to the owner, or degraded to local
+	// compute. Absent on single-node servers, for locally owned
+	// fingerprints, and on local cache hits.
+	Cluster *ClusterInfo `json:"cluster,omitempty"`
 }
 
 // Plan is the JSON shape of one compiled mapping plan.
@@ -593,11 +629,17 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, req apiRequest, k
 		return
 	}
 	cacheReqs("miss")
+	handled, ci := s.clusterRespond(w, r, req, kind, key, &resp)
+	if handled {
+		return
+	}
 	payload, apiErr := s.runJob(r.Context(), key, tier, job)
 	if apiErr != nil {
 		s.writeError(w, r, apiErr)
 		return
 	}
+	s.clusterPublish(ci, key, payload, tier)
+	resp.Cluster = ci
 	resp.Tier = tier
 	resp.Plan = payload
 	s.observeTier(tier)

@@ -698,6 +698,9 @@ func TestMetricsContract(t *testing.T) {
 		"locmapd_jobqueue_journal_records_total",
 		"locmapd_jobqueue_compactions_total",
 		"locmapd_plancache_replay_warms_total",
+		"locmapd_cluster_forwards_total",
+		"locmapd_cluster_remote_hits_total",
+		"locmapd_cluster_peer_errors_total",
 		"locmap_runner_jobs_requested_total",
 		"locmap_runner_jobs_executed_total",
 		"locmap_runner_jobs_memoized_total",
@@ -717,6 +720,14 @@ func TestMetricsContract(t *testing.T) {
 	}
 	if v, ok := first.Value(tierServedName, metrics.Labels{"tier": TierStatic}); !ok || v < 1 {
 		t.Errorf("tier_served_total{static} = %g, %v; want >= 1", v, ok)
+	}
+
+	// The cluster families are registered eagerly even on this
+	// single-node server, one peer-error series per operation.
+	for _, op := range clusterPeerOps {
+		if _, ok := first.Value("locmapd_cluster_peer_errors_total", metrics.Labels{"op": op}); !ok {
+			t.Errorf("cluster_peer_errors_total{op=%q} missing from exposition", op)
+		}
 	}
 
 	// Every 4xx/405/404 response above must be counted per endpoint.

@@ -1,0 +1,253 @@
+// Package conformancetest pins the behavioral contract of the
+// internal/store interfaces. Every KV and Journal implementation —
+// the in-process backends in internal/store, the remote cluster
+// backend in internal/cluster, and any future one — runs the same
+// suite, so a backend swap can never silently change semantics.
+//
+// Usage, from an implementation's own test file:
+//
+//	func TestMemoryConformance(t *testing.T) {
+//		conformancetest.KV(t, func(t *testing.T) store.KV {
+//			return store.NewMemory()
+//		})
+//	}
+package conformancetest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"locmap/internal/store"
+)
+
+// KV runs the key-value contract against fresh instances built by mk.
+func KV(t *testing.T, mk func(t *testing.T) store.KV) {
+	t.Run("MissOnEmpty", func(t *testing.T) {
+		kv := mk(t)
+		if _, ok := kv.Get("absent"); ok {
+			t.Fatal("Get on an empty store reported a hit")
+		}
+	})
+
+	t.Run("PutGetRoundTrip", func(t *testing.T) {
+		kv := mk(t)
+		if !kv.Put("k", store.Entry{Payload: []byte("plan-1"), Tier: "estimate"}) {
+			t.Error("first Put reported no insertion")
+		}
+		e, ok := kv.Get("k")
+		if !ok || string(e.Payload) != "plan-1" || e.Tier != "estimate" {
+			t.Fatalf("Get = %+v, %v; want plan-1/estimate", e, ok)
+		}
+	})
+
+	t.Run("PutRefreshes", func(t *testing.T) {
+		kv := mk(t)
+		kv.Put("k", store.Entry{Payload: []byte("v1"), Tier: "estimate"})
+		if kv.Put("k", store.Entry{Payload: []byte("v2"), Tier: "sim"}) {
+			t.Error("refreshing Put reported an insertion")
+		}
+		e, ok := kv.Get("k")
+		if !ok || string(e.Payload) != "v2" || e.Tier != "sim" {
+			t.Fatalf("after refresh: %+v, %v", e, ok)
+		}
+	})
+
+	t.Run("UpgradeInPlace", func(t *testing.T) {
+		kv := mk(t)
+		kv.Put("k", store.Entry{Payload: []byte("analytical"), Tier: "estimate"})
+		if !kv.Upgrade("k", store.Entry{Payload: []byte("checked"), Tier: "verified"}) {
+			t.Error("Upgrade of a present key reported absence")
+		}
+		e, ok := kv.Get("k")
+		if !ok || string(e.Payload) != "checked" || e.Tier != "verified" {
+			t.Fatalf("after upgrade: %+v, %v", e, ok)
+		}
+	})
+
+	t.Run("UpgradeAbsentInserts", func(t *testing.T) {
+		kv := mk(t)
+		if kv.Upgrade("gone", store.Entry{Payload: []byte("checked"), Tier: "verified"}) {
+			t.Error("Upgrade of a missing key claimed it was present")
+		}
+		e, ok := kv.Get("gone")
+		if !ok || string(e.Payload) != "checked" || e.Tier != "verified" {
+			t.Fatalf("upgrade-insert lost the value: %+v, %v", e, ok)
+		}
+	})
+
+	t.Run("Delete", func(t *testing.T) {
+		kv := mk(t)
+		kv.Put("k", store.Entry{Payload: []byte("v")})
+		kv.Delete("k")
+		if _, ok := kv.Get("k"); ok {
+			t.Error("deleted key still present")
+		}
+		kv.Delete("never-existed") // must be a no-op, not a panic
+		if !kv.Put("k", store.Entry{Payload: []byte("v2")}) {
+			t.Error("re-Put after Delete reported no insertion")
+		}
+	})
+
+	t.Run("NoAliasing", func(t *testing.T) {
+		kv := mk(t)
+		v := []byte("original")
+		kv.Put("k", store.Entry{Payload: v})
+		v[0] = 'X' // caller mutates after Put
+		e, _ := kv.Get("k")
+		if string(e.Payload) != "original" {
+			t.Fatalf("Put aliased the caller's bytes: %q", e.Payload)
+		}
+		if len(e.Payload) > 0 {
+			e.Payload[0] = 'Y' // caller mutates the returned slice
+		}
+		again, _ := kv.Get("k")
+		if string(again.Payload) != "original" {
+			t.Fatalf("Get aliased the stored bytes: %q", again.Payload)
+		}
+	})
+
+	t.Run("EmptyAndUntiered", func(t *testing.T) {
+		kv := mk(t)
+		kv.Put("k", store.Entry{})
+		e, ok := kv.Get("k")
+		if !ok || len(e.Payload) != 0 || e.Tier != "" {
+			t.Fatalf("empty entry round-trip = %+v, %v", e, ok)
+		}
+	})
+
+	t.Run("Concurrent", func(t *testing.T) {
+		kv := mk(t)
+		const goroutines = 8
+		const ops = 100
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < ops; i++ {
+					key := fmt.Sprintf("key-%d", (g*ops+i)%40)
+					switch i % 3 {
+					case 0:
+						kv.Put(key, store.Entry{Payload: []byte(key), Tier: "estimate"})
+					case 1:
+						if e, ok := kv.Get(key); ok && string(e.Payload) != key {
+							t.Errorf("Get(%q) = %q", key, e.Payload)
+						}
+					default:
+						kv.Upgrade(key, store.Entry{Payload: []byte(key), Tier: "verified"})
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+}
+
+// Journal runs the append/replay/compact contract against fresh
+// instances built by mk. Implementations are line-oriented: records
+// must not contain newlines.
+func Journal(t *testing.T, mk func(t *testing.T) store.Journal) {
+	recsOf := func(t *testing.T, j store.Journal) []string {
+		t.Helper()
+		var got []string
+		if err := j.Replay(func(rec []byte) error {
+			got = append(got, string(rec))
+			return nil
+		}); err != nil {
+			t.Fatalf("Replay: %v", err)
+		}
+		return got
+	}
+	wantRecs := func(t *testing.T, j store.Journal, want ...string) {
+		t.Helper()
+		got := recsOf(t, j)
+		if len(got) != len(want) {
+			t.Fatalf("replayed %d records %q, want %d %q", len(got), got, len(want), want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+			}
+		}
+	}
+
+	t.Run("EmptyReplaysNothing", func(t *testing.T) {
+		j := mk(t)
+		defer j.Close()
+		wantRecs(t, j)
+		if s := j.Size(); s != 0 {
+			t.Errorf("Size of empty journal = %d", s)
+		}
+	})
+
+	t.Run("AppendReplayOrder", func(t *testing.T) {
+		j := mk(t)
+		defer j.Close()
+		for _, r := range []string{`{"n":1}`, `{"n":2}`, `{"n":3}`} {
+			if err := j.Append([]byte(r)); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		if s := j.Size(); s <= 0 {
+			t.Errorf("Size after appends = %d, want > 0", s)
+		}
+		wantRecs(t, j, `{"n":1}`, `{"n":2}`, `{"n":3}`)
+	})
+
+	t.Run("CompactReplacesState", func(t *testing.T) {
+		j := mk(t)
+		defer j.Close()
+		j.Append([]byte(`{"old":1}`))
+		j.Append([]byte(`{"old":2}`))
+		if err := j.Compact(func(emit func([]byte) error) error {
+			return emit([]byte(`{"snap":true}`))
+		}); err != nil {
+			t.Fatalf("Compact: %v", err)
+		}
+		if s := j.Size(); s != 0 {
+			t.Errorf("Size after compaction = %d, want 0", s)
+		}
+		j.Append([]byte(`{"new":3}`))
+		// Snapshot records replay first, then post-compaction appends.
+		wantRecs(t, j, `{"snap":true}`, `{"new":3}`)
+	})
+
+	t.Run("CompactWriteErrorKeepsState", func(t *testing.T) {
+		j := mk(t)
+		defer j.Close()
+		j.Append([]byte(`{"keep":1}`))
+		boom := errors.New("snapshot writer exploded")
+		if err := j.Compact(func(emit func([]byte) error) error {
+			emit([]byte(`{"partial":true}`))
+			return boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("Compact error = %v, want %v", err, boom)
+		}
+		wantRecs(t, j, `{"keep":1}`)
+	})
+
+	t.Run("ApplyErrorAborts", func(t *testing.T) {
+		j := mk(t)
+		defer j.Close()
+		j.Append([]byte(`{"n":1}`))
+		j.Append([]byte(`{"n":2}`))
+		boom := errors.New("consumer rejected the record")
+		seen := 0
+		err := j.Replay(func(rec []byte) error {
+			seen++
+			if bytes.Contains(rec, []byte("1")) {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("Replay error = %v, want wrapped %v", err, boom)
+		}
+		if seen != 1 {
+			t.Errorf("apply called %d times after the first error, want 1", seen)
+		}
+	})
+}

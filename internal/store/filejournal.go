@@ -1,0 +1,219 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FileJournal is the durable Journal backend: two line-oriented files
+// in one directory.
+//
+//	SnapshotFile  full state at the last compaction
+//	JournalFile   records appended since, one fsync'd line each
+//
+// Replay reads the snapshot, then the live journal. Every Append is
+// fsync'd before it returns, so an accepted record survives a crash
+// at any instant. A torn final journal line (the crash hit mid-write:
+// no trailing newline, and the consumer's apply rejects it) is
+// tolerated and discarded; a record that fails apply anywhere else is
+// corruption and fails Replay — including anywhere in the snapshot,
+// which is renamed in atomically and can never legitimately be torn.
+//
+// Compact writes the emitted snapshot into a temp file, fsyncs,
+// renames it over SnapshotFile (atomic), fsyncs the directory, and
+// only then truncates the live journal. A crash between the rename
+// and the truncation replays already-compacted records on top of the
+// new snapshot; consumers apply them idempotently.
+type FileJournal struct {
+	dir string
+	log *slog.Logger
+
+	mu    sync.Mutex
+	f     *os.File // the live journal, append-only
+	bytes int64
+}
+
+// The on-disk names of a FileJournal's two files. Exported so
+// consumers and tooling (crash tests, operators inspecting a journal
+// directory) can name them without hardcoding strings.
+const (
+	JournalFile  = "journal.jsonl"
+	SnapshotFile = "snapshot.jsonl"
+)
+
+// OpenFileJournal opens (creating if needed) dir and its live journal
+// file. logger receives torn-tail warnings (nil = slog.Default()).
+func OpenFileJournal(dir string, logger *slog.Logger) (*FileJournal, error) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: journal dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, JournalFile), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: stat journal: %w", err)
+	}
+	return &FileJournal{dir: dir, log: logger, f: f, bytes: st.Size()}, nil
+}
+
+// Append writes one record line and fsyncs it.
+func (j *FileJournal) Append(rec []byte) error {
+	line := make([]byte, 0, len(rec)+1)
+	line = append(line, rec...)
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.bytes += int64(len(line))
+	return nil
+}
+
+// Replay streams every durable record — snapshot first, then the live
+// journal — through apply.
+func (j *FileJournal) Replay(apply func(rec []byte) error) error {
+	if err := j.replayFile(filepath.Join(j.dir, SnapshotFile), false, apply); err != nil {
+		return err
+	}
+	return j.replayFile(filepath.Join(j.dir, JournalFile), true, apply)
+}
+
+// replayFile reads one line-oriented file. tolerateTorn permits a
+// final line that is incomplete (no trailing newline and rejected by
+// apply): the live journal may end mid-write after a crash; the
+// snapshot must apply in full.
+func (j *FileJournal) replayFile(path string, tolerateTorn bool, apply func(rec []byte) error) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: open %s: %w", filepath.Base(path), err)
+	}
+	defer f.Close()
+	rd := bufio.NewReaderSize(f, 1<<16)
+	line := 0
+	for {
+		raw, err := rd.ReadBytes('\n')
+		atEOF := errors.Is(err, io.EOF)
+		if err != nil && !atEOF {
+			return fmt.Errorf("store: read %s: %w", filepath.Base(path), err)
+		}
+		if len(raw) > 0 {
+			line++
+			rec := raw
+			if n := len(rec); rec[n-1] == '\n' {
+				rec = rec[:n-1]
+			}
+			if aerr := apply(rec); aerr != nil {
+				// A final line without a newline that the consumer
+				// rejects is a torn write from a crash mid-append.
+				if atEOF && tolerateTorn {
+					j.log.Warn("store: discarding torn journal tail",
+						"file", filepath.Base(path), "line", line, "bytes", len(raw))
+					return nil
+				}
+				return fmt.Errorf("store: %s line %d: corrupt record: %w",
+					filepath.Base(path), line, aerr)
+			}
+		}
+		if atEOF {
+			return nil
+		}
+	}
+}
+
+// Compact writes the emitted records as a fresh snapshot, atomically
+// replaces the old one, and truncates the live journal.
+func (j *FileJournal) Compact(write func(emit func(rec []byte) error) error) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tmp := filepath.Join(j.dir, SnapshotFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: snapshot tmp: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	fail := func(stage string, err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot %s: %w", stage, err)
+	}
+	if err := write(func(rec []byte) error {
+		if _, werr := w.Write(rec); werr != nil {
+			return werr
+		}
+		return w.WriteByte('\n')
+	}); err != nil {
+		return fail("write", err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail("flush", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, SnapshotFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	if err := syncDir(j.dir); err != nil {
+		return err
+	}
+	// The snapshot now holds everything; drop the live journal's
+	// contents. (A crash before this truncation replays the old
+	// records on top of the new snapshot — consumers are idempotent.)
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncate journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync journal: %w", err)
+	}
+	j.bytes = 0
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Size reports the live journal file's byte size.
+func (j *FileJournal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bytes
+}
+
+// Close closes the live journal file.
+func (j *FileJournal) Close() error {
+	return j.f.Close()
+}

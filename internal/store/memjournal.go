@@ -1,0 +1,72 @@
+package store
+
+import "sync"
+
+// MemJournal is the in-memory Journal backend: same append / replay /
+// compact contract as FileJournal, no durability. It backs tests and
+// embedders that want jobqueue semantics without touching disk.
+type MemJournal struct {
+	mu       sync.Mutex
+	snapshot [][]byte
+	live     [][]byte
+	bytes    int64
+	closed   bool
+}
+
+// NewMemJournal builds an empty in-memory journal.
+func NewMemJournal() *MemJournal { return &MemJournal{} }
+
+func (m *MemJournal) Append(rec []byte) error {
+	cp := make([]byte, len(rec))
+	copy(cp, rec)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live = append(m.live, cp)
+	m.bytes += int64(len(cp)) + 1 // the newline a file backend would write
+	return nil
+}
+
+func (m *MemJournal) Replay(apply func(rec []byte) error) error {
+	m.mu.Lock()
+	recs := make([][]byte, 0, len(m.snapshot)+len(m.live))
+	recs = append(recs, m.snapshot...)
+	recs = append(recs, m.live...)
+	m.mu.Unlock()
+	for _, rec := range recs {
+		if err := apply(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *MemJournal) Compact(write func(emit func(rec []byte) error) error) error {
+	var snap [][]byte
+	if err := write(func(rec []byte) error {
+		cp := make([]byte, len(rec))
+		copy(cp, rec)
+		snap = append(snap, cp)
+		return nil
+	}); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snapshot = snap
+	m.live = nil
+	m.bytes = 0
+	return nil
+}
+
+func (m *MemJournal) Size() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes
+}
+
+func (m *MemJournal) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

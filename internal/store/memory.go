@@ -1,0 +1,98 @@
+package store
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// memShards spreads lock contention across the in-process backend;
+// must be a power of two.
+const memShards = 16
+
+// Memory is the in-process KV backend: a sharded, mutex-guarded map.
+// It is unbounded — capacity and eviction are the cache policy's job
+// (internal/plancache), not the store's.
+type Memory struct {
+	shards [memShards]memShard
+}
+
+type memShard struct {
+	mu sync.Mutex
+	m  map[string]Entry
+}
+
+// NewMemory builds an empty in-process KV.
+func NewMemory() *Memory {
+	mem := &Memory{}
+	for i := range mem.shards {
+		mem.shards[i].m = make(map[string]Entry)
+	}
+	return mem
+}
+
+func (mem *Memory) shardFor(key string) *memShard {
+	f := fnv.New32a()
+	f.Write([]byte(key))
+	return &mem.shards[f.Sum32()&(memShards-1)]
+}
+
+// copyEntry deep-copies the payload so stored bytes are never aliased
+// by callers in either direction.
+func copyEntry(e Entry) Entry {
+	cp := make([]byte, len(e.Payload))
+	copy(cp, e.Payload)
+	return Entry{Payload: cp, Tier: e.Tier}
+}
+
+// Get returns a copy of the entry stored under key.
+func (mem *Memory) Get(key string) (Entry, bool) {
+	s := mem.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok {
+		return Entry{}, false
+	}
+	return copyEntry(e), true
+}
+
+// Put stores a copy of e under key; reports whether the key is new.
+func (mem *Memory) Put(key string, e Entry) bool {
+	s := mem.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, existed := s.m[key]
+	s.m[key] = copyEntry(e)
+	return !existed
+}
+
+// Upgrade replaces the entry under key in place, inserting if absent;
+// reports whether the key was present.
+func (mem *Memory) Upgrade(key string, e Entry) bool {
+	s := mem.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, existed := s.m[key]
+	s.m[key] = copyEntry(e)
+	return existed
+}
+
+// Delete removes key.
+func (mem *Memory) Delete(key string) {
+	s := mem.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+}
+
+// Len reports the number of stored entries.
+func (mem *Memory) Len() int {
+	n := 0
+	for i := range mem.shards {
+		s := &mem.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+package store_test
+
+import (
+	"errors"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"locmap/internal/store"
+	"locmap/internal/store/conformancetest"
+)
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func TestMemoryConformance(t *testing.T) {
+	conformancetest.KV(t, func(t *testing.T) store.KV {
+		return store.NewMemory()
+	})
+}
+
+func TestMemJournalConformance(t *testing.T) {
+	conformancetest.Journal(t, func(t *testing.T) store.Journal {
+		return store.NewMemJournal()
+	})
+}
+
+func TestFileJournalConformance(t *testing.T) {
+	conformancetest.Journal(t, func(t *testing.T) store.Journal {
+		fj, err := store.OpenFileJournal(t.TempDir(), discardLogger())
+		if err != nil {
+			t.Fatalf("OpenFileJournal: %v", err)
+		}
+		return fj
+	})
+}
+
+// replayAll reopens nothing — it just drains j into a string slice.
+func replayAll(t *testing.T, j store.Journal) []string {
+	t.Helper()
+	var got []string
+	if err := j.Replay(func(rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got
+}
+
+// TestFileJournalReopen: appends survive a close/reopen cycle, and the
+// reopened journal resumes Size accounting from the on-disk file.
+func TestFileJournalReopen(t *testing.T) {
+	dir := t.TempDir()
+	fj, err := store.OpenFileJournal(dir, discardLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj.Append([]byte(`{"n":1}`))
+	fj.Append([]byte(`{"n":2}`))
+	size := fj.Size()
+	if err := fj.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re, err := store.OpenFileJournal(dir, discardLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Size() != size {
+		t.Errorf("reopened Size = %d, want %d", re.Size(), size)
+	}
+	got := replayAll(t, re)
+	if len(got) != 2 || got[0] != `{"n":1}` || got[1] != `{"n":2}` {
+		t.Fatalf("reopened replay = %q", got)
+	}
+	re.Append([]byte(`{"n":3}`))
+	if re.Size() <= size {
+		t.Errorf("Size after post-reopen append = %d, want > %d", re.Size(), size)
+	}
+}
+
+// TestFileJournalTornTail: a final journal line without a trailing
+// newline that the consumer rejects is a torn write — discarded with a
+// warning, not an error. The same bytes mid-file are corruption.
+func TestFileJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	content := "{\"n\":1}\n{\"n\":2}\n{\"torn"
+	if err := os.WriteFile(filepath.Join(dir, store.JournalFile), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fj, err := store.OpenFileJournal(dir, discardLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fj.Close()
+
+	reject := errors.New("not valid")
+	var got []string
+	err = fj.Replay(func(rec []byte) error {
+		if !strings.HasPrefix(string(rec), `{"n"`) {
+			return reject
+		}
+		got = append(got, string(rec))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay with torn tail: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("replayed %q, want the 2 intact records", got)
+	}
+}
+
+// TestFileJournalMidFileCorruption: a rejected record that is not the
+// torn tail fails Replay loudly instead of silently dropping records.
+func TestFileJournalMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	content := "{\"n\":1}\ngarbage\n{\"n\":2}\n"
+	if err := os.WriteFile(filepath.Join(dir, store.JournalFile), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fj, err := store.OpenFileJournal(dir, discardLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fj.Close()
+
+	reject := errors.New("not valid")
+	err = fj.Replay(func(rec []byte) error {
+		if string(rec) == "garbage" {
+			return reject
+		}
+		return nil
+	})
+	if !errors.Is(err, reject) {
+		t.Fatalf("Replay = %v, want wrapped %v", err, reject)
+	}
+}
+
+// TestFileJournalSnapshotNeverTorn: the snapshot is renamed in
+// atomically, so even its final unterminated line is corruption.
+func TestFileJournalSnapshotNeverTorn(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, store.SnapshotFile), []byte(`{"torn`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fj, err := store.OpenFileJournal(dir, discardLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fj.Close()
+
+	reject := errors.New("not valid")
+	err = fj.Replay(func(rec []byte) error { return reject })
+	if !errors.Is(err, reject) {
+		t.Fatalf("Replay of torn snapshot = %v, want wrapped %v", err, reject)
+	}
+}

@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Cluster smoke test for locmapd's fingerprint-routed cluster mode.
+#
+# Boots a real two-node cluster, maps a program via node A, asserts
+# node B answers the same request from A's cache (remote hit or
+# forward — either way without recomputing into a fresh cache miss),
+# then kill -9s node B and asserts node A keeps answering every
+# request with 200, degrading peer-owned fingerprints to local
+# compute and counting the peer failures in its metrics.
+#
+# Needs: go, curl, jq. Exit 0 = cluster behaved, non-zero = not.
+set -euo pipefail
+
+ADDR_A="${LOCMAPD_CLUSTER_ADDR_A:-127.0.0.1:18357}"
+ADDR_B="${LOCMAPD_CLUSTER_ADDR_B:-127.0.0.1:18358}"
+MADDR_A="${LOCMAPD_CLUSTER_METRICS_A:-127.0.0.1:18367}"
+BASE_A="http://$ADDR_A"
+BASE_B="http://$ADDR_B"
+PEERS="$BASE_A,$BASE_B"
+WORK="$(mktemp -d)"
+BIN="$WORK/locmapd"
+PID_A=""
+PID_B=""
+
+cleanup() {
+    [ -n "$PID_A" ] && kill -9 "$PID_A" 2>/dev/null || true
+    [ -n "$PID_B" ] && kill -9 "$PID_B" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+say() { echo "cluster_smoke: $*"; }
+
+wait_healthy() {
+    for _ in $(seq 1 100); do
+        if curl -fsS "$1/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    say "node $1 did not come up; logs:"
+    cat "$WORK"/*.log >&2
+    exit 1
+}
+
+map_req() { # map_req BASE N
+    curl -fsS -X POST "$1/v1/map" -H 'Content-Type: application/json' -d '{
+      "source": "param N = '"$2"'\narray A[N]\narray B[N]\nparallel for i = 0..N work 16 { A[i] = B[i] }"
+    }'
+}
+
+say "building locmapd"
+go build -o "$BIN" ./cmd/locmapd
+
+say "starting node A ($BASE_A) and node B ($BASE_B)"
+"$BIN" -addr "$ADDR_A" -metrics "$MADDR_A" -journal-dir "$WORK/ja" \
+    -peers "$PEERS" -node-id "$BASE_A" 2>>"$WORK/a.log" &
+PID_A=$!
+"$BIN" -addr "$ADDR_B" -journal-dir "$WORK/jb" \
+    -peers "$PEERS" -node-id "$BASE_B" 2>>"$WORK/b.log" &
+PID_B=$!
+wait_healthy "$BASE_A"
+wait_healthy "$BASE_B"
+
+say "mapping via node A"
+RESP_A="$(map_req "$BASE_A" 4096)"
+FP_A="$(jq -re '.fingerprint' <<<"$RESP_A")"
+
+say "mapping the same program via node B"
+RESP_B="$(map_req "$BASE_B" 4096)"
+FP_B="$(jq -re '.fingerprint' <<<"$RESP_B")"
+if [ "$FP_A" != "$FP_B" ]; then
+    say "FAIL: fingerprints differ across nodes: $FP_A vs $FP_B"
+    exit 1
+fi
+
+# Exactly one node owns the fingerprint. The non-owner's response
+# must say how the ring resolved it: a remote hit on the owner's
+# cache, or the whole request proxied there. The owner's own
+# response carries no cluster block.
+ROUTED_A="$(jq -r '.cluster | if . == null then "local" elif .remote_hit then "remote_hit" elif .proxied then "proxied" else "other" end' <<<"$RESP_A")"
+ROUTED_B="$(jq -r '.cluster | if . == null then "local" elif .remote_hit then "remote_hit" elif .proxied then "proxied" else "other" end' <<<"$RESP_B")"
+say "routing: via A = $ROUTED_A, via B = $ROUTED_B"
+case "$ROUTED_A/$ROUTED_B" in
+    local/remote_hit)
+        # A owns it; B served A's cached plan.
+        if [ "$(jq -r '.cached' <<<"$RESP_B")" != "true" ]; then
+            say "FAIL: remote hit via B not marked cached"
+            exit 1
+        fi
+        ;;
+    proxied/local)
+        # B owns it; A forwarded, so B's own request was a local hit.
+        if [ "$(jq -r '.cached' <<<"$RESP_B")" != "true" ]; then
+            say "FAIL: owner B should have served its own cache"
+            exit 1
+        fi
+        ;;
+    *)
+        say "FAIL: unexpected routing combination"
+        jq -c '.cluster' <<<"$RESP_A"
+        jq -c '.cluster' <<<"$RESP_B"
+        exit 1
+        ;;
+esac
+
+say "killing node B"
+kill -9 "$PID_B"
+wait "$PID_B" 2>/dev/null || true
+PID_B=""
+
+say "surviving node A must answer every request alone"
+DEGRADED=0
+for i in $(seq 1 12); do
+    N=$((1024 * i))
+    RESP="$(map_req "$BASE_A" "$N")" || {
+        say "FAIL: node A returned an error with the peer down (N=$N)"
+        exit 1
+    }
+    if [ "$(jq -r '.cluster.degraded // false' <<<"$RESP")" = "true" ]; then
+        DEGRADED=$((DEGRADED + 1))
+    fi
+done
+if [ "$DEGRADED" -eq 0 ]; then
+    say "FAIL: no request hashed to the dead peer (wanted >= 1 of 12 degraded)"
+    exit 1
+fi
+say "$DEGRADED of 12 requests degraded to local compute"
+
+say "checking peer failures landed in metrics, not in responses"
+METRICS="$(curl -fsS "http://$MADDR_A/metrics")"
+PEER_ERRS="$(awk '/^locmapd_cluster_peer_errors_total\{/ { sum += $2 } END { print sum + 0 }' <<<"$METRICS")"
+if [ "$PEER_ERRS" -lt 1 ]; then
+    say "FAIL: locmapd_cluster_peer_errors_total = $PEER_ERRS, want >= 1"
+    exit 1
+fi
+
+say "PASS: routed while healthy, degraded cleanly with a dead peer ($PEER_ERRS peer errors absorbed)"
+exit 0
