@@ -112,6 +112,43 @@ func (c *Cache) Ways() int { return c.ways }
 // It reports whether the access hit.
 func (c *Cache) Access(addr mem.Addr) bool {
 	set, tag := c.split(addr)
+	return c.access(set, tag)
+}
+
+// AccessBatch performs Access over a batch of addresses issued at the
+// same cycle, writing per-address outcomes into hits (which must be at
+// least as long as addrs). The set/tag splits for a whole chunk are
+// computed up front as a branch-free pass before any tag scan touches
+// the store; outcomes and LRU state are identical to calling Access on
+// each address in order.
+func (c *Cache) AccessBatch(addrs []mem.Addr, hits []bool) {
+	var sets [16]int
+	var tags [16]uint64
+	for len(addrs) > 0 {
+		n := len(addrs)
+		if n > len(sets) {
+			n = len(sets)
+		}
+		if c.pow2 {
+			for i, a := range addrs[:n] {
+				line := uint64(a) >> c.lineShift
+				sets[i] = int(line & c.setMask)
+				tags[i] = line >> c.setShift
+			}
+		} else {
+			for i, a := range addrs[:n] {
+				sets[i], tags[i] = c.split(a)
+			}
+		}
+		for i := 0; i < n; i++ {
+			hits[i] = c.access(sets[i], tags[i])
+		}
+		addrs, hits = addrs[n:], hits[n:]
+	}
+}
+
+// access is the split-independent body of Access.
+func (c *Cache) access(set int, tag uint64) bool {
 	base := set * c.ways
 	ts := c.tags[base : base+int(c.occ[set])]
 	for i, t := range ts {
@@ -216,17 +253,22 @@ type LLC struct {
 
 	// sharers tracks, for shared lines, a small MOESI-style summary:
 	// which nodes have touched the line since it was filled. Used only
-	// for coherence-traffic statistics.
-	sharers map[uint64]uint16
+	// for coherence-traffic statistics. The maps are per bank — a line
+	// lives in exactly one home bank, so partitioning by bank changes
+	// no counts but lets a region-partitioned engine update each bank's
+	// map from that bank's owning worker without shared writes.
+	sharers []map[uint64]uint16
 }
 
 // NewLLC builds an LLC with `banks` banks of `sizePerBank` bytes each.
 func NewLLC(org Organization, banks, sizePerBank, lineSize, ways int, amap mem.Map) (*LLC, error) {
 	l := &LLC{
-		Org:     org,
-		banks:   make([]*Cache, banks),
-		amap:    amap,
-		sharers: make(map[uint64]uint16),
+		Org:   org,
+		banks: make([]*Cache, banks),
+		amap:  amap,
+	}
+	if org == SharedSNUCA {
+		l.sharers = newSharers(banks)
 	}
 	for i := range l.banks {
 		c, err := New(sizePerBank, lineSize, ways)
@@ -236,6 +278,14 @@ func NewLLC(org Organization, banks, sizePerBank, lineSize, ways int, amap mem.M
 		l.banks[i] = c
 	}
 	return l, nil
+}
+
+func newSharers(banks int) []map[uint64]uint16 {
+	s := make([]map[uint64]uint16, banks)
+	for i := range s {
+		s[i] = make(map[uint64]uint16)
+	}
+	return s
 }
 
 // NumBanks returns the number of banks.
@@ -257,26 +307,38 @@ func (l *LLC) HomeBank(node int, addr mem.Addr) int {
 // Access performs an LLC access from `node` and reports (bank, hit).
 func (l *LLC) Access(node int, addr mem.Addr) (bank int, hit bool) {
 	bank = l.HomeBank(node, addr)
-	hit = l.banks[bank].Access(addr)
+	return bank, l.AccessBank(bank, node, addr)
+}
+
+// AccessBank performs an LLC access from `node` that has already been
+// routed to its home bank, reporting the hit outcome. It touches only
+// bank-local state (the bank's tag store and its slice of the sharer
+// summary), which is what lets the region engine serve each bank from
+// the worker that owns it.
+func (l *LLC) AccessBank(bank, node int, addr mem.Addr) bool {
+	hit := l.banks[bank].Access(addr)
 	if l.Org == SharedSNUCA {
+		m := l.sharers[bank]
 		line := uint64(addr) / uint64(l.banks[bank].lineSize)
 		if !hit {
-			l.sharers[line] = 0
+			m[line] = 0
 		}
 		if node < 16 {
-			l.sharers[line] |= 1 << uint(node%16)
+			m[line] |= 1 << uint(node%16)
 		}
 	}
-	return bank, hit
+	return hit
 }
 
 // SharedLines reports how many distinct lines have been touched by more
 // than one (tracked) node — a proxy for coherence-relevant sharing.
 func (l *LLC) SharedLines() int {
 	n := 0
-	for _, mask := range l.sharers {
-		if mask&(mask-1) != 0 {
-			n++
+	for _, bank := range l.sharers {
+		for _, mask := range bank {
+			if mask&(mask-1) != 0 {
+				n++
+			}
 		}
 	}
 	return n
@@ -287,7 +349,9 @@ func (l *LLC) Reset() {
 	for _, b := range l.banks {
 		b.Reset()
 	}
-	l.sharers = make(map[uint64]uint16)
+	if l.sharers != nil {
+		l.sharers = newSharers(len(l.banks))
+	}
 }
 
 // Stats sums hit/miss counters across banks.

@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the
+// golden determinism matrix shrinks to a representative slice under it
+// (instrumentation slows simulation by an order of magnitude).
+const raceEnabled = false

@@ -380,7 +380,7 @@ func (s *Server) batchJobFunc(j *jobqueue.Job) (func() ([]byte, error), error) {
 			return nil, fmt.Errorf("decode persisted simulate request: %w", err)
 		}
 		return func() ([]byte, error) {
-			res, err := simulate(&req)
+			res, err := simulate(&req, s.cfg.SimWorkers)
 			if err != nil {
 				return nil, err
 			}

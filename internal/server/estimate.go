@@ -281,7 +281,11 @@ func (s *Server) runVerify(vr *verifyRequest) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := simulate(&SimulateRequest{CommonRequest: vr.Request.CommonRequest})
+	workers := s.cfg.SimWorkers
+	if s.cfg.VerifyWorkers < workers {
+		workers = s.cfg.VerifyWorkers
+	}
+	res, err := simulate(&SimulateRequest{CommonRequest: vr.Request.CommonRequest}, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -19,24 +19,48 @@
 // property Algorithm 2's η_m term optimizes.
 //
 // Execution is discrete-event at single-reference granularity: every NoC
-// send and DRAM completion is a heap event popped in global time order,
-// which keeps the per-link busy-until contention state causally
-// consistent across cores without flit-level simulation. Each in-order
-// core overlaps the references of one iteration (MSHR-style memory-level
-// parallelism) and commits iterations in order.
+// send and DRAM completion is a heap event, which keeps the per-link
+// busy-until contention state causally consistent across cores without
+// flit-level simulation. Each in-order core overlaps the references of
+// one iteration (MSHR-style memory-level parallelism) and commits
+// iterations in order.
 //
-// # Event-ordering contract
+// # Region-partitioned engine and its determinism contract
 //
-// The event queue is a strict total order: events are served by
-// ascending simulated time, and events with equal timestamps are served
-// in the order they were scheduled (FIFO, via a per-RunNest monotonic
-// sequence number). Equal-time ordering is therefore deterministic and
-// independent of the heap's internal layout — a requirement for the
-// repository-wide invariant that every experiment table is byte-identical
-// across runs, parallelism levels and refactors of the queue itself.
-// Anything that changes the service order of equal-time events (including
-// this tie-break's introduction) is an observable simulation change and
-// must come with re-derived goldens (internal/experiments/testdata).
+// The event engine is partitioned along the mesh's region structure:
+// every core, LLC bank and memory controller belongs to exactly one
+// region, each region has its own (t, seq) event heap, and each event
+// stage is owned by the region whose state it mutates (see the stage
+// table in engine.go). Regions advance in lock-stepped time windows:
+// each round, every region drains its heap up to a shared horizon T+W
+// (T = the earliest pending event anywhere, W = windowCycles), then the
+// engine exchanges what crossed region boundaries —
+//
+//   - boundary events land in per-(source, destination) outboxes during
+//     the window and are merged into the destination heap at the
+//     barrier, in (source region, FIFO) order, where they receive their
+//     destination-local sequence numbers;
+//   - link reservations made during the window through each region's
+//     copy-on-write view of the NoC's busy-until state are folded back
+//     at the barrier (noc.ShardView.Fold) in region order, serializing
+//     same-window occupancy from different regions onto each link.
+//
+// Within a region, events are served in strict (t, seq) order; seq is
+// region-local and deterministic, so the complete logical schedule is a
+// pure function of the machine's region structure. Worker goroutines
+// only multiplex regions (statically, region modulo workers) — they
+// never change which events run in which window or in what order — so
+// every experiment table is bit-identical at any Config.Workers value,
+// a contract gated by golden tests at workers ∈ {1, 2, 4, 8}.
+//
+// Per-chain timing stays exact at any W: event timestamps are computed
+// from each leg's arrival arithmetic, never clamped to window edges.
+// What W bounds is contention staleness — a region sees other regions'
+// link reservations only from before its current window, so the
+// busy-until state a walk observes can lag by up to roughly one window.
+// Changing W (or anything that changes the service order of equal-time
+// events) is therefore an observable simulation change and must come
+// with re-derived goldens (internal/experiments/testdata).
 package sim
 
 import (
@@ -78,6 +102,13 @@ type Config struct {
 	// IterSetFrac is the iteration-set size as a fraction of a nest's
 	// trip count (Table 4: 0.25%).
 	IterSetFrac float64
+
+	// Workers is the number of goroutines the region engine multiplexes
+	// its region shards over during a run (0 or 1 = single-threaded;
+	// values above the region count are clamped). Workers is a pure
+	// execution knob: results are bit-identical at any value, so it is
+	// excluded from job/cache fingerprints throughout the repository.
+	Workers int
 }
 
 // DefaultConfig returns the paper's Table 4 machine: 6×6 mesh, 9 regions,
@@ -119,6 +150,12 @@ type System struct {
 	// Per-leg network latency accounting (see LegStats).
 	legLat [numLegs]uint64
 	legCnt [numLegs]uint64
+
+	// eng is the persistent region engine: shards, link-state views and
+	// outboxes are allocated once and re-armed per nest. A System (and
+	// its engine) is not safe for concurrent use; Config.Workers
+	// parallelism lives entirely inside one RunNest call.
+	eng *engine
 }
 
 // AddrMapFor resolves the address map a Config implies: the explicit
@@ -226,11 +263,12 @@ type NestResult struct {
 // nest); assign.Core must have one entry per set. The nest begins after a
 // barrier: every core starts at the current global time.
 //
-// Execution is discrete-event: every NoC send and DRAM completion is a
-// heap event popped in global time order, so per-link busy-until
-// contention state is only ever written at (approximately) the current
-// simulation time. Each in-order core keeps one iteration in flight, with
-// that iteration's references issued concurrently.
+// Execution is discrete-event on the region-partitioned window engine
+// (see the package comment): each region serves its own events in
+// (t, seq) order and regions exchange boundary events and link
+// reservations at window barriers, on cfg.Workers goroutines. Each
+// in-order core keeps one iteration in flight, with that iteration's
+// references issued concurrently.
 func (s *System) RunNest(n *loop.Nest, sets []loop.IterSet, assign *core.Assignment) NestResult {
 	return s.RunNestOn(n, sets, assign, nil)
 }
@@ -306,33 +344,24 @@ func (s *System) RunNestOn(n *loop.Nest, sets []loop.IterSet, assign *core.Assig
 		work[c] = append(work[c], k)
 	}
 
-	plan := n.NewStepPlan()
-	eng := engine{
-		sys:         s,
-		nest:        n,
-		sets:        sets,
-		obs:         obs,
-		work:        work,
-		next:        make([]int, nodes),
-		cur:         make([]int64, nodes),
-		step:        make([]loop.Stepper, nodes),
-		outstanding: make([]int, nodes),
-		doneAt:      make([]int64, nodes),
-		// Each core has at most len(Refs)+1 in-flight references, each
-		// with at most one pending event: size the heap once.
-		heap: make([]event, 0, nodes*(len(n.Refs)+2)),
+	if s.eng == nil {
+		s.eng = newEngine(s)
 	}
+	eng := s.eng
+	plan := n.NewStepPlan()
 	ivBack := make([]int64, nodes*plan.Dims())
 	valBack := make([]int64, nodes*plan.Refs())
 	for c := 0; c < nodes; c++ {
 		if len(work[c]) > 0 {
 			plan.Bind(&eng.step[c], ivBack[c*plan.Dims():], valBack[c*plan.Refs():])
-			eng.cur[c] = sets[work[c][0]].Lo
-			eng.step[c].SeekTo(eng.cur[c])
-			eng.push(event{t: s.coreTime[c], core: int32(c), stage: stIssue})
 		}
 	}
-	eng.run()
+	eng.arm(n, sets, obs, work)
+	workers := s.cfg.Workers
+	if workers > eng.numRegions {
+		workers = eng.numRegions
+	}
+	eng.run(workers)
 
 	end := start
 	if cores == nil {
@@ -367,267 +396,6 @@ const (
 
 // LegNames labels the leg indices of Stats.LegLatency.
 var LegNames = [numLegs]string{"req>bank", "bank>core", "bank>mc", "core>mc", "mc>core"}
-
-// Event stages of one data reference's lifetime.
-const (
-	stIssue     = iota // core executes work and issues its next reference
-	stToBank           // shared: request leaves core toward the home bank
-	stBankReply        // shared hit: data leaves the bank toward the core
-	stBankToMC         // shared miss: request leaves the bank toward the MC
-	stToMC             // private miss: request leaves the core toward the MC
-	stMemReply         // data leaves the MC toward the core
-)
-
-// event is kept small (48 bytes) because the scheduler's sift operations
-// copy whole events; narrow index fields nearly halve the memory traffic
-// of every push/pop.
-type event struct {
-	t    int64
-	seq  uint64 // FIFO tie-break for equal-t events (see package comment)
-	addr mem.Addr
-
-	core  int32
-	stage int32
-	bank  int32
-	mc    int32
-	k     int32 // iteration-set index (for observations)
-	hit   bool  // shared LLC: lookup outcome, decided at issue time
-}
-
-// before reports whether a precedes b in the event queue: earlier
-// simulated time first, and for equal times the event pushed first. The
-// explicit sequence number makes equal-timestamp ordering a documented
-// contract instead of an artifact of heap internals, so results are
-// reproducible under any heap layout change.
-func (a *event) before(b *event) bool {
-	return a.t < b.t || (a.t == b.t && a.seq < b.seq)
-}
-
-// engine drives one nest to completion in global time order.
-type engine struct {
-	sys  *System
-	nest *loop.Nest
-	sets []loop.IterSet
-	obs  []SetObs
-	work [][]int
-
-	next []int          // per-core index into work
-	cur  []int64        // per-core current flat iteration
-	step []loop.Stepper // per-core incremental address generator
-
-	// outstanding counts a core's in-flight references (the iteration's
-	// refs issue concurrently — MSHR-style memory-level parallelism);
-	// doneAt accumulates the max completion time of the iteration.
-	outstanding []int
-	doneAt      []int64
-
-	heap []event
-	seq  uint64 // next event sequence number (FIFO tie-break)
-}
-
-// push and pop sift a hole instead of swapping, so each level costs one
-// event copy rather than two. The heap's pop order is fully determined
-// by the (t, seq) total order, so the sift strategy — or any future
-// queue implementation — cannot change simulation results.
-func (e *engine) push(ev event) {
-	ev.seq = e.seq
-	e.seq++
-	h := append(e.heap, ev)
-	e.heap = h
-	i := len(h) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if h[p].before(&ev) {
-			break
-		}
-		h[i] = h[p]
-		i = p
-	}
-	h[i] = ev
-}
-
-func (e *engine) pop() event {
-	h := e.heap
-	top := h[0]
-	last := len(h) - 1
-	x := h[last]
-	h = h[:last]
-	e.heap = h
-	i, n := 0, last
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		if r := l + 1; r < n && h[r].before(&h[l]) {
-			l = r
-		}
-		if !h[l].before(&x) {
-			break
-		}
-		h[i] = h[l]
-		i = l
-	}
-	if n > 0 {
-		h[i] = x
-	}
-	return top
-}
-
-func (e *engine) run() {
-	for len(e.heap) > 0 {
-		ev := e.pop()
-		switch ev.stage {
-		case stIssue:
-			e.issue(int(ev.core))
-		case stToBank:
-			e.toBank(ev)
-		case stBankReply:
-			e.bankReply(ev)
-		case stBankToMC:
-			e.bankToMC(ev)
-		case stToMC:
-			e.toMC(ev)
-		case stMemReply:
-			e.memReply(ev)
-		}
-	}
-}
-
-// resume records the completion of one in-flight reference at time t;
-// when the iteration's last reference lands, the core commits it and
-// issues the next iteration.
-func (e *engine) resume(c int, t int64) {
-	if t > e.doneAt[c] {
-		e.doneAt[c] = t
-	}
-	e.outstanding[c]--
-	if e.outstanding[c] > 0 {
-		return
-	}
-	s := e.sys
-	s.coreTime[c] = e.doneAt[c]
-	e.cur[c]++
-	k := e.work[c][e.next[c]]
-	if e.cur[c] >= e.sets[k].Hi {
-		e.next[c]++
-		if e.next[c] >= len(e.work[c]) {
-			return // core done with this nest
-		}
-		e.cur[c] = e.sets[e.work[c][e.next[c]]].Lo
-		e.step[c].SeekTo(e.cur[c])
-	} else {
-		e.step[c].Step()
-	}
-	e.push(event{t: s.coreTime[c], core: int32(c), stage: stIssue})
-}
-
-// issue commits one iteration's compute and launches all of its data
-// references concurrently (compiler-scheduled loads behind MSHRs). The
-// iteration retires when its slowest reference lands.
-func (e *engine) issue(c int) {
-	s := e.sys
-	n := e.nest
-	k := e.work[c][e.next[c]]
-	st := &e.step[c]
-	// Branches and variable-latency arithmetic make real iterations
-	// jitter by a few percent; without it the nest barrier phase-locks
-	// all cores and every "round" slams the DRAM banks simultaneously.
-	work := n.WorkCycles
-	if work >= 8 {
-		h := uint64(c+1)*0x9e3779b97f4a7c15 ^ uint64(e.cur[c])*0xbf58476d1ce4e5b9
-		h ^= h >> 29
-		work += int64(h % uint64(work/4))
-	}
-	t := s.coreTime[c] + work
-	ob := &e.obs[k]
-
-	e.outstanding[c] = len(n.Refs) + 1
-	e.doneAt[c] = t
-	for ri := range n.Refs {
-		addr := st.Addr(ri)
-		tt := t + s.cfg.L1Latency
-		if s.l1[c].Access(addr) {
-			e.resume(c, tt)
-			continue
-		}
-		bank, hit := s.llc.Access(c, addr)
-		ob.LLCAccesses++
-
-		if s.cfg.LLCOrg == cache.Private {
-			tt += s.cfg.L2Latency
-			if hit {
-				ob.LLCHits++
-				e.resume(c, tt)
-				continue
-			}
-			mc := s.amap.MC(addr)
-			ob.MCMisses[mc]++
-			e.push(event{t: tt, core: int32(c), stage: stToMC, addr: addr, mc: int32(mc), k: int32(k)})
-			continue
-		}
-
-		// Shared S-NUCA: the request must reach the home bank first.
-		if hit {
-			ob.LLCHits++
-			ob.RegionHits[s.cfg.Mesh.RegionOf(topology.NodeID(bank))]++
-		} else {
-			ob.MCMisses[s.amap.MC(addr)]++
-		}
-		e.push(event{t: tt, core: int32(c), stage: stToBank, addr: addr, bank: int32(bank), hit: hit, k: int32(k)})
-	}
-	// The +1 guard retires the iteration even if every ref hit in L1.
-	e.resume(c, t)
-}
-
-func (e *engine) toBank(ev event) {
-	s := e.sys
-	t := s.net.Send(topology.NodeID(ev.core), topology.NodeID(ev.bank), ev.t, noc.Request)
-	s.leg(LegReqToBank, t-ev.t)
-	t += s.cfg.L2Latency
-	if ev.hit {
-		e.push(event{t: t, core: ev.core, stage: stBankReply, addr: ev.addr, bank: ev.bank, k: ev.k})
-	} else {
-		mc := s.amap.MC(ev.addr)
-		e.push(event{t: t, core: ev.core, stage: stBankToMC, addr: ev.addr, bank: ev.bank, mc: int32(mc), k: ev.k})
-	}
-}
-
-func (e *engine) bankReply(ev event) {
-	s := e.sys
-	t := s.net.Send(topology.NodeID(ev.bank), topology.NodeID(ev.core), ev.t, noc.Data)
-	s.leg(LegBankReply, t-ev.t)
-	e.resume(int(ev.core), t)
-}
-
-func (e *engine) bankToMC(ev event) {
-	s := e.sys
-	t := s.net.Send(topology.NodeID(ev.bank), s.mcNode[ev.mc], ev.t, noc.Request)
-	s.leg(LegBankToMC, t-ev.t)
-	done := s.ddr.Request(int(ev.mc), ev.addr, t)
-	e.push(event{t: done, core: ev.core, stage: stMemReply, mc: ev.mc, k: ev.k})
-}
-
-func (e *engine) toMC(ev event) {
-	s := e.sys
-	t := s.net.Send(topology.NodeID(ev.core), s.mcNode[ev.mc], ev.t, noc.Request)
-	s.leg(LegReqToMC, t-ev.t)
-	done := s.ddr.Request(int(ev.mc), ev.addr, t)
-	e.push(event{t: done, core: ev.core, stage: stMemReply, mc: ev.mc, k: ev.k})
-}
-
-func (e *engine) memReply(ev event) {
-	s := e.sys
-	t := s.net.Send(s.mcNode[ev.mc], topology.NodeID(ev.core), ev.t, noc.Data)
-	s.leg(LegMemReply, t-ev.t)
-	e.resume(int(ev.core), t)
-}
-
-// leg records one network-leg transit.
-func (s *System) leg(kind int, cycles int64) {
-	s.legLat[kind] += uint64(cycles)
-	s.legCnt[kind]++
-}
 
 // LegStats reports total transit cycles and packet count per network leg.
 func (s *System) LegStats() (lat, cnt [numLegs]uint64) {

@@ -338,9 +338,8 @@ func TestRunNestOnSubsetBarrier(t *testing.T) {
 // the per-leg accounting, in LegNames order with exact averages.
 func TestLegSummariesMatchLegStats(t *testing.T) {
 	s := New(DefaultConfig())
-	s.leg(0, 5)
-	s.leg(0, 7)
-	s.leg(3, 11)
+	s.legLat[0], s.legCnt[0] = 5+7, 2
+	s.legLat[3], s.legCnt[3] = 11, 1
 	sums := s.LegSummaries()
 	if len(sums) != numLegs {
 		t.Fatalf("len = %d, want %d", len(sums), numLegs)
