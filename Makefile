@@ -48,11 +48,18 @@ race-matrix:
 # RunNest benchmarks with the region engine's workers=1-vs-workers=N
 # sub-benchmarks (ParNest*, ParFig07), so in-run speedup and the
 # serial-path overhead live in one record.
+#
+# A third capture under the "placeopt" label records the placement
+# search's throughput (candidates/sec through the estimate tier),
+# which bounds how many chip layouts one /v1/optimize request can
+# afford to score.
 BENCH_LABEL ?= post
 BENCH_PAR_LABEL ?= parallel-sim
+BENCH_PLACE_LABEL ?= placeopt
 BENCHTIME_MICRO ?= 2s
 BENCHTIME_FIG ?= 3x
 BENCHTIME_EST ?= 50x
+BENCHTIME_PLACE ?= 3x
 bench:
 	@rm -f .bench.out
 	$(GO) test -run '^$$' -bench 'RunNest|NoCSend|CacheAccess|CacheLookup' \
@@ -68,4 +75,8 @@ bench:
 	$(GO) test -run '^$$' -bench 'ParFig07' \
 		-benchtime $(BENCHTIME_FIG) -benchmem . | tee -a .bench.par.out
 	$(GO) run ./cmd/benchjson -label $(BENCH_PAR_LABEL) -note "$(BENCH_NOTE)" -out BENCH_sim.json < .bench.par.out
-	@rm -f .bench.par.out
+	@rm -f .bench.par.out .bench.place.out
+	$(GO) test -run '^$$' -bench 'BenchmarkPlaceoptSearch' \
+		-benchtime $(BENCHTIME_PLACE) -benchmem ./internal/placeopt | tee -a .bench.place.out
+	$(GO) run ./cmd/benchjson -label $(BENCH_PLACE_LABEL) -note "$(BENCH_NOTE)" -out BENCH_sim.json < .bench.place.out
+	@rm -f .bench.place.out

@@ -24,6 +24,8 @@
 //	                  to survive reboots)
 //	-batch-workers N  max concurrent batch jobs (default workers/2, min 1)
 //	-result-ttl D     batch-result retention after completion (default 15m)
+//	-optimize-workers N  max concurrent /v1/optimize searches (default 1)
+//	-optimize-limit N    max queued /v1/optimize jobs (default 32)
 //	-fast-tier        answer /v1/map from the analytical estimator (tier
 //	                  "estimate", microseconds) and verify each plan with
 //	                  a background simulation that upgrades the cached
@@ -106,6 +108,8 @@ func run() error {
 		"batch-job journal directory")
 	batchWorkers := flag.Int("batch-workers", 0, "max concurrent batch jobs (0 = workers/2)")
 	resultTTL := flag.Duration("result-ttl", 15*time.Minute, "batch-result retention after completion")
+	optWorkers := flag.Int("optimize-workers", 1, "max concurrent /v1/optimize searches")
+	optLimit := flag.Int("optimize-limit", 32, "max queued /v1/optimize jobs")
 	fastTier := flag.Bool("fast-tier", false,
 		"answer /v1/map from the analytical estimator and verify in the background")
 	alphaTol := flag.Float64("alpha-tol", 0.1,
@@ -159,6 +163,8 @@ func run() error {
 		JournalDir:       *journalDir,
 		BatchWorkers:     *batchWorkers,
 		ResultTTL:        *resultTTL,
+		OptimizeWorkers:  *optWorkers,
+		OptimizeLimit:    *optLimit,
 		FastTier:         *fastTier,
 		AlphaTolerance:   *alphaTol,
 		LatencyTolerance: *latencyTol,

@@ -150,9 +150,12 @@ type NestEstimate struct {
 	Cycles         int64 `json:"cycles"`
 	BaselineCycles int64 `json:"baseline_cycles"`
 
-	// Cores is the predicted set→core schedule for irregular nests
-	// (the decision the inspector would make at run time); nil for
-	// regular nests, whose schedule is already in the compiled plan.
+	// Cores is the predicted set→core schedule whenever the estimator
+	// derived one itself: for irregular nests (the decision the
+	// inspector would make at run time) and for every nest scored via
+	// FromAffinities (the placement search remaps all nests per
+	// candidate chip). Nil for regular nests on the FromResult path,
+	// whose schedule is already in the compiled plan.
 	Cores []int `json:"cores,omitempty"`
 }
 
@@ -291,6 +294,57 @@ func (e *Estimator) buildDistances() {
 // lang.GenerateIndexData, exactly as the simulation path does) or
 // their streams degenerate to a single address.
 func (e *Estimator) FromResult(res *compiler.Result) *Plan {
+	return e.plan(res, nil)
+}
+
+// Affinities extracts the per-nest set affinities of a finished
+// compilation in res.Plans order: the CME walk's vectors for regular
+// nests, a fresh reuse-distance sketch for irregular ones. The vectors
+// depend only on the address interleave and cache capacity — which
+// candidate chips in a placement search share — not on where the MCs
+// physically sit, so one extraction can be re-scored against hundreds
+// of hypothetical topologies via FromAffinities.
+func (e *Estimator) Affinities(res *compiler.Result) [][]affinity.SetAffinity {
+	sketch := NewSketch(e.cfg.SketchRate, e.cfg.SketchStack)
+	out := make([][]affinity.SetAffinity, len(res.Plans))
+	for i, np := range res.Plans {
+		if np.NeedsInspector {
+			out[i] = e.sketchNest(np.Nest, sketch)
+		} else {
+			out[i] = np.Affinities
+		}
+	}
+	return out
+}
+
+// FromAffinities predicts the execution of a compilation against this
+// estimator's machine, re-deriving the set→core assignment of every
+// nest from pre-extracted affinities instead of trusting the compiled
+// schedule. This is the placement search's inner loop: the compiled
+// assignment was optimized for the topology the program was compiled
+// against, while a candidate chip moves the MCs — so the mapper must
+// re-run per candidate for the comparison to measure the chip, not a
+// stale schedule. affs must come from Affinities on an estimator that
+// shares this one's address map (same interleave, same capacity).
+func (e *Estimator) FromAffinities(res *compiler.Result, affs [][]affinity.SetAffinity) *Plan {
+	if len(affs) != len(res.Plans) {
+		panic("estimate: FromAffinities affinity count does not match compilation")
+	}
+	return e.plan(res, affs)
+}
+
+// mapNest runs the mapper appropriate to the LLC organization.
+func (e *Estimator) mapNest(affs []affinity.SetAffinity) *core.Assignment {
+	if e.shared {
+		return e.mapper.MapShared(affs)
+	}
+	return e.mapper.MapPrivate(affs)
+}
+
+// plan is the shared prediction walk. With pre == nil it mirrors the
+// compilation (compiled affinities and assignments, sketching irregular
+// nests); with pre-extracted affinities it remaps every nest.
+func (e *Estimator) plan(res *compiler.Result, pre [][]affinity.SetAffinity) *Plan {
 	p := res.Program
 	iters := p.TimingIters
 	if iters < 1 {
@@ -304,20 +358,28 @@ func (e *Estimator) FromResult(res *compiler.Result) *Plan {
 	for i := range plan.Legs {
 		plan.Legs[i].Leg = sim.LegNames[i]
 	}
-	sketch := NewSketch(e.cfg.SketchRate, e.cfg.SketchStack)
+	var sketch *Sketch
+	if pre == nil {
+		sketch = NewSketch(e.cfg.SketchRate, e.cfg.SketchStack)
+	}
 	var legs [len(sim.LegNames)]legAcc
 	var alphaAcc, accTotal float64
 	var mapped, baseline int64
-	for _, np := range res.Plans {
-		affs := np.Affinities
-		assign := np.Assignment
-		if np.NeedsInspector {
+	for i, np := range res.Plans {
+		var affs []affinity.SetAffinity
+		var assign *core.Assignment
+		remapped := true
+		switch {
+		case pre != nil:
+			affs = pre[i]
+			assign = e.mapNest(affs)
+		case np.NeedsInspector:
 			affs = e.sketchNest(np.Nest, sketch)
-			if e.shared {
-				assign = e.mapper.MapShared(affs)
-			} else {
-				assign = e.mapper.MapPrivate(affs)
-			}
+			assign = e.mapNest(affs)
+		default:
+			affs = np.Affinities
+			assign = np.Assignment
+			remapped = false
 		}
 		def := core.DefaultSchedule(e.mesh, len(affs))
 		nc := e.nestCost(np.Nest, affs, assign, &legs)
@@ -333,7 +395,7 @@ func (e *Estimator) FromResult(res *compiler.Result) *Plan {
 			Cycles:         nc.cycles,
 			BaselineCycles: base.cycles,
 		}
-		if np.NeedsInspector {
+		if remapped {
 			ne.Cores = make([]int, len(assign.Core))
 			for k, c := range assign.Core {
 				ne.Cores[k] = int(c)

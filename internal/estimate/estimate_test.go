@@ -9,6 +9,7 @@ import (
 	"locmap/internal/compiler"
 	"locmap/internal/lang"
 	"locmap/internal/sim"
+	"locmap/internal/topology"
 )
 
 const regularSrc = `
@@ -267,4 +268,65 @@ func TestNewPanicsOnNilMesh(t *testing.T) {
 		}
 	}()
 	New(Config{})
+}
+
+func TestFromAffinitiesRemapsEveryNest(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	res := compile(t, regularSrc, compiler.Options{Cfg: cfg})
+	affs := New(Config{Cfg: cfg}).Affinities(res)
+	if len(affs) != len(res.Plans) {
+		t.Fatalf("Affinities returned %d nests, want %d", len(affs), len(res.Plans))
+	}
+	p1 := New(Config{Cfg: cfg}).FromAffinities(res, affs)
+	p2 := New(Config{Cfg: cfg}).FromAffinities(res, affs)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Errorf("FromAffinities not deterministic:\n%+v\nvs\n%+v", p1, p2)
+	}
+	// Unlike FromResult, the remap path derives a schedule for every
+	// nest — the placement search needs the co-optimized mapping, not
+	// the one compiled against the base chip.
+	for i, ne := range p1.Nests {
+		if len(ne.Cores) != ne.Sets {
+			t.Errorf("nest %d: remapped schedule covers %d of %d sets", i, len(ne.Cores), ne.Sets)
+		}
+	}
+	if p1.PredictedCycles <= 0 || p1.BaselineCycles <= 0 {
+		t.Fatalf("degenerate remapped plan: %+v", p1)
+	}
+}
+
+func TestFromAffinitiesScoresCandidateMesh(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	res := compile(t, regularSrc, compiler.Options{Cfg: cfg})
+	affs := New(Config{Cfg: cfg}).Affinities(res)
+	base := New(Config{Cfg: cfg}).FromAffinities(res, affs)
+
+	// A candidate chip with all four MCs bunched on the top edge: the
+	// same affinities scored against different distance tables must
+	// yield a different predicted cost (bottom-row cores are now far
+	// from every controller).
+	mesh2, err := cfg.Mesh.WithMCs([]topology.Coord{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Mesh = mesh2
+	cand := New(Config{Cfg: cfg2}).FromAffinities(res, affs)
+	if cand.PredictedCycles == base.PredictedCycles {
+		t.Errorf("bunched-MC candidate scored identically to corner MCs: %d cycles", cand.PredictedCycles)
+	}
+}
+
+func TestFromAffinitiesLengthMismatchPanics(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	res := compile(t, regularSrc, compiler.Options{Cfg: cfg})
+	e := New(Config{Cfg: cfg})
+	defer func() {
+		if recover() == nil {
+			t.Error("FromAffinities accepted a mismatched affinity list")
+		}
+	}()
+	e.FromAffinities(res, nil)
 }

@@ -36,6 +36,28 @@ func TestFingerprintPins(t *testing.T) {
 		t.Errorf("plancache Spec pin drifted:\n got  %s\n want %s", got, wantSpec)
 	}
 
+	// Placement fields are hashed only when present: a spec without
+	// them must keep the pre-placement digest above (proven by the pin
+	// match), and each of MCs/Banks must change the key on its own.
+	mcSpec := spec
+	mcSpec.MCs = [][2]int{{0, 0}, {5, 0}, {0, 5}, {5, 5}}
+	gotMC, err := mcSpec.Fingerprint()
+	if err != nil {
+		t.Fatalf("Spec.Fingerprint with MCs: %v", err)
+	}
+	if gotMC == wantSpec {
+		t.Errorf("custom MC placement did not change the fingerprint")
+	}
+	bankSpec := spec
+	bankSpec.Banks = [][2]int{{2, 2}, {3, 3}}
+	gotBank, err := bankSpec.Fingerprint()
+	if err != nil {
+		t.Fatalf("Spec.Fingerprint with Banks: %v", err)
+	}
+	if gotBank == wantSpec || gotBank == gotMC {
+		t.Errorf("bank subset did not get its own fingerprint")
+	}
+
 	appJob := experiments.Job{
 		Kind:  experiments.KindApp,
 		App:   "triad",

@@ -1,0 +1,340 @@
+package jobqueue
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gatedExec executes like countingExec, but jobs whose fingerprint
+// starts with "block" park until gate is closed (or the run context is
+// cancelled).
+func gatedExec(execs *sync.Map, gate chan struct{}) func(ctx context.Context, j *Job) ([]byte, bool, error) {
+	inner := countingExec(execs)
+	return func(ctx context.Context, j *Job) ([]byte, bool, error) {
+		if strings.HasPrefix(j.Fingerprint, "block") {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		return inner(ctx, j)
+	}
+}
+
+func TestDetachedRunsWhilePoolIsSaturated(t *testing.T) {
+	var execs sync.Map
+	gate := make(chan struct{})
+	q := mustOpen(t, Config{Workers: 1, DetachedWorkers: 1, Exec: gatedExec(&execs, gate)})
+	defer closeQueue(t, q)
+
+	// Saturate the single pool worker.
+	if _, _, err := q.SubmitBatch("req", []Spec{{Kind: "map", Fingerprint: "block-pool"}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "pool job running", func() bool {
+		jobs, _ := q.List(ListOptions{State: StateRunning, Limit: 10})
+		return len(jobs) == 1
+	})
+
+	// A detached job must complete anyway: it has its own worker.
+	dj, err := q.Submit("req", Spec{Kind: "optimize", Fingerprint: "opt-1", Detached: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dj.Detached || dj.Priority != PriorityBatch || dj.BatchID == "" {
+		t.Fatalf("detached job spec: %+v", dj)
+	}
+	waitFor(t, "detached completion", func() bool {
+		j, ok := q.Job(dj.ID)
+		return ok && j.State == StateDone
+	})
+	close(gate)
+}
+
+func TestDetachedOrchestratorFansOutChildren(t *testing.T) {
+	// The deadlock scenario the detached class exists for: a Workers=1
+	// pool, and an orchestrator job that submits children into that
+	// pool and waits for them. On a pool worker this would deadlock.
+	var execs sync.Map
+	var qp atomic.Pointer[Queue]
+	exec := func(ctx context.Context, j *Job) ([]byte, bool, error) {
+		if j.Kind != "orchestrate" {
+			return countingExec(&execs)(ctx, j)
+		}
+		q := qp.Load()
+		_, children, err := q.SubmitBatch(j.SubmitRequestID, []Spec{specN(101), specN(102)})
+		if err != nil {
+			return nil, false, err
+		}
+		for _, c := range children {
+			for {
+				cj, ok := q.Job(c.ID)
+				if !ok {
+					return nil, false, errors.New("child vanished")
+				}
+				if cj.State.Terminal() {
+					break
+				}
+				select {
+				case <-ctx.Done():
+					return nil, false, ctx.Err()
+				case <-time.After(time.Millisecond):
+				}
+			}
+		}
+		return []byte(`{"children":2}`), false, nil
+	}
+	q := mustOpen(t, Config{Workers: 1, DetachedWorkers: 1, Exec: exec})
+	qp.Store(q)
+	defer closeQueue(t, q)
+
+	j, err := q.Submit("req", Spec{Kind: "orchestrate", Fingerprint: "orch-1", Detached: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "orchestrator completion", func() bool {
+		got, ok := q.Job(j.ID)
+		return ok && got.State == StateDone
+	})
+	got, _ := q.Job(j.ID)
+	if string(got.Result) != `{"children":2}` {
+		t.Fatalf("orchestrator result = %s", got.Result)
+	}
+	if execCount(&execs, "fp-101") != 1 || execCount(&execs, "fp-102") != 1 {
+		t.Fatal("children did not execute on the pool")
+	}
+}
+
+func TestSubmitCoalescesByFingerprint(t *testing.T) {
+	var execs sync.Map
+	gate := make(chan struct{})
+	q := mustOpen(t, Config{Workers: 1, DetachedWorkers: 1, Exec: gatedExec(&execs, gate)})
+	defer closeQueue(t, q)
+
+	j1, err := q.Submit("r1", Spec{Kind: "optimize", Fingerprint: "block-opt", Detached: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same fingerprint while queued/running: coalesced to the same job.
+	j2, err := q.Submit("r2", Spec{Kind: "optimize", Fingerprint: "block-opt", Detached: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.ID != j2.ID {
+		t.Fatalf("re-submission created a new job: %s vs %s", j1.ID, j2.ID)
+	}
+	close(gate)
+	waitFor(t, "completion", func() bool {
+		j, ok := q.Job(j1.ID)
+		return ok && j.State == StateDone
+	})
+	// Same fingerprint once done: answered from the retained result.
+	j3, err := q.Submit("r3", Spec{Kind: "optimize", Fingerprint: "block-opt", Detached: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.ID != j1.ID || j3.State != StateDone {
+		t.Fatalf("post-completion re-submission: %+v", j3)
+	}
+	if n := execCount(&execs, "block-opt"); n != 1 {
+		t.Fatalf("fingerprint executed %d times, want 1", n)
+	}
+}
+
+func TestSubmitDetachedLimit(t *testing.T) {
+	var execs sync.Map
+	gate := make(chan struct{})
+	q := mustOpen(t, Config{Workers: 1, DetachedWorkers: 1, DetachedLimit: 1,
+		Exec: gatedExec(&execs, gate)})
+	defer closeQueue(t, q)
+	defer close(gate)
+
+	// First job occupies the detached worker; second fills the queue;
+	// third must bounce with ErrQueueFull.
+	if _, err := q.Submit("r", Spec{Kind: "optimize", Fingerprint: "block-a", Detached: true}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first detached running", func() bool { return q.DetachedDepth() == 0 })
+	if _, err := q.Submit("r", Spec{Kind: "optimize", Fingerprint: "block-b", Detached: true}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := q.Submit("r", Spec{Kind: "optimize", Fingerprint: "block-c", Detached: true})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third detached submit: %v, want ErrQueueFull", err)
+	}
+}
+
+func TestDetachedCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	var execs sync.Map
+	gate := make(chan struct{})
+	q := mustOpen(t, Config{Dir: dir, Workers: 1, DetachedWorkers: 1,
+		Exec: gatedExec(&execs, gate)})
+
+	j, err := q.Submit("req", Spec{Kind: "optimize", Fingerprint: "block-opt", Detached: true,
+		Request: json.RawMessage(`{"candidates":200}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "detached running", func() bool {
+		got, ok := q.Job(j.ID)
+		return ok && got.State == StateRunning
+	})
+	q.crash()
+
+	// Replay must re-queue the interrupted job as detached work with
+	// its request intact.
+	q2 := mustOpen(t, Config{Dir: dir, Workers: 1, DetachedWorkers: 1,
+		Exec: gatedExec(&execs, gate)})
+	defer closeQueue(t, q2)
+	close(gate)
+	waitFor(t, "replayed completion", func() bool {
+		got, ok := q2.Job(j.ID)
+		return ok && got.State == StateDone
+	})
+	got, _ := q2.Job(j.ID)
+	if !got.Detached || string(got.Request) != `{"candidates":200}` {
+		t.Fatalf("replayed job lost its spec: %+v", got)
+	}
+}
+
+func TestListPaginationAndStateFilter(t *testing.T) {
+	var execs sync.Map
+	gate := make(chan struct{})
+	q := mustOpen(t, Config{Workers: 1, DetachedWorkers: 1, Exec: gatedExec(&execs, gate)})
+	defer closeQueue(t, q)
+	defer close(gate)
+
+	// Three jobs that finish, one that blocks running.
+	if _, _, err := q.SubmitBatch("r", []Spec{specN(1), specN(2), specN(3)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "batch drained", func() bool {
+		done, _ := q.List(ListOptions{State: StateDone, Limit: 10})
+		return len(done) == 3
+	})
+	if _, _, err := q.SubmitBatch("r", []Spec{{Kind: "map", Fingerprint: "block-x"}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "blocker running", func() bool {
+		run, _ := q.List(ListOptions{State: StateRunning, Limit: 10})
+		return len(run) == 1
+	})
+
+	// Full listing: newest first, seq strictly descending.
+	all, next := q.List(ListOptions{Limit: 10})
+	if len(all) != 4 || next != 0 {
+		t.Fatalf("List all = %d jobs, next %d; want 4, 0", len(all), next)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq >= all[i-1].Seq {
+			t.Fatalf("listing not newest-first at %d", i)
+		}
+	}
+	if all[0].Fingerprint != "block-x" {
+		t.Fatalf("newest job is %s, want block-x", all[0].Fingerprint)
+	}
+
+	// Cursor walk with page size 3: 3 + 1.
+	page1, cur := q.List(ListOptions{Limit: 3})
+	if len(page1) != 3 || cur == 0 {
+		t.Fatalf("page1 = %d jobs, cursor %d", len(page1), cur)
+	}
+	page2, cur2 := q.List(ListOptions{Limit: 3, Before: cur})
+	if len(page2) != 1 || cur2 != 0 {
+		t.Fatalf("page2 = %d jobs, cursor %d; want 1, 0", len(page2), cur2)
+	}
+	if page2[0].ID == page1[2].ID {
+		t.Fatal("cursor did not advance")
+	}
+
+	// State filter.
+	running, _ := q.List(ListOptions{State: StateRunning, Limit: 10})
+	if len(running) != 1 || running[0].Fingerprint != "block-x" {
+		t.Fatalf("running filter = %+v", running)
+	}
+	queued, _ := q.List(ListOptions{State: StateQueued, Limit: 10})
+	if len(queued) != 0 {
+		t.Fatalf("queued filter = %d jobs, want 0", len(queued))
+	}
+}
+
+func TestSetProgress(t *testing.T) {
+	var execs sync.Map
+	gate := make(chan struct{})
+	q := mustOpen(t, Config{Workers: 1, Exec: gatedExec(&execs, gate)})
+	defer closeQueue(t, q)
+
+	if err := q.SetProgress("nope", json.RawMessage(`{}`)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("SetProgress on unknown id: %v", err)
+	}
+
+	_, jobs, err := q.SubmitBatch("r", []Spec{{Kind: "map", Fingerprint: "block-p"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := jobs[0].ID
+	waitFor(t, "running", func() bool {
+		j, ok := q.Job(id)
+		return ok && j.State == StateRunning
+	})
+	want := `{"phase":"search","evaluated":64}`
+	if err := q.SetProgress(id, json.RawMessage(want)); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := q.Job(id)
+	if string(j.Progress) != want {
+		t.Fatalf("Progress = %s, want %s", j.Progress, want)
+	}
+	close(gate)
+	waitFor(t, "done", func() bool {
+		j, ok := q.Job(id)
+		return ok && j.State == StateDone
+	})
+	j, _ = q.Job(id)
+	if j.Progress != nil {
+		t.Fatalf("terminal job kept progress: %s", j.Progress)
+	}
+	// Progress after completion is silently dropped.
+	if err := q.SetProgress(id, json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := q.Job(id); j.Progress != nil {
+		t.Fatal("progress re-attached to a done job")
+	}
+}
+
+func TestSubmitPoolJobCountsAgainstQueueLimit(t *testing.T) {
+	var execs sync.Map
+	gate := make(chan struct{})
+	q := mustOpen(t, Config{Workers: 1, QueueLimit: 1, Exec: gatedExec(&execs, gate)})
+	defer closeQueue(t, q)
+	defer close(gate)
+
+	if _, err := q.Submit("r", Spec{Kind: "map", Fingerprint: "block-1"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "running", func() bool { return q.Depth() == 0 })
+	if _, err := q.Submit("r", Spec{Kind: "map", Fingerprint: "block-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit("r", Spec{Kind: "map", Fingerprint: "block-3"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-limit pool Submit: %v, want ErrQueueFull", err)
+	}
+}
+
+func TestSubmitClosedQueue(t *testing.T) {
+	q := mustOpen(t, Config{Workers: 1, Exec: countingExec(new(sync.Map))})
+	closeQueue(t, q)
+	if _, err := q.Submit("r", Spec{Kind: "map", Fingerprint: fmt.Sprintf("fp-%d", 1)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit on closed queue: %v, want ErrClosed", err)
+	}
+}

@@ -29,6 +29,14 @@
 // jobs), which is non-durable, separately bounded, and only runs when
 // no batch job is waiting.
 //
+// Orthogonal to priority, a job may be *detached* (Spec.Detached,
+// submitted via Submit): durable like batch work but executed by a
+// dedicated, separately-bounded worker set. Detached execution exists
+// for orchestrator jobs — locmapd's /v1/optimize searches — that
+// themselves submit child jobs into the pool and wait on them: running
+// them on pool workers could deadlock the pool against its own
+// children, so they never occupy a pool slot.
+//
 // The package knows nothing about HTTP or the mapping pipeline: the
 // owner supplies an Exec callback (locmapd routes it through the
 // Server.runJob/plancache path, so batch results warm — and are
@@ -44,6 +52,7 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -124,6 +133,24 @@ const (
 	numPriorities
 )
 
+// Pending-queue indices. The first two coincide with the Priority
+// values; detached jobs wait in their own FIFO drained only by the
+// detached worker set.
+const (
+	qBatch      = int(PriorityBatch)
+	qBackground = int(PriorityBackground)
+	qDetached   = int(numPriorities)
+	numQueues   = qDetached + 1
+)
+
+// queueIndex returns the pending FIFO a queued job waits in.
+func queueIndex(j *Job) int {
+	if j.Detached {
+		return qDetached
+	}
+	return int(j.Priority)
+}
+
 // Spec is what a client submits for one job.
 type Spec struct {
 	// Kind names the result type ("map" or "simulate" in locmapd).
@@ -137,6 +164,11 @@ type Spec struct {
 	// Priority selects the scheduling class. SubmitBatch forces
 	// PriorityBatch; SubmitBackground forces PriorityBackground.
 	Priority Priority `json:"priority,omitempty"`
+
+	// Detached routes the job to the dedicated detached worker set
+	// instead of the pool (see the package comment). Only honored by
+	// Submit; detached jobs are durable and journaled like batch work.
+	Detached bool `json:"detached,omitempty"`
 
 	// Request is the opaque request body the executor will decode.
 	Request json.RawMessage `json:"request,omitempty"`
@@ -169,6 +201,16 @@ type Job struct {
 
 	// Result holds the serialized payload for StateDone.
 	Result json.RawMessage `json:"result,omitempty"`
+
+	// Progress is the executor's latest point-in-time progress payload
+	// (SetProgress), memory-only: it is not journaled and is cleared
+	// when the job reaches a terminal state (the result supersedes it).
+	Progress json.RawMessage `json:"progress,omitempty"`
+
+	// Seq is this process's monotone submission sequence, the cursor
+	// space of List. It is assigned at submit (and again, in journal
+	// order, at replay), so it is process-local and never persisted.
+	Seq int64 `json:"-"`
 
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitempty"`
@@ -232,6 +274,14 @@ type Config struct {
 	// best-effort and drop it.
 	BackgroundLimit int
 
+	// DetachedWorkers bounds concurrently executing detached jobs
+	// (default 1). Detached workers are additional goroutines on top
+	// of Workers; they only drain the detached FIFO.
+	DetachedWorkers int
+
+	// DetachedLimit bounds queued detached jobs (default 32).
+	DetachedLimit int
+
 	// CompactBytes triggers journal compaction once the live journal
 	// file exceeds this size (default 4MiB).
 	CompactBytes int64
@@ -269,10 +319,11 @@ type Queue struct {
 	cond    *sync.Cond
 	jobs    map[string]*Job
 	batches map[string]*Batch
-	pending [numPriorities][]string // FIFO of queued job ids per priority
-	byFP    map[string]string       // fingerprint -> id of a done job holding a result
-	running map[string]string       // fingerprint -> id of the running leader
+	pending [numQueues][]string // FIFO of queued job ids per queue
+	byFP    map[string]string   // fingerprint -> id of a done job holding a result
+	running map[string]string   // fingerprint -> id of the running leader
 	waiters map[string][]string
+	seq     int64    // monotone submission sequence (List cursor space)
 	jrn     *journal // nil when Dir == ""
 	closing bool
 
@@ -326,6 +377,12 @@ func Open(cfg Config) (*Queue, error) {
 	if cfg.BackgroundLimit <= 0 {
 		cfg.BackgroundLimit = cfg.QueueLimit
 	}
+	if cfg.DetachedWorkers <= 0 {
+		cfg.DetachedWorkers = 1
+	}
+	if cfg.DetachedLimit <= 0 {
+		cfg.DetachedLimit = 32
+	}
 	if cfg.CompactBytes <= 0 {
 		cfg.CompactBytes = 4 << 20
 	}
@@ -367,7 +424,11 @@ func Open(cfg Config) (*Queue, error) {
 	q.register(cfg.Registry)
 	for i := 0; i < cfg.Workers; i++ {
 		q.wg.Add(1)
-		go q.worker()
+		go q.worker([]int{qBatch, qBackground})
+	}
+	for i := 0; i < cfg.DetachedWorkers; i++ {
+		q.wg.Add(1)
+		go q.worker([]int{qDetached})
 	}
 	q.wg.Add(1)
 	go q.sweeper()
@@ -392,15 +453,20 @@ func (q *Queue) replay(jrn *journal) error {
 			for _, jr := range rec.Jobs {
 				j := *jr
 				// Only batch jobs are journaled; anything replayed is
-				// batch priority by construction.
+				// batch priority by construction. Detached survives on
+				// the spec, routing the job back to its worker set.
 				j.Priority = PriorityBatch
+				q.seq++
+				j.Seq = q.seq
 				switch j.State {
 				case StateQueued, StateRunning:
 					// A job that was mid-run when the process died is
 					// re-run from scratch.
 					j.State = StateQueued
 					j.StartedAt = time.Time{}
-					q.pending[PriorityBatch] = append(q.pending[PriorityBatch], j.ID)
+					j.Progress = nil
+					qi := queueIndex(&j)
+					q.pending[qi] = append(q.pending[qi], j.ID)
 					q.transitions[StateQueued]++
 				case StateDone:
 					q.byFP[j.Fingerprint] = j.ID
@@ -501,7 +567,11 @@ func (q *Queue) register(reg *metrics.Registry) {
 	reg.GaugeFunc("locmapd_jobqueue_depth",
 		"Jobs queued and waiting for a worker, by scheduling class.",
 		metrics.Labels{"priority": "background"},
-		locked(func() float64 { return float64(len(q.pending[PriorityBackground])) }))
+		locked(func() float64 { return float64(len(q.pending[qBackground])) }))
+	reg.GaugeFunc("locmapd_jobqueue_depth",
+		"Jobs queued and waiting for a worker, by scheduling class.",
+		metrics.Labels{"priority": "detached"},
+		locked(func() float64 { return float64(len(q.pending[qDetached])) }))
 	for _, st := range States {
 		st := st
 		reg.CounterFunc("locmapd_jobqueue_transitions_total",
@@ -558,8 +628,18 @@ func (q *Queue) Depth() int {
 func (q *Queue) BackgroundDepth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.pending[PriorityBackground])
+	return len(q.pending[qBackground])
 }
+
+// DetachedDepth reports the queued detached backlog.
+func (q *Queue) DetachedDepth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending[qDetached])
+}
+
+// DetachedLimit reports the configured detached queue bound.
+func (q *Queue) DetachedLimit() int { return q.cfg.DetachedLimit }
 
 // QueueLimit reports the configured batch queue bound.
 func (q *Queue) QueueLimit() int { return q.cfg.QueueLimit }
@@ -615,6 +695,7 @@ func (q *Queue) SubmitBatch(requestID string, specs []Spec) (Batch, []Job, error
 	jobs := make([]*Job, 0, len(specs))
 	for _, sp := range specs {
 		sp.Priority = PriorityBatch
+		sp.Detached = false
 		j := &Job{
 			Spec:            sp,
 			ID:              newID(),
@@ -633,8 +714,10 @@ func (q *Queue) SubmitBatch(requestID string, specs []Spec) (Batch, []Job, error
 	}
 	q.batches[b.ID] = b
 	for _, j := range jobs {
+		q.seq++
+		j.Seq = q.seq
 		q.jobs[j.ID] = j
-		q.pending[PriorityBatch] = append(q.pending[PriorityBatch], j.ID)
+		q.pending[qBatch] = append(q.pending[qBatch], j.ID)
 		q.transitions[StateQueued]++
 	}
 	q.cond.Broadcast()
@@ -666,6 +749,7 @@ func (q *Queue) waiterCount(pr Priority) int {
 // existing job's snapshot is returned and nothing new is enqueued.
 func (q *Queue) SubmitBackground(requestID string, sp Spec) (Job, error) {
 	sp.Priority = PriorityBackground
+	sp.Detached = false
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closing {
@@ -697,11 +781,147 @@ func (q *Queue) SubmitBackground(requestID string, sp Spec) (Job, error) {
 		State:           StateQueued,
 		SubmittedAt:     q.now(),
 	}
+	q.seq++
+	j.Seq = q.seq
 	q.jobs[j.ID] = j
-	q.pending[PriorityBackground] = append(q.pending[PriorityBackground], j.ID)
+	q.pending[qBackground] = append(q.pending[qBackground], j.ID)
 	q.transitions[StateQueued]++
 	q.cond.Broadcast()
 	return *j, nil
+}
+
+// Submit atomically accepts one durable job (journaled as a batch of
+// one). It is the submission path for detached orchestrator work
+// (sp.Detached) but accepts pool jobs too. Like SubmitBackground,
+// submissions coalesce against an existing job with the same
+// fingerprint — done, running or queued — so re-submitting an
+// identical optimize request returns the existing job instead of
+// re-running the search.
+func (q *Queue) Submit(requestID string, sp Spec) (Job, error) {
+	sp.Priority = PriorityBatch
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closing {
+		return Job{}, ErrClosed
+	}
+	if doneID, ok := q.byFP[sp.Fingerprint]; ok {
+		if done, live := q.jobs[doneID]; live && done.State == StateDone {
+			return *done, nil
+		}
+	}
+	if leadID, ok := q.running[sp.Fingerprint]; ok {
+		if lead, live := q.jobs[leadID]; live {
+			return *lead, nil
+		}
+	}
+	qi := queueIndex(&Job{Spec: sp})
+	for _, id := range q.pending[qi] {
+		if j, ok := q.jobs[id]; ok && j.State == StateQueued && j.Fingerprint == sp.Fingerprint {
+			return *j, nil
+		}
+	}
+	if sp.Detached {
+		if len(q.pending[qDetached]) >= q.cfg.DetachedLimit {
+			return Job{}, fmt.Errorf("%w: %d detached queued of %d", ErrQueueFull,
+				len(q.pending[qDetached]), q.cfg.DetachedLimit)
+		}
+	} else {
+		depth := len(q.pending[qBatch]) + q.waiterCount(PriorityBatch)
+		if depth+1 > q.cfg.QueueLimit {
+			return Job{}, fmt.Errorf("%w: %d queued of %d", ErrQueueFull, depth, q.cfg.QueueLimit)
+		}
+	}
+	now := q.now()
+	b := &Batch{
+		ID:              newID(),
+		SubmitRequestID: requestID,
+		SubmittedAt:     now,
+	}
+	j := &Job{
+		Spec:            sp,
+		ID:              newID(),
+		BatchID:         b.ID,
+		SubmitRequestID: requestID,
+		State:           StateQueued,
+		SubmittedAt:     now,
+	}
+	b.JobIDs = []string{j.ID}
+	if q.jrn != nil {
+		if err := q.jrn.AppendBatch(b, []*Job{j}, now); err != nil {
+			return Job{}, fmt.Errorf("jobqueue: journal job: %w", err)
+		}
+	}
+	q.batches[b.ID] = b
+	q.seq++
+	j.Seq = q.seq
+	q.jobs[j.ID] = j
+	q.pending[qi] = append(q.pending[qi], j.ID)
+	q.transitions[StateQueued]++
+	q.cond.Broadcast()
+	q.maybeCompactLocked()
+	return *j, nil
+}
+
+// SetProgress attaches a point-in-time progress payload to a live
+// job, visible in Job/Batch/List snapshots. Progress on a terminal
+// job is silently dropped (the executor may race its own completion);
+// unknown ids return ErrNotFound.
+func (q *Queue) SetProgress(id string, p json.RawMessage) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if j.State.Terminal() {
+		return nil
+	}
+	j.Progress = append(json.RawMessage(nil), p...)
+	return nil
+}
+
+// ListOptions filters and paginates List.
+type ListOptions struct {
+	// State restricts to one lifecycle state ("" = all).
+	State State
+
+	// Limit bounds the page size (required, > 0).
+	Limit int
+
+	// Before is an exclusive upper bound on Job.Seq — the cursor
+	// returned by the previous page. Zero starts at the newest job.
+	Before int64
+}
+
+// List returns resident jobs newest-first (by submission sequence),
+// plus the cursor for the next page (0 when this page reaches the
+// oldest job). The sequence is process-local: replay renumbers jobs in
+// journal order, so cursors do not survive a restart — callers treat
+// an empty page as the end and restart pagination from scratch.
+func (q *Queue) List(opts ListOptions) ([]Job, int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	matches := make([]*Job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		if opts.State != "" && j.State != opts.State {
+			continue
+		}
+		if opts.Before > 0 && j.Seq >= opts.Before {
+			continue
+		}
+		matches = append(matches, j)
+	}
+	sort.Slice(matches, func(i, k int) bool { return matches[i].Seq > matches[k].Seq })
+	next := int64(0)
+	if opts.Limit > 0 && len(matches) > opts.Limit {
+		matches = matches[:opts.Limit]
+		next = matches[len(matches)-1].Seq
+	}
+	out := make([]Job, len(matches))
+	for i, j := range matches {
+		out[i] = *j
+	}
+	return out, next
 }
 
 // Job returns a snapshot of the job, or false if it does not exist
@@ -785,38 +1005,39 @@ func (q *Queue) transitionLocked(j *Job, st State, result []byte, cached bool, e
 		j.Result = result
 		j.Cached = cached
 		j.FinishedAt = now
+		j.Progress = nil
 		q.byFP[j.Fingerprint] = j.ID
 	case StateFailed:
 		j.Error = errMsg
 		j.FinishedAt = now
+		j.Progress = nil
 	case StateCancelled:
 		j.FinishedAt = now
+		j.Progress = nil
 	}
 	q.transitions[st]++
 	q.maybeCompactLocked()
 	return nil
 }
 
-// worker is one pool goroutine: claim the oldest queued job — batch
-// priority strictly first — dedup against finished and in-flight
-// fingerprints, execute, complete.
-func (q *Queue) worker() {
+// worker is one executor goroutine: claim the oldest queued job from
+// the first non-empty FIFO in queues (pool workers scan batch then
+// background; detached workers scan only the detached FIFO), dedup
+// against finished and in-flight fingerprints, execute, complete.
+func (q *Queue) worker(queues []int) {
 	defer q.wg.Done()
 	for {
 		q.mu.Lock()
-		for len(q.pending[PriorityBatch])+len(q.pending[PriorityBackground]) == 0 && !q.closing {
+		for q.claimable(queues) < 0 && !q.closing {
 			q.cond.Wait()
 		}
 		if q.closing {
 			q.mu.Unlock()
 			return
 		}
-		pr := PriorityBatch
-		if len(q.pending[pr]) == 0 {
-			pr = PriorityBackground
-		}
-		id := q.pending[pr][0]
-		q.pending[pr] = q.pending[pr][1:]
+		qi := q.claimable(queues)
+		id := q.pending[qi][0]
+		q.pending[qi] = q.pending[qi][1:]
 		j, ok := q.jobs[id]
 		if !ok || j.State != StateQueued {
 			q.mu.Unlock() // cancelled or expired while queued
@@ -879,6 +1100,17 @@ func (q *Queue) worker() {
 	}
 }
 
+// claimable returns the first queue in queues with a waiting job, or
+// -1. Caller holds mu.
+func (q *Queue) claimable(queues []int) int {
+	for _, qi := range queues {
+		if len(q.pending[qi]) > 0 {
+			return qi
+		}
+	}
+	return -1
+}
+
 // completeDedupLocked finishes a queued job from an existing result.
 func (q *Queue) completeDedupLocked(j *Job, result json.RawMessage) {
 	if err := q.transitionLocked(j, StateDone, result, true, ""); err != nil {
@@ -889,13 +1121,13 @@ func (q *Queue) completeDedupLocked(j *Job, result json.RawMessage) {
 }
 
 // requeueLocked puts still-queued waiter jobs back at the head of
-// their priority's pending FIFO, preserving their order.
+// their pending FIFO, preserving their order.
 func (q *Queue) requeueLocked(ids []string) {
-	var live [numPriorities][]string
+	var live [numQueues][]string
 	n := 0
 	for _, id := range ids {
 		if j, ok := q.jobs[id]; ok && j.State == StateQueued {
-			live[j.Priority] = append(live[j.Priority], id)
+			live[queueIndex(j)] = append(live[queueIndex(j)], id)
 			n++
 		}
 	}

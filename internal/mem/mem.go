@@ -142,6 +142,48 @@ func (o *Overlay) NumMCs() int { return o.Base.NumMCs() }
 // NumBanks implements Map.
 func (o *Overlay) NumBanks() int { return o.Base.NumBanks() }
 
+// BankSubset restricts the S-NUCA home-bank space of a base map to an
+// explicit list of mesh nodes: line i of the base bank interleave is
+// homed at Nodes[i % len(Nodes)]. It models chips whose shared-LLC
+// capacity is concentrated on a subset of tiles — the bank half of the
+// placement space /v1/optimize searches. HomeBank returns *node ids*
+// (members of Nodes), so NumBanks reports Span, the size of the
+// node-id space, not the subset length; consumers that index per-bank
+// state by node (cache.LLC, the estimator) work unchanged.
+type BankSubset struct {
+	Base  Map
+	Nodes []int // node ids hosting home banks, in interleave order
+	Span  int   // node-id space size (mesh node count)
+}
+
+// NewBankSubset builds a bank-subset map over base. nodes must be
+// non-empty with every id in [0, span).
+func NewBankSubset(base Map, nodes []int, span int) *BankSubset {
+	if len(nodes) == 0 {
+		panic("mem: BankSubset needs at least one node")
+	}
+	for _, n := range nodes {
+		if n < 0 || n >= span {
+			panic(fmt.Sprintf("mem: BankSubset node %d outside [0,%d)", n, span))
+		}
+	}
+	return &BankSubset{Base: base, Nodes: append([]int(nil), nodes...), Span: span}
+}
+
+// MC implements Map.
+func (b *BankSubset) MC(addr Addr) int { return b.Base.MC(addr) }
+
+// HomeBank implements Map.
+func (b *BankSubset) HomeBank(addr Addr) int {
+	return b.Nodes[b.Base.HomeBank(addr)%len(b.Nodes)]
+}
+
+// NumMCs implements Map.
+func (b *BankSubset) NumMCs() int { return b.Base.NumMCs() }
+
+// NumBanks implements Map.
+func (b *BankSubset) NumBanks() int { return b.Span }
+
 // HashFunc adapts arbitrary address-decoding functions to the Map
 // interface. The KNL cluster modes (all-to-all, quadrant, SNC-4) are
 // expressed as HashFuncs over the same simulator.

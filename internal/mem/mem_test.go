@@ -108,3 +108,59 @@ func TestPageLineHelpers(t *testing.T) {
 		t.Error("page/line helpers")
 	}
 }
+
+func TestBankSubset(t *testing.T) {
+	base := NewInterleaved(2048, 64, 4, 36)
+	nodes := []int{14, 15, 20, 21}
+	bs := NewBankSubset(base, nodes, 36)
+	if bs.NumBanks() != 36 {
+		t.Fatalf("NumBanks = %d, want the node-id span 36", bs.NumBanks())
+	}
+	if bs.NumMCs() != 4 {
+		t.Fatalf("NumMCs = %d, want 4", bs.NumMCs())
+	}
+	member := map[int]bool{}
+	for _, n := range nodes {
+		member[n] = true
+	}
+	seen := map[int]bool{}
+	for a := Addr(0); a < 1<<16; a += 64 {
+		hb := bs.HomeBank(a)
+		if !member[hb] {
+			t.Fatalf("HomeBank(%d) = %d, outside the subset %v", a, hb, nodes)
+		}
+		seen[hb] = true
+		if bs.MC(a) != base.MC(a) {
+			t.Fatalf("BankSubset changed the MC interleave at %d", a)
+		}
+	}
+	if len(seen) != len(nodes) {
+		t.Errorf("interleave only reached %d of %d subset nodes", len(seen), len(nodes))
+	}
+	// The node list is copied at construction.
+	nodes[0] = 0
+	if bs.Nodes[0] != 14 {
+		t.Error("BankSubset aliases the caller's node slice")
+	}
+}
+
+func TestBankSubsetPanics(t *testing.T) {
+	base := NewInterleaved(2048, 64, 4, 36)
+	for _, tc := range []struct {
+		name  string
+		nodes []int
+	}{
+		{"empty", nil},
+		{"out of span", []int{36}},
+		{"negative", []int{-1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewBankSubset did not panic", tc.name)
+				}
+			}()
+			NewBankSubset(base, tc.nodes, 36)
+		}()
+	}
+}

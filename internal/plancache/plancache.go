@@ -58,6 +58,14 @@ type Spec struct {
 	FineMAC bool
 	Intra   int
 
+	// MCs and Banks pin a custom physical placement: MC coordinates in
+	// id order, and the shared-LLC bank tile subset in interleave
+	// order. Both are hashed only when present, so requests for the
+	// default chip keep their pre-placement fingerprints (the byte
+	// layout cluster routing depends on).
+	MCs   [][2]int
+	Banks [][2]int
+
 	// TimingIters is the simulate-only timing-loop trip-count override
 	// (0 keeps the source's value). It changes the cycle counts in a
 	// SimResult, so it must be part of the key; plain map requests
@@ -105,7 +113,25 @@ func (s Spec) Fingerprint() (string, error) {
 	fp.Bool(s.FineMAC)
 	fp.Int(int64(s.Intra))
 	fp.Int(int64(s.TimingIters))
+	hashCoords(fp, "mcs", s.MCs)
+	hashCoords(fp, "banks", s.Banks)
 	return fp.Sum(), nil
+}
+
+// hashCoords folds a coordinate list into the fingerprint behind a tag,
+// writing nothing when the list is empty: the hasher's length-prefixed
+// encoding makes any tagged suffix unambiguous, and skipping it keeps
+// placement-free specs byte-compatible with pre-placement fingerprints.
+func hashCoords(fp *fingerprint.Hasher, tag string, cs [][2]int) {
+	if len(cs) == 0 {
+		return
+	}
+	fp.Str(tag)
+	fp.Int(int64(len(cs)))
+	for _, c := range cs {
+		fp.Int(int64(c[0]))
+		fp.Int(int64(c[1]))
+	}
 }
 
 // numShards spreads lock contention; must be a power of two.

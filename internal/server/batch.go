@@ -73,6 +73,11 @@ type JobStatus struct {
 	// Error holds the failure message for failed jobs.
 	Error string `json:"error,omitempty"`
 
+	// Progress is the executor's latest progress report (optimize jobs:
+	// phase, candidates evaluated, best-so-far cost). Present only while
+	// the job is running.
+	Progress json.RawMessage `json:"progress,omitempty"`
+
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
@@ -119,6 +124,7 @@ func jobStatusFrom(j *jobqueue.Job) JobStatus {
 		SubmitRequestID: j.SubmitRequestID,
 		Cached:          j.Cached,
 		Error:           j.Error,
+		Progress:        j.Progress,
 		SubmittedAt:     j.SubmittedAt,
 		Result:          j.Result,
 	}
@@ -339,6 +345,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // fingerprint namespace is never cached, and the verdict reaches the
 // cache through Upgrade inside runVerify instead.
 func (s *Server) execBatchJob(ctx context.Context, j *jobqueue.Job) ([]byte, bool, error) {
+	if j.Kind == "optimize" {
+		// Optimize jobs run on the queue's dedicated detached workers
+		// and orchestrate child simulations through the regular pool, so
+		// they must not hold a worker slot themselves (that would
+		// deadlock a Workers=1 pool) and are never plan-cached — the
+		// jobqueue's retained result is their memo.
+		var req OptimizeRequest
+		if err := json.Unmarshal(j.Request, &req); err != nil {
+			return nil, false, fmt.Errorf("decode persisted optimize request: %w", err)
+		}
+		payload, err := s.runOptimize(ctx, j, &req)
+		return payload, false, err
+	}
 	cacheKey := j.Fingerprint
 	if j.Kind == "verify" {
 		cacheKey = ""

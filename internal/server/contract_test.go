@@ -1,0 +1,75 @@
+package server
+
+import (
+	"os"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestSharedTargetBlockContract pins API.md's "shared target block"
+// section to the CommonRequest struct, in both directions: every field
+// the document promises must exist as a JSON tag on the struct, and
+// every struct field must be documented in that one section. Adding a
+// knob to one side without the other fails here, not in a user's
+// client.
+func TestSharedTargetBlockContract(t *testing.T) {
+	doc, err := os.ReadFile("../../API.md")
+	if err != nil {
+		t.Fatalf("read API.md: %v", err)
+	}
+	documented := sharedBlockFields(t, string(doc))
+
+	var declared []string
+	rt := reflect.TypeOf(CommonRequest{})
+	for i := 0; i < rt.NumField(); i++ {
+		tag := rt.Field(i).Tag.Get("json")
+		name, _, _ := strings.Cut(tag, ",")
+		if name == "" || name == "-" {
+			t.Fatalf("CommonRequest.%s has no JSON name", rt.Field(i).Name)
+		}
+		declared = append(declared, name)
+	}
+	sort.Strings(documented)
+	sort.Strings(declared)
+	if !reflect.DeepEqual(documented, declared) {
+		t.Errorf("shared target block drifted:\n  API.md documents %v\n  CommonRequest declares %v",
+			documented, declared)
+	}
+}
+
+// sharedBlockFields extracts the top-level field names of the jsonc
+// example inside the "Request body: the shared target block" section.
+func sharedBlockFields(t *testing.T, doc string) []string {
+	t.Helper()
+	_, rest, ok := strings.Cut(doc, "## Request body: the shared target block")
+	if !ok {
+		t.Fatal("API.md lost its shared-target-block section heading")
+	}
+	_, rest, ok = strings.Cut(rest, "```jsonc")
+	if !ok {
+		t.Fatal("shared-target-block section has no jsonc example")
+	}
+	block, _, ok := strings.Cut(rest, "```")
+	if !ok {
+		t.Fatal("unterminated jsonc fence")
+	}
+	// The next section heading must come after the fence we consumed,
+	// i.e. the example belongs to this section.
+	if i := strings.Index(rest, "\n## "); i >= 0 && i < len(block) {
+		t.Fatal("jsonc example crossed into the next section")
+	}
+	field := regexp.MustCompile(`^\s{2}"([a-z_]+)":`)
+	var out []string
+	for _, line := range strings.Split(block, "\n") {
+		if m := field.FindStringSubmatch(line); m != nil {
+			out = append(out, m[1])
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no fields parsed from the shared target block example")
+	}
+	return out
+}

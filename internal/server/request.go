@@ -8,6 +8,7 @@ import (
 	"locmap/internal/cache"
 	"locmap/internal/compiler"
 	"locmap/internal/core"
+	"locmap/internal/mem"
 	"locmap/internal/plancache"
 	"locmap/internal/sim"
 	"locmap/internal/topology"
@@ -51,6 +52,15 @@ type CommonRequest struct {
 	// Intra selects the within-region core-assignment policy:
 	// "random" (default, the paper's shuffle) or "roundrobin".
 	Intra string `json:"intra,omitempty"`
+
+	// MCs pins the memory controllers to explicit mesh coordinates
+	// ([x,y] pairs in MC-id order) instead of the default corner
+	// placement. Coordinates must lie inside the mesh and not overlap.
+	MCs [][2]int `json:"mcs,omitempty"`
+
+	// Banks concentrates the shared-LLC home banks on an explicit tile
+	// subset ([x,y] pairs in interleave order). Requires llc "shared".
+	Banks [][2]int `json:"banks,omitempty"`
 }
 
 // MapRequest is the body of POST /v1/map.
@@ -79,6 +89,11 @@ type Resolved struct {
 	Seed        int64   `json:"seed"`
 	FineMAC     bool    `json:"fine_mac"`
 	Intra       string  `json:"intra"`
+
+	// MCs and Banks echo a custom physical placement (absent for the
+	// default corner chip).
+	MCs   [][2]int `json:"mcs,omitempty"`
+	Banks [][2]int `json:"banks,omitempty"`
 
 	// TimingIters is the simulate-only timing-loop override (0 = the
 	// source's own value; always 0 for /v1/map).
@@ -193,6 +208,52 @@ func BuildTarget(mesh, regions, llc string) (sim.Config, error) {
 	return cfg, nil
 }
 
+// BuildTargetPlacement is BuildTarget plus an optional custom physical
+// placement: explicit MC coordinates and/or a shared-LLC bank subset.
+// Empty slices keep the default corner MCs and the full bank space. It
+// is the single validation + construction path for every endpoint that
+// accepts the shared target block.
+func BuildTargetPlacement(mesh, regions, llc string, mcs, banks [][2]int) (sim.Config, error) {
+	cfg, err := BuildTarget(mesh, regions, llc)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	if len(mcs) > 0 {
+		coords := make([]topology.Coord, len(mcs))
+		for i, c := range mcs {
+			coords[i] = topology.Coord{X: c[0], Y: c[1]}
+		}
+		m, err := cfg.Mesh.WithMCs(coords)
+		if err != nil {
+			return sim.Config{}, fmt.Errorf("mcs: %v", err)
+		}
+		cfg.Mesh = m
+	}
+	if len(banks) > 0 {
+		if cfg.LLCOrg != cache.SharedSNUCA {
+			return sim.Config{}, fmt.Errorf("banks requires llc %q", "shared")
+		}
+		seen := make(map[[2]int]bool, len(banks))
+		nodes := make([]int, len(banks))
+		for i, c := range banks {
+			if c[0] < 0 || c[0] >= cfg.Mesh.Width || c[1] < 0 || c[1] >= cfg.Mesh.Height {
+				return sim.Config{}, fmt.Errorf("banks: bank %d at (%d,%d) outside %dx%d mesh",
+					i, c[0], c[1], cfg.Mesh.Width, cfg.Mesh.Height)
+			}
+			if seen[c] {
+				return sim.Config{}, fmt.Errorf("banks: duplicate bank at (%d,%d)", c[0], c[1])
+			}
+			seen[c] = true
+			nodes[i] = int(cfg.Mesh.NodeAt(topology.Coord{X: c[0], Y: c[1]}))
+		}
+		im := mem.NewInterleaved(cfg.PageSize, cfg.L2Line, cfg.Mesh.NumMCs(), cfg.Mesh.NumNodes())
+		im.MCGran = cfg.MCGran
+		im.BankGran = cfg.BankGran
+		cfg.AddrMap = mem.NewBankSubset(im, nodes, cfg.Mesh.NumNodes())
+	}
+	return cfg, nil
+}
+
 // Validate checks the request without building anything.
 func (r *CommonRequest) Validate() error {
 	if strings.TrimSpace(r.Source) == "" {
@@ -204,13 +265,13 @@ func (r *CommonRequest) Validate() error {
 	if _, err := ParseIntra(r.Intra); err != nil {
 		return err
 	}
-	_, err := BuildTarget(r.Mesh, r.Regions, r.LLC)
+	_, err := BuildTargetPlacement(r.Mesh, r.Regions, r.LLC, r.MCs, r.Banks)
 	return err
 }
 
 // options builds the compiler options for the request's target.
 func (r *CommonRequest) options() (sim.Config, compiler.Options, error) {
-	cfg, err := BuildTarget(r.Mesh, r.Regions, r.LLC)
+	cfg, err := BuildTargetPlacement(r.Mesh, r.Regions, r.LLC, r.MCs, r.Banks)
 	if err != nil {
 		return sim.Config{}, compiler.Options{}, err
 	}
@@ -233,7 +294,7 @@ func (r *CommonRequest) options() (sim.Config, compiler.Options, error) {
 // spec derives the plan-cache spec (fingerprint ingredients) for the
 // request under the given result namespace.
 func (r *CommonRequest) spec(kind string) (plancache.Spec, error) {
-	cfg, err := BuildTarget(r.Mesh, r.Regions, r.LLC)
+	cfg, err := BuildTargetPlacement(r.Mesh, r.Regions, r.LLC, r.MCs, r.Banks)
 	if err != nil {
 		return plancache.Spec{}, err
 	}
@@ -253,6 +314,8 @@ func (r *CommonRequest) spec(kind string) (plancache.Spec, error) {
 		Seed:      r.Seed,
 		FineMAC:   r.FineMAC,
 		Intra:     int(intra),
+		MCs:       r.MCs,
+		Banks:     r.Banks,
 		Kind:      kind,
 	}, nil
 }
@@ -260,7 +323,7 @@ func (r *CommonRequest) spec(kind string) (plancache.Spec, error) {
 // resolved reports the effective configuration after defaults. It
 // assumes Validate has succeeded.
 func (r *CommonRequest) resolved() Resolved {
-	cfg, err := BuildTarget(r.Mesh, r.Regions, r.LLC)
+	cfg, err := BuildTargetPlacement(r.Mesh, r.Regions, r.LLC, r.MCs, r.Banks)
 	if err != nil {
 		// serve() only calls resolved() after Validate, which runs
 		// BuildTarget on the same inputs.
@@ -283,5 +346,7 @@ func (r *CommonRequest) resolved() Resolved {
 		Seed:        r.Seed,
 		FineMAC:     r.FineMAC,
 		Intra:       intraName,
+		MCs:         r.MCs,
+		Banks:       r.Banks,
 	}
 }

@@ -7,8 +7,10 @@
 //	POST   /v1/simulate   additionally execute it on the simulator and
 //	                      report the improvement over the default mapping
 //	POST   /v1/batch      submit an async batch of map/simulate jobs (202)
+//	POST   /v1/optimize   search chip placements for a workload (202 + job)
 //	GET    /v1/batch/{id} batch progress: per-state counts + member jobs
-//	GET    /v1/jobs/{id}  one job's state, timestamps and result
+//	GET    /v1/jobs       list jobs, newest first (limit/cursor/state)
+//	GET    /v1/jobs/{id}  one job's state, progress, timestamps and result
 //	DELETE /v1/jobs/{id}  cancel a still-queued job
 //	GET    /v1/stats      service counters (requests, cache, latency)
 //	GET    /healthz       liveness probe (also answers HEAD)
@@ -124,6 +126,16 @@ type Config struct {
 	// QueueLimit bounds the total queued batch jobs (default 1024;
 	// beyond it submissions are rejected queue_full).
 	QueueLimit int
+
+	// OptimizeWorkers bounds concurrently executing /v1/optimize
+	// searches (default 1). Optimize jobs run on the queue's dedicated
+	// detached workers: they orchestrate child simulations through the
+	// regular pool, so they never occupy a pool slot themselves.
+	OptimizeWorkers int
+
+	// OptimizeLimit bounds queued optimize jobs (default 32; beyond it
+	// submissions are rejected queue_full).
+	OptimizeLimit int
 
 	// ReadyWatermark is the /readyz saturation threshold in [0,1]:
 	// the probe reports 503 when sync-pool occupancy or batch-queue
@@ -245,6 +257,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueLimit <= 0 {
 		cfg.QueueLimit = 1024
 	}
+	if cfg.OptimizeWorkers <= 0 {
+		cfg.OptimizeWorkers = 1
+	}
+	if cfg.OptimizeLimit <= 0 {
+		cfg.OptimizeLimit = 32
+	}
 	if cfg.ReadyWatermark <= 0 || cfg.ReadyWatermark > 1 {
 		cfg.ReadyWatermark = 0.9
 	}
@@ -309,11 +327,13 @@ func New(cfg Config) (*Server, error) {
 	replayWarms := s.reg.Counter("locmapd_plancache_replay_warms_total",
 		"Plan-cache entries warmed from journal-replayed batch results.", nil)
 	queue, err := jobqueue.Open(jobqueue.Config{
-		Dir:        cfg.JournalDir,
-		Workers:    cfg.BatchWorkers,
-		ResultTTL:  cfg.ResultTTL,
-		QueueLimit: cfg.QueueLimit,
-		Exec:       s.execBatchJob,
+		Dir:             cfg.JournalDir,
+		Workers:         cfg.BatchWorkers,
+		DetachedWorkers: cfg.OptimizeWorkers,
+		DetachedLimit:   cfg.OptimizeLimit,
+		ResultTTL:       cfg.ResultTTL,
+		QueueLimit:      cfg.QueueLimit,
+		Exec:            s.execBatchJob,
 		Replayed: func(j *jobqueue.Job) {
 			if s.cache.PutTier(j.Fingerprint, j.Result, tierForKind(j.Kind)) {
 				replayWarms.Inc()
@@ -373,6 +393,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/batch", s.instrument("batch", s.methodNotAllowed("POST")))
 	mux.Handle("GET /v1/batch/{id}", s.instrument("batch_status", s.handleBatchStatus))
 	mux.Handle("/v1/batch/{id}", s.instrument("batch_status", s.methodNotAllowed("GET")))
+	mux.Handle("POST /v1/optimize", s.instrument("optimize", s.handleOptimize))
+	mux.Handle("/v1/optimize", s.instrument("optimize", s.methodNotAllowed("POST")))
+	mux.Handle("GET /v1/jobs", s.instrument("jobs", s.handleJobList))
+	mux.Handle("/v1/jobs", s.instrument("jobs", s.methodNotAllowed("GET")))
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("job", s.handleJobStatus))
 	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("job", s.handleJobCancel))
 	mux.Handle("/v1/jobs/{id}", s.instrument("job", s.methodNotAllowed("DELETE, GET")))

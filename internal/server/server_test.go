@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -167,7 +168,7 @@ func TestResolvedEcho(t *testing.T) {
 	_, body := postJSON(t, ts.URL+"/v1/map", mapReq(triadSrc))
 	mr := decodeMapResponse(t, body)
 	want := Resolved{Mesh: "6x6", Regions: "3x3", LLC: "private", Intra: "random"}
-	if mr.Resolved != want {
+	if !reflect.DeepEqual(mr.Resolved, want) {
 		t.Errorf("resolved = %+v, want %+v", mr.Resolved, want)
 	}
 
@@ -187,7 +188,7 @@ func TestResolvedEcho(t *testing.T) {
 	mr = decodeMapResponse(t, body)
 	wantSim := Resolved{Mesh: "6x6", Regions: "3x3", LLC: "shared",
 		Intra: "roundrobin", Seed: 3, TimingIters: 2}
-	if mr.Resolved != wantSim {
+	if !reflect.DeepEqual(mr.Resolved, wantSim) {
 		t.Errorf("simulate resolved = %+v, want %+v", mr.Resolved, wantSim)
 	}
 }

@@ -53,6 +53,10 @@ const (
 	// MC1 right, MC2 bottom, MC3 left. This is the alternate placement
 	// used by the paper's sensitivity study (Figure 9).
 	MCEdgeMiddles
+	// MCCustom marks a mesh whose MC attachment points were supplied
+	// explicitly via NewWithMCs or WithMCs rather than derived from the
+	// mesh dimensions. Used by the placement search in internal/placeopt.
+	MCCustom
 )
 
 func (p MCPlacement) String() string {
@@ -61,6 +65,8 @@ func (p MCPlacement) String() string {
 		return "corners"
 	case MCEdgeMiddles:
 		return "edge-middles"
+	case MCCustom:
+		return "custom"
 	default:
 		return fmt.Sprintf("MCPlacement(%d)", int(p))
 	}
@@ -123,6 +129,89 @@ func New(width, height, regionsX, regionsY int, placement MCPlacement) (*Mesh, e
 		return nil, fmt.Errorf("topology: unknown MC placement %v", placement)
 	}
 	return m, nil
+}
+
+// ValidateMCs checks an explicit MC attachment list against a
+// width×height mesh: every coordinate must lie on the mesh and no two
+// controllers may share a node. The error messages are stable and name
+// the offending coordinate so callers can surface them verbatim.
+func ValidateMCs(width, height int, mcs []Coord) error {
+	if len(mcs) == 0 {
+		return fmt.Errorf("topology: placement needs at least one MC")
+	}
+	seen := make(map[Coord]bool, len(mcs))
+	for i, c := range mcs {
+		if c.X < 0 || c.X >= width || c.Y < 0 || c.Y >= height {
+			return fmt.Errorf("topology: mc %d at (%d,%d) outside %dx%d mesh", i, c.X, c.Y, width, height)
+		}
+		if seen[c] {
+			return fmt.Errorf("topology: overlapping MCs at (%d,%d)", c.X, c.Y)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// NewWithMCs constructs a mesh with explicit MC attachment coordinates
+// instead of a named placement. The tiling rules match New; the MC list
+// is validated with ValidateMCs and copied.
+func NewWithMCs(width, height, regionsX, regionsY int, mcs []Coord) (*Mesh, error) {
+	m, err := New(width, height, regionsX, regionsY, MCCorners)
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateMCs(width, height, mcs); err != nil {
+		return nil, err
+	}
+	m.Placement = MCCustom
+	m.mcs = append([]Coord(nil), mcs...)
+	return m, nil
+}
+
+// WithMCs returns a copy of the mesh with its memory controllers moved
+// to the given attachment coordinates, keeping dimensions, regions and
+// wrap mode. This is the mutation primitive of the placement search:
+// candidate chips share everything with the base target except where
+// the MCs sit.
+func (m *Mesh) WithMCs(mcs []Coord) (*Mesh, error) {
+	if err := ValidateMCs(m.Width, m.Height, mcs); err != nil {
+		return nil, err
+	}
+	m2 := *m
+	m2.Placement = MCCustom
+	m2.mcs = append([]Coord(nil), mcs...)
+	return &m2, nil
+}
+
+// MCs returns a copy of the MC attachment coordinates in MC-id order.
+func (m *Mesh) MCs() []Coord { return append([]Coord(nil), m.mcs...) }
+
+// AMD returns the average Manhattan distance (wrap-aware on a torus)
+// from coordinate c to every mesh node — the ordering metric of the
+// PCMap-style greedy placement seed: nodes with low AMD are centrally
+// located, nodes with high AMD sit in the periphery.
+func (m *Mesh) AMD(c Coord) float64 {
+	n := m.NodeAt(c)
+	total := 0
+	for i := 0; i < m.NumNodes(); i++ {
+		total += m.Distance(n, NodeID(i))
+	}
+	return float64(total) / float64(m.NumNodes())
+}
+
+// EdgeCoords returns the perimeter coordinates of the mesh row-major,
+// the realistic candidate sites for MC attachment (controllers need
+// pin-out at the die edge).
+func (m *Mesh) EdgeCoords() []Coord {
+	var out []Coord
+	for y := 0; y < m.Height; y++ {
+		for x := 0; x < m.Width; x++ {
+			if x == 0 || x == m.Width-1 || y == 0 || y == m.Height-1 {
+				out = append(out, Coord{x, y})
+			}
+		}
+	}
+	return out
 }
 
 // MustNew is New but panics on error; intended for static configurations.

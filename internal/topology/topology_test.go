@@ -263,3 +263,102 @@ func TestRegionGridVariants(t *testing.T) {
 		}
 	}
 }
+
+func TestValidateMCs(t *testing.T) {
+	cases := []struct {
+		name string
+		mcs  []Coord
+		ok   bool
+	}{
+		{"corners", []Coord{{0, 0}, {5, 0}, {5, 5}, {0, 5}}, true},
+		{"single", []Coord{{2, 3}}, true},
+		{"empty", nil, false},
+		{"out of mesh x", []Coord{{6, 0}}, false},
+		{"negative y", []Coord{{0, -1}}, false},
+		{"overlap", []Coord{{1, 1}, {1, 1}}, false},
+	}
+	for _, tc := range cases {
+		err := ValidateMCs(6, 6, tc.mcs)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: ValidateMCs = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestNewWithMCs(t *testing.T) {
+	mcs := []Coord{{0, 0}, {3, 0}, {5, 2}, {0, 4}}
+	m, err := NewWithMCs(6, 6, 3, 3, mcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Placement != MCCustom {
+		t.Fatalf("Placement = %v, want custom", m.Placement)
+	}
+	if m.NumMCs() != 4 {
+		t.Fatalf("NumMCs = %d, want 4", m.NumMCs())
+	}
+	for i, want := range mcs {
+		if got := m.MCCoord(MCID(i)); got != want {
+			t.Errorf("MCCoord(%d) = %v, want %v", i, got, want)
+		}
+	}
+	// The MC list is copied: mutating the input must not affect the mesh.
+	mcs[0] = Coord{9, 9}
+	if got := m.MCCoord(0); got != (Coord{0, 0}) {
+		t.Errorf("MCCoord(0) aliases caller slice: %v", got)
+	}
+	if _, err := NewWithMCs(6, 6, 3, 3, []Coord{{0, 0}, {0, 0}}); err == nil {
+		t.Fatal("NewWithMCs accepted overlapping MCs")
+	}
+	if _, err := NewWithMCs(6, 6, 4, 3, mcs); err == nil {
+		t.Fatal("NewWithMCs accepted non-tiling region grid")
+	}
+}
+
+func TestWithMCs(t *testing.T) {
+	base := Default6x6()
+	moved, err := base.WithMCs([]Coord{{2, 0}, {5, 2}, {3, 5}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The base mesh is untouched.
+	if got := base.MCCoord(0); got != (Coord{0, 0}) {
+		t.Fatalf("base mesh mutated: MC0 = %v", got)
+	}
+	if got := moved.MCCoord(0); got != (Coord{2, 0}) {
+		t.Fatalf("moved MC0 = %v, want (2,0)", got)
+	}
+	if moved.Width != base.Width || moved.NumRegions() != base.NumRegions() {
+		t.Fatal("WithMCs changed mesh geometry")
+	}
+	if _, err := base.WithMCs([]Coord{{0, 0}, {7, 7}}); err == nil {
+		t.Fatal("WithMCs accepted out-of-mesh coordinate")
+	}
+}
+
+func TestAMDCenterLowerThanCorner(t *testing.T) {
+	m := Default6x6()
+	center := m.AMD(Coord{2, 2})
+	corner := m.AMD(Coord{0, 0})
+	if center >= corner {
+		t.Fatalf("AMD(center)=%v >= AMD(corner)=%v", center, corner)
+	}
+	// On the 6x6 mesh the corner AMD is the mean of all Manhattan
+	// distances from (0,0): sum_{x,y} x+y = 2*36*2.5 = 180, /36 = 5.
+	if corner != 5 {
+		t.Fatalf("AMD(corner) = %v, want 5", corner)
+	}
+}
+
+func TestEdgeCoords(t *testing.T) {
+	m := Default6x6()
+	edges := m.EdgeCoords()
+	if len(edges) != 20 {
+		t.Fatalf("len(EdgeCoords) = %d, want 20", len(edges))
+	}
+	for _, c := range edges {
+		if c.X != 0 && c.X != 5 && c.Y != 0 && c.Y != 5 {
+			t.Errorf("interior coordinate %v in EdgeCoords", c)
+		}
+	}
+}
