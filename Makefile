@@ -53,13 +53,21 @@ race-matrix:
 # search's throughput (candidates/sec through the estimate tier),
 # which bounds how many chip layouts one /v1/optimize request can
 # afford to score.
+#
+# A fourth capture under the "tenancy" label records the session
+# control loop: co-placement search throughput (candidates/sec, the
+# cost of a tenant joining or leaving a group), the telemetry-ingest
+# hot path, and the end-to-end remap latency (remap-ms: drift trigger
+# to atomic plan swap, one estimate + one verification simulation).
 BENCH_LABEL ?= post
 BENCH_PAR_LABEL ?= parallel-sim
 BENCH_PLACE_LABEL ?= placeopt
+BENCH_TEN_LABEL ?= tenancy
 BENCHTIME_MICRO ?= 2s
 BENCHTIME_FIG ?= 3x
 BENCHTIME_EST ?= 50x
 BENCHTIME_PLACE ?= 3x
+BENCHTIME_TEN ?= 5x
 bench:
 	@rm -f .bench.out
 	$(GO) test -run '^$$' -bench 'RunNest|NoCSend|CacheAccess|CacheLookup' \
@@ -79,4 +87,10 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkPlaceoptSearch' \
 		-benchtime $(BENCHTIME_PLACE) -benchmem ./internal/placeopt | tee -a .bench.place.out
 	$(GO) run ./cmd/benchjson -label $(BENCH_PLACE_LABEL) -note "$(BENCH_NOTE)" -out BENCH_sim.json < .bench.place.out
-	@rm -f .bench.place.out
+	@rm -f .bench.place.out .bench.ten.out
+	$(GO) test -run '^$$' -bench 'BenchmarkCoPlace|BenchmarkIngest' \
+		-benchtime $(BENCHTIME_MICRO) -benchmem ./internal/tenancy | tee -a .bench.ten.out
+	$(GO) test -run '^$$' -bench 'BenchmarkSessionRemap' \
+		-benchtime $(BENCHTIME_TEN) ./internal/server | tee -a .bench.ten.out
+	$(GO) run ./cmd/benchjson -label $(BENCH_TEN_LABEL) -note "$(BENCH_NOTE)" -out BENCH_sim.json < .bench.ten.out
+	@rm -f .bench.ten.out

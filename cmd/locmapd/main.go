@@ -34,6 +34,12 @@
 //	                  before a plan is refined (default 0.1)
 //	-latency-tol F    verification tolerance on relative cycle-count
 //	                  drift before a plan is refined (default 0.5)
+//	-remap-interval D session epoch-controller sweep period and minimum
+//	                  spacing between one session's remap epochs
+//	                  (default 5s)
+//	-drift-alpha-tol F  windowed α drift at which a session's telemetry
+//	                  triggers a remap epoch (default: -alpha-tol)
+//	-max-tenants N    max concurrently registered sessions (default 64)
 //	-peers LIST       comma-separated base URLs of every cluster member,
 //	                  this node included; requests are routed to each
 //	                  fingerprint's owning node (off by default — see
@@ -47,7 +53,8 @@
 //	-log-json         emit structured logs as JSON instead of text
 //
 // Endpoints: POST /v1/map, POST /v1/estimate, POST /v1/simulate, POST /v1/batch,
-// GET /v1/batch/{id}, GET|DELETE /v1/jobs/{id}, GET /v1/stats,
+// GET /v1/batch/{id}, GET|DELETE /v1/jobs/{id}, POST|GET /v1/sessions,
+// GET|DELETE /v1/sessions/{id} (+ /telemetry, /plan), GET /v1/stats,
 // GET /healthz, GET /readyz (see API.md). The process drains in-flight
 // requests, then drains or persists queued batch jobs, and exits
 // cleanly on SIGINT/SIGTERM; on restart with the same -journal-dir it
@@ -116,6 +123,11 @@ func run() error {
 		"max |predicted - simulated| LLC hit fraction before a plan is refined")
 	latencyTol := flag.Float64("latency-tol", 0.5,
 		"max relative cycle-count drift before a plan is refined")
+	remapInterval := flag.Duration("remap-interval", 5*time.Second,
+		"session epoch-controller sweep period and min epoch spacing")
+	driftAlphaTol := flag.Float64("drift-alpha-tol", 0,
+		"windowed α drift triggering a session remap (0 = -alpha-tol)")
+	maxTenants := flag.Int("max-tenants", 0, "max concurrently registered sessions (0 = 64)")
 	peers := flag.String("peers", "",
 		"comma-separated base URLs of every cluster member, this node included (empty = single node)")
 	nodeID := flag.String("node-id", "", "this node's own entry in -peers")
@@ -168,6 +180,9 @@ func run() error {
 		FastTier:         *fastTier,
 		AlphaTolerance:   *alphaTol,
 		LatencyTolerance: *latencyTol,
+		RemapInterval:    *remapInterval,
+		DriftAlphaTol:    *driftAlphaTol,
+		MaxTenants:       *maxTenants,
 		Peers:            splitPeers(*peers),
 		NodeID:           *nodeID,
 		ClusterTimeout:   *clusterTimeout,

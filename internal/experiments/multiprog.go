@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"sort"
-
 	"locmap/internal/cache"
 	"locmap/internal/core"
 	"locmap/internal/inspector"
@@ -10,6 +8,7 @@ import (
 	"locmap/internal/mem"
 	"locmap/internal/sim"
 	"locmap/internal/stats"
+	"locmap/internal/tenancy"
 	"locmap/internal/topology"
 	"locmap/internal/workloads"
 )
@@ -46,39 +45,6 @@ func subsetDefault(mesh *topology.Mesh, numSets int, cores []topology.NodeID) *c
 		a.Region[k] = mesh.RegionOf(c)
 	}
 	return a
-}
-
-// clampToCores projects a full-mesh assignment onto an application's core
-// partition: each set moves to the free partition core nearest its
-// originally assigned core, with per-core load capped for balance.
-func clampToCores(mesh *topology.Mesh, a *core.Assignment, cores []topology.NodeID) *core.Assignment {
-	n := len(a.Core)
-	capPer := (n + len(cores) - 1) / len(cores)
-	load := make(map[topology.NodeID]int, len(cores))
-	out := &core.Assignment{
-		Region: make([]topology.RegionID, n),
-		Core:   make([]topology.NodeID, n),
-		Moved:  a.Moved,
-	}
-	order := make([]topology.NodeID, len(cores))
-	for k := 0; k < n; k++ {
-		copy(order, cores)
-		want := a.Core[k]
-		sort.SliceStable(order, func(i, j int) bool {
-			return mesh.Distance(order[i], want) < mesh.Distance(order[j], want)
-		})
-		placed := order[len(order)-1]
-		for _, c := range order {
-			if load[c] < capPer {
-				placed = c
-				break
-			}
-		}
-		load[placed]++
-		out.Core[k] = placed
-		out.Region[k] = mesh.RegionOf(placed)
-	}
-	return out
 }
 
 // multiTask is one application's work in a multiprogrammed run.
@@ -186,7 +152,7 @@ func MultiProg(o Options) *stats.Table {
 				} else {
 					a = mapper.MapPrivate(sa)
 				}
-				optTasks[i].sched.Assign[j] = clampToCores(mesh, a, optTasks[i].cores)
+				optTasks[i].sched.Assign[j] = tenancy.ClampToCores(mesh, a, optTasks[i].cores)
 			}
 		}
 		sysO := sim.New(cfg)

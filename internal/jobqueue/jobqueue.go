@@ -203,9 +203,17 @@ type Job struct {
 	Result json.RawMessage `json:"result,omitempty"`
 
 	// Progress is the executor's latest point-in-time progress payload
-	// (SetProgress), memory-only: it is not journaled and is cleared
-	// when the job reaches a terminal state (the result supersedes it).
+	// (SetProgress), present only while the job is live: on a terminal
+	// transition it is cleared and its final value preserved as
+	// ProgressSummary.
 	Progress json.RawMessage `json:"progress,omitempty"`
+
+	// ProgressSummary is the last progress payload the executor
+	// reported before the job reached a terminal state — a finished
+	// (or failed) optimize/remap job still explains what happened. It
+	// is journaled with the terminal transition, so it survives
+	// restarts alongside the result.
+	ProgressSummary json.RawMessage `json:"progress_summary,omitempty"`
 
 	// Seq is this process's monotone submission sequence, the cursor
 	// space of List. It is assigned at submit (and again, in journal
@@ -494,6 +502,7 @@ func (q *Queue) replay(jrn *journal) error {
 				j.State = StateDone
 				j.Cached = rec.Cached
 				j.Result = rec.Result
+				j.ProgressSummary = rec.Progress
 				j.FinishedAt = rec.T
 				q.unqueue(j.ID)
 				q.byFP[j.Fingerprint] = j.ID
@@ -504,6 +513,7 @@ func (q *Queue) replay(jrn *journal) error {
 			case StateFailed, StateCancelled:
 				j.State = rec.State
 				j.Error = rec.Error
+				j.ProgressSummary = rec.Progress
 				j.FinishedAt = rec.T
 				q.unqueue(j.ID)
 				q.transitions[rec.State]++
@@ -990,10 +1000,16 @@ func (q *Queue) Cancel(id string) (Job, error) {
 // holds mu.
 func (q *Queue) transitionLocked(j *Job, st State, result []byte, cached bool, errMsg string) error {
 	now := q.now()
+	// A terminal transition freezes the live progress payload into the
+	// job's durable progress summary (journaled with the transition).
+	var progress json.RawMessage
+	if st.Terminal() && len(j.Progress) > 0 {
+		progress = j.Progress
+	}
 	// Background jobs are non-durable by design: never journaled, so
 	// their transitions are memory-only.
 	if q.jrn != nil && j.Priority == PriorityBatch {
-		if err := q.jrn.AppendState(j.ID, st, result, cached, errMsg, now); err != nil {
+		if err := q.jrn.AppendState(j.ID, st, result, cached, errMsg, progress, now); err != nil {
 			return fmt.Errorf("jobqueue: journal transition: %w", err)
 		}
 	}
@@ -1005,14 +1021,17 @@ func (q *Queue) transitionLocked(j *Job, st State, result []byte, cached bool, e
 		j.Result = result
 		j.Cached = cached
 		j.FinishedAt = now
+		j.ProgressSummary = progress
 		j.Progress = nil
 		q.byFP[j.Fingerprint] = j.ID
 	case StateFailed:
 		j.Error = errMsg
 		j.FinishedAt = now
+		j.ProgressSummary = progress
 		j.Progress = nil
 	case StateCancelled:
 		j.FinishedAt = now
+		j.ProgressSummary = progress
 		j.Progress = nil
 	}
 	q.transitions[st]++
@@ -1188,7 +1207,7 @@ func (q *Queue) sweep() {
 			continue
 		}
 		if q.jrn != nil && j.Priority == PriorityBatch {
-			if err := q.jrn.AppendState(j.ID, StateExpired, nil, false, "", q.now()); err != nil {
+			if err := q.jrn.AppendState(j.ID, StateExpired, nil, false, "", nil, q.now()); err != nil {
 				q.log.Error("jobqueue journal expiry failed", "job", j.ID, "error", err)
 				continue
 			}

@@ -44,6 +44,10 @@ type record struct {
 	Cached bool            `json:"cached,omitempty"`
 	Error  string          `json:"error,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
+
+	// Progress is the job's final progress payload, journaled with
+	// terminal transitions so the progress summary survives restarts.
+	Progress json.RawMessage `json:"progress,omitempty"`
 }
 
 // journal adapts the queue's typed records onto a store.Journal. The
@@ -101,10 +105,11 @@ func (j *journal) AppendBatch(b *Batch, jobs []*Job, now time.Time) error {
 	return j.append(&record{Op: opBatch, T: now, Batch: b, Jobs: jobs})
 }
 
-// AppendState journals one job transition.
-func (j *journal) AppendState(id string, st State, result []byte, cached bool, errMsg string, now time.Time) error {
+// AppendState journals one job transition; progress carries the final
+// progress payload on terminal transitions (nil otherwise).
+func (j *journal) AppendState(id string, st State, result []byte, cached bool, errMsg string, progress []byte, now time.Time) error {
 	return j.append(&record{Op: opState, T: now, ID: id, State: st,
-		Result: result, Cached: cached, Error: errMsg})
+		Result: result, Cached: cached, Error: errMsg, Progress: progress})
 }
 
 // Compact writes the full live state as one batch record per batch

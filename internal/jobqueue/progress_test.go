@@ -1,0 +1,144 @@
+package jobqueue
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestProgressSummaryOnTerminal: a terminal transition clears the live
+// Progress but preserves its final value as ProgressSummary — a
+// finished job still explains what it did.
+func TestProgressSummaryOnTerminal(t *testing.T) {
+	gate := make(chan struct{})
+	q := mustOpen(t, Config{Workers: 1,
+		Exec: func(ctx context.Context, j *Job) ([]byte, bool, error) {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if j.Fingerprint == "fails" {
+				return nil, false, errors.New("boom")
+			}
+			return []byte(`{}`), false, nil
+		}})
+	defer closeQueue(t, q)
+
+	_, jobs, err := q.SubmitBatch("r", []Spec{
+		{Kind: "map", Fingerprint: "succeeds"},
+		{Kind: "map", Fingerprint: "fails"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, fail := jobs[0].ID, jobs[1].ID
+	waitFor(t, "first job running", func() bool {
+		j, live := q.Job(ok)
+		return live && j.State == StateRunning
+	})
+	want := `{"phase":"done","epoch":3}`
+	if err := q.SetProgress(ok, json.RawMessage(want)); err != nil {
+		t.Fatal(err)
+	}
+	gate <- struct{}{}
+	waitFor(t, "first job done", func() bool {
+		j, live := q.Job(ok)
+		return live && j.State == StateDone
+	})
+	j, _ := q.Job(ok)
+	if j.Progress != nil {
+		t.Errorf("terminal job kept live progress: %s", j.Progress)
+	}
+	if string(j.ProgressSummary) != want {
+		t.Errorf("ProgressSummary = %s, want %s", j.ProgressSummary, want)
+	}
+
+	// Failed jobs keep their last report too.
+	waitFor(t, "second job running", func() bool {
+		j, live := q.Job(fail)
+		return live && j.State == StateRunning
+	})
+	wantFail := `{"phase":"verify"}`
+	if err := q.SetProgress(fail, json.RawMessage(wantFail)); err != nil {
+		t.Fatal(err)
+	}
+	gate <- struct{}{}
+	waitFor(t, "second job failed", func() bool {
+		j, live := q.Job(fail)
+		return live && j.State == StateFailed
+	})
+	j, _ = q.Job(fail)
+	if string(j.ProgressSummary) != wantFail || j.Progress != nil {
+		t.Errorf("failed job: summary %s, progress %s; want %s, nil",
+			j.ProgressSummary, j.Progress, wantFail)
+	}
+
+	// A job that never reported progress has no summary.
+	_, jobs, err = q.SubmitBatch("r", []Spec{{Kind: "map", Fingerprint: "silent"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate <- struct{}{}
+	waitFor(t, "silent job done", func() bool {
+		j, live := q.Job(jobs[0].ID)
+		return live && j.State == StateDone
+	})
+	if j, _ := q.Job(jobs[0].ID); j.ProgressSummary != nil {
+		t.Errorf("silent job invented a summary: %s", j.ProgressSummary)
+	}
+}
+
+// TestProgressSummarySurvivesRestart: the summary is journaled with
+// the terminal transition, so a replayed queue still carries it.
+func TestProgressSummarySurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	q1 := mustOpen(t, Config{Dir: dir, Workers: 1,
+		Exec: func(ctx context.Context, j *Job) ([]byte, bool, error) {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			return []byte(`{"done":true}`), false, nil
+		}})
+
+	_, jobs, err := q1.SubmitBatch("r", []Spec{{Kind: "map", Fingerprint: "fp-sum"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := jobs[0].ID
+	waitFor(t, "running", func() bool {
+		j, ok := q1.Job(id)
+		return ok && j.State == StateRunning
+	})
+	want := `{"phase":"done","tier":"verified"}`
+	if err := q1.SetProgress(id, json.RawMessage(want)); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	waitFor(t, "done", func() bool {
+		j, ok := q1.Job(id)
+		return ok && j.State == StateDone
+	})
+	q1.crash()
+
+	q2 := mustOpen(t, Config{Dir: dir, Workers: 1, Exec: countingExec(new(sync.Map))})
+	defer closeQueue(t, q2)
+	j, ok := q2.Job(id)
+	if !ok {
+		t.Fatal("job lost across restart")
+	}
+	if j.State != StateDone || string(j.Result) != `{"done":true}` {
+		t.Fatalf("replayed job = %+v", j)
+	}
+	if string(j.ProgressSummary) != want {
+		t.Errorf("replayed ProgressSummary = %s, want %s", j.ProgressSummary, want)
+	}
+	if j.Progress != nil {
+		t.Errorf("replayed job has live progress: %s", j.Progress)
+	}
+}

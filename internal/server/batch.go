@@ -74,9 +74,15 @@ type JobStatus struct {
 	Error string `json:"error,omitempty"`
 
 	// Progress is the executor's latest progress report (optimize jobs:
-	// phase, candidates evaluated, best-so-far cost). Present only while
-	// the job is running.
+	// phase, candidates evaluated, best-so-far cost; remap jobs: phase
+	// and session). Present only while the job is running.
 	Progress json.RawMessage `json:"progress,omitempty"`
+
+	// ProgressSummary is the executor's final progress report, frozen
+	// when the job reached a terminal state — a finished optimize or
+	// remap job still explains what happened. Survives restarts with
+	// the job record.
+	ProgressSummary json.RawMessage `json:"progress_summary,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -125,6 +131,7 @@ func jobStatusFrom(j *jobqueue.Job) JobStatus {
 		Cached:          j.Cached,
 		Error:           j.Error,
 		Progress:        j.Progress,
+		ProgressSummary: j.ProgressSummary,
 		SubmittedAt:     j.SubmittedAt,
 		Result:          j.Result,
 	}
@@ -359,7 +366,9 @@ func (s *Server) execBatchJob(ctx context.Context, j *jobqueue.Job) ([]byte, boo
 		return payload, false, err
 	}
 	cacheKey := j.Fingerprint
-	if j.Kind == "verify" {
+	if j.Kind == "verify" || j.Kind == "remap" {
+		// Verification and remap jobs manage their own cache/session
+		// state; their fingerprint namespaces are never plan-cached.
 		cacheKey = ""
 	} else if payload, ok := s.cache.Get(j.Fingerprint); ok {
 		return payload, true, nil
@@ -412,6 +421,13 @@ func (s *Server) batchJobFunc(j *jobqueue.Job) (func() ([]byte, error), error) {
 			return nil, fmt.Errorf("decode verify request: %w", err)
 		}
 		return func() ([]byte, error) { return s.runVerify(&vr) }, nil
+	case "remap":
+		var rr remapRequest
+		if err := json.Unmarshal(j.Request, &rr); err != nil {
+			return nil, fmt.Errorf("decode remap request: %w", err)
+		}
+		jobID := j.ID
+		return func() ([]byte, error) { return s.runRemap(jobID, &rr) }, nil
 	}
 	return nil, fmt.Errorf("unknown persisted job kind %q", j.Kind)
 }

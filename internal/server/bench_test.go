@@ -66,3 +66,86 @@ func quantileMS(sorted []float64, q float64) float64 {
 	}
 	return sorted[int(q*float64(len(sorted)-1))]
 }
+
+// BenchmarkSessionRemap measures the session control loop end to end
+// through the handler stack: register, push drifting telemetry until
+// the remap triggers, and wait for the new epoch to swap in. Each
+// iteration pays one estimate and one verification simulation — the
+// real remap cost. Besides ns/op it reports remap-ms, the mean
+// trigger-to-swap latency the drift epochs themselves recorded (the
+// `locmapd_session_remap_latency_seconds` quantity), which
+// `make bench` records into BENCH_sim.json under the tenancy label.
+func BenchmarkSessionRemap(b *testing.B) {
+	s, err := New(Config{
+		RemapInterval: 20 * time.Millisecond,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	}()
+	h := s.Handler()
+
+	do := func(method, path string, body any, out any) int {
+		var rd io.Reader
+		if body != nil {
+			buf, err := json.Marshal(body)
+			if err != nil {
+				b.Fatalf("marshal: %v", err)
+			}
+			rd = bytes.NewReader(buf)
+		}
+		r := httptest.NewRequest(method, path, rd)
+		r.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		if out != nil {
+			if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+				b.Fatalf("%s %s: decode %s: %v", method, path, w.Body.Bytes(), err)
+			}
+		}
+		return w.Code
+	}
+
+	var totalRemapMs float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sr SessionResponse
+		req := SessionRequest{CommonRequest: CommonRequest{Source: fastSrc}}
+		if code := do(http.MethodPost, "/v1/sessions", req, &sr); code != http.StatusCreated {
+			b.Fatalf("create session: status %d", code)
+		}
+		var pr SessionPlanResponse
+		do(http.MethodGet, "/v1/sessions/"+sr.SessionID+"/plan", nil, &pr)
+		push := 0.0
+		if pr.Plan.PredictedAlpha < 0.5 {
+			push = 1.0
+		}
+		// Step past the min-epoch-gap hysteresis before drifting.
+		time.Sleep(25 * time.Millisecond)
+		var tr TelemetryResponse
+		for j := 0; j < 100 && !tr.RemapTriggered; j++ {
+			do(http.MethodPost, "/v1/sessions/"+sr.SessionID+"/telemetry",
+				map[string]float64{"alpha": push}, &tr)
+		}
+		if !tr.RemapTriggered {
+			b.Fatal("drift never triggered a remap")
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for pr.Plan.Epoch < 1 {
+			if time.Now().After(deadline) {
+				b.Fatal("remap epoch never applied")
+			}
+			time.Sleep(2 * time.Millisecond)
+			do(http.MethodGet, "/v1/sessions/"+sr.SessionID+"/plan", nil, &pr)
+		}
+		totalRemapMs += pr.Epochs[len(pr.Epochs)-1].RemapMs
+		do(http.MethodDelete, "/v1/sessions/"+sr.SessionID, nil, nil)
+	}
+	b.StopTimer()
+	b.ReportMetric(totalRemapMs/float64(b.N), "remap-ms")
+}

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"locmap/internal/tenancy"
 )
 
 // TestSharedTargetBlockContract pins API.md's "shared target block"
@@ -36,6 +38,35 @@ func TestSharedTargetBlockContract(t *testing.T) {
 	sort.Strings(declared)
 	if !reflect.DeepEqual(documented, declared) {
 		t.Errorf("shared target block drifted:\n  API.md documents %v\n  CommonRequest declares %v",
+			documented, declared)
+	}
+}
+
+// TestSessionTelemetryContract pins the telemetry example in API.md's
+// "Sessions API" section to tenancy.Telemetry, in both directions —
+// the same regime as the shared target block: a telemetry field added
+// to either side without the other fails here.
+func TestSessionTelemetryContract(t *testing.T) {
+	doc, err := os.ReadFile("../../API.md")
+	if err != nil {
+		t.Fatalf("read API.md: %v", err)
+	}
+	documented := sectionBlockFields(t, string(doc), "## Sessions API", 2)
+
+	var declared []string
+	rt := reflect.TypeOf(tenancy.Telemetry{})
+	for i := 0; i < rt.NumField(); i++ {
+		tag := rt.Field(i).Tag.Get("json")
+		name, _, _ := strings.Cut(tag, ",")
+		if name == "" || name == "-" {
+			t.Fatalf("tenancy.Telemetry.%s has no JSON name", rt.Field(i).Name)
+		}
+		declared = append(declared, name)
+	}
+	sort.Strings(documented)
+	sort.Strings(declared)
+	if !reflect.DeepEqual(documented, declared) {
+		t.Errorf("session telemetry contract drifted:\n  API.md documents %v\n  tenancy.Telemetry declares %v",
 			documented, declared)
 	}
 }
@@ -70,6 +101,41 @@ func sharedBlockFields(t *testing.T, doc string) []string {
 	}
 	if len(out) == 0 {
 		t.Fatal("no fields parsed from the shared target block example")
+	}
+	return out
+}
+
+// sectionBlockFields extracts the top-level field names of the nth
+// jsonc example under the given section heading.
+func sectionBlockFields(t *testing.T, doc, heading string, nth int) []string {
+	t.Helper()
+	_, rest, ok := strings.Cut(doc, heading)
+	if !ok {
+		t.Fatalf("API.md lost its %q section heading", heading)
+	}
+	if i := strings.Index(rest, "\n## "); i >= 0 {
+		rest = rest[:i]
+	}
+	var block string
+	for i := 0; i < nth; i++ {
+		_, rest, ok = strings.Cut(rest, "```jsonc")
+		if !ok {
+			t.Fatalf("%q section has fewer than %d jsonc examples", heading, nth)
+		}
+		block, rest, ok = strings.Cut(rest, "```")
+		if !ok {
+			t.Fatal("unterminated jsonc fence")
+		}
+	}
+	field := regexp.MustCompile(`^\s{2}"([a-z0-9_]+)":`)
+	var out []string
+	for _, line := range strings.Split(block, "\n") {
+		if m := field.FindStringSubmatch(line); m != nil {
+			out = append(out, m[1])
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no fields parsed from %q example %d", heading, nth)
 	}
 	return out
 }

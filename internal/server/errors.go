@@ -72,6 +72,14 @@ const (
 	// requested fingerprint (GET /v1/cluster/plan/{fingerprint}).
 	ErrPlanNotFound ErrorCode = "plan_not_found"
 
+	// ErrSessionNotFound: no session with that id (never registered,
+	// or deleted).
+	ErrSessionNotFound ErrorCode = "session_not_found"
+
+	// ErrTooManySessions: registering would exceed the configured
+	// session cap; delete a session or raise -max-tenants.
+	ErrTooManySessions ErrorCode = "too_many_sessions"
+
 	// ErrInternal: an unexpected internal failure (e.g. batch journal
 	// I/O). Defensive: no handler produces it in normal operation.
 	ErrInternal ErrorCode = "internal"

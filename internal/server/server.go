@@ -12,6 +12,12 @@
 //	GET    /v1/jobs       list jobs, newest first (limit/cursor/state)
 //	GET    /v1/jobs/{id}  one job's state, progress, timestamps and result
 //	DELETE /v1/jobs/{id}  cancel a still-queued job
+//	POST   /v1/sessions   register a long-running workload session (201)
+//	GET    /v1/sessions   list sessions with drift and epoch state
+//	GET    /v1/sessions/{id}            one session's state
+//	DELETE /v1/sessions/{id}            unregister (rebalances the group)
+//	POST   /v1/sessions/{id}/telemetry  push an observed run's telemetry
+//	GET    /v1/sessions/{id}/plan       current plan + epoch history
 //	GET    /v1/stats      service counters (requests, cache, latency)
 //	GET    /healthz       liveness probe (also answers HEAD)
 //	GET    /readyz        readiness probe: 503 past the utilization
@@ -53,6 +59,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -65,6 +72,7 @@ import (
 	"locmap/internal/plancache"
 	"locmap/internal/sim"
 	"locmap/internal/stats"
+	"locmap/internal/tenancy"
 )
 
 // Config parameterizes the service.
@@ -162,6 +170,23 @@ type Config struct {
 	// not absolute cycles).
 	LatencyTolerance float64
 
+	// RemapInterval is the epoch controller's sweep period (default
+	// 5s): every interval each session's drift trigger is re-evaluated,
+	// so a remap suppressed at telemetry-push time (another remap in
+	// flight, background queue full) fires within one interval of
+	// becoming possible. It is also the minimum spacing between two
+	// epochs of one session (the no-flap hysteresis rail).
+	RemapInterval time.Duration
+
+	// DriftAlphaTol is the session drift threshold on |windowed mean
+	// observed α − predicted α| (default: AlphaTolerance). Windowed
+	// drift at or above it triggers a remap epoch.
+	DriftAlphaTol float64
+
+	// MaxTenants bounds concurrently registered sessions (default 64;
+	// beyond it POST /v1/sessions is rejected too_many_sessions).
+	MaxTenants int
+
 	// Peers lists every cluster member's base URL
 	// (scheme://host:port), this node's included; all members must be
 	// started with the same list. Empty — or naming only this node —
@@ -204,6 +229,13 @@ type Server struct {
 	alphaDrift    *metrics.Histogram
 	latencyDrift  *metrics.Histogram
 	verifyDropped *metrics.Counter
+	remapDropped  *metrics.Counter
+
+	tenants       *tenancy.Manager
+	sessionGauges sync.Map // metric name + "|" + session label → *floatVal
+	sweepStop     chan struct{}
+	sweepDone     chan struct{}
+	closeOnce     sync.Once
 
 	cluster           *clusterState // nil on single-node servers
 	clusterForwards   *metrics.Counter
@@ -275,6 +307,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ClusterTimeout <= 0 {
 		cfg.ClusterTimeout = 2 * time.Second
 	}
+	if cfg.RemapInterval <= 0 {
+		cfg.RemapInterval = 5 * time.Second
+	}
+	if cfg.DriftAlphaTol <= 0 {
+		cfg.DriftAlphaTol = cfg.AlphaTolerance
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = tenancy.DefaultMaxTenants
+	}
 	s := &Server{
 		cfg:   cfg,
 		cache: plancache.New(cfg.CacheCapacity),
@@ -283,6 +324,14 @@ func New(cfg Config) (*Server, error) {
 		log:   cfg.Logger,
 		reg:   cfg.Registry,
 		start: time.Now(),
+		tenants: tenancy.NewManager(tenancy.Config{
+			AlphaTol:    cfg.DriftAlphaTol,
+			LatencyTol:  cfg.LatencyTolerance,
+			MinEpochGap: cfg.RemapInterval,
+			MaxTenants:  cfg.MaxTenants,
+		}),
+		sweepStop: make(chan struct{}),
+		sweepDone: make(chan struct{}),
 	}
 	s.httpInflight = s.reg.Gauge("locmapd_http_inflight_requests",
 		"Requests currently inside a handler.", nil)
@@ -310,6 +359,11 @@ func New(cfg Config) (*Server, error) {
 		metrics.ExpBuckets(0.01, 2, 12), nil)
 	s.verifyDropped = s.reg.Counter("locmapd_verify_dropped_total",
 		"Background verification jobs dropped because the background queue was full.", nil)
+	s.remapDropped = s.reg.Counter("locmapd_remap_dropped_total",
+		"Session remap jobs dropped because the background queue was full.", nil)
+	s.reg.GaugeFunc("locmapd_sessions_active",
+		"Currently registered long-running sessions.", nil,
+		func() float64 { return float64(s.tenants.Active()) })
 	// Eagerly register every serving tier so the family is complete in
 	// the exposition before the first request of each tier.
 	for _, tier := range servingTiers {
@@ -346,6 +400,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.queue = queue
+	go s.runSweeper()
 	return s, nil
 }
 
@@ -357,6 +412,10 @@ func (s *Server) Queue() *jobqueue.Queue { return s.queue }
 // stay queued in the journal for the next process. Call after the
 // HTTP listener has stopped accepting requests.
 func (s *Server) Close(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		close(s.sweepStop)
+	})
+	<-s.sweepDone
 	return s.queue.Close(ctx)
 }
 
@@ -395,6 +454,16 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/batch/{id}", s.instrument("batch_status", s.methodNotAllowed("GET")))
 	mux.Handle("POST /v1/optimize", s.instrument("optimize", s.handleOptimize))
 	mux.Handle("/v1/optimize", s.instrument("optimize", s.methodNotAllowed("POST")))
+	mux.Handle("POST /v1/sessions", s.instrument("sessions", s.handleSessionCreate))
+	mux.Handle("GET /v1/sessions", s.instrument("sessions", s.handleSessionList))
+	mux.Handle("/v1/sessions", s.instrument("sessions", s.methodNotAllowed("GET, POST")))
+	mux.Handle("GET /v1/sessions/{id}", s.instrument("session", s.handleSessionGet))
+	mux.Handle("DELETE /v1/sessions/{id}", s.instrument("session", s.handleSessionDelete))
+	mux.Handle("/v1/sessions/{id}", s.instrument("session", s.methodNotAllowed("DELETE, GET")))
+	mux.Handle("POST /v1/sessions/{id}/telemetry", s.instrument("session_telemetry", s.handleSessionTelemetry))
+	mux.Handle("/v1/sessions/{id}/telemetry", s.instrument("session_telemetry", s.methodNotAllowed("POST")))
+	mux.Handle("GET /v1/sessions/{id}/plan", s.instrument("session_plan", s.handleSessionPlan))
+	mux.Handle("/v1/sessions/{id}/plan", s.instrument("session_plan", s.methodNotAllowed("GET")))
 	mux.Handle("GET /v1/jobs", s.instrument("jobs", s.handleJobList))
 	mux.Handle("/v1/jobs", s.instrument("jobs", s.methodNotAllowed("GET")))
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("job", s.handleJobStatus))
@@ -859,6 +928,17 @@ func simulate(req *SimulateRequest, workers int) (*SimResult, error) {
 	}, nil
 }
 
+// QueueDepths is the jobqueue's per-class queued-work breakdown in
+// the stats payload — the same depths /metrics exports, so operators
+// get one consistent view from either surface.
+type QueueDepths struct {
+	// Batch counts queued user-facing batch jobs; Background counts
+	// queued verify/remap jobs; Detached counts queued optimize jobs.
+	Batch      int `json:"batch"`
+	Background int `json:"background"`
+	Detached   int `json:"detached"`
+}
+
 // StatsSnapshot is the body of GET /v1/stats.
 type StatsSnapshot struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
@@ -873,6 +953,11 @@ type StatsSnapshot struct {
 	LatencyCount  uint64          `json:"latency_count"`
 	LatencyP50Ms  float64         `json:"latency_p50_ms"`
 	LatencyP99Ms  float64         `json:"latency_p99_ms"`
+
+	// Jobqueue is the per-class queued-job depth; ActiveSessions the
+	// registered long-running sessions.
+	Jobqueue       QueueDepths `json:"jobqueue"`
+	ActiveSessions int         `json:"active_sessions"`
 }
 
 // Snapshot collects the current counters. Requests counts every
@@ -894,6 +979,12 @@ func (s *Server) Snapshot() StatsSnapshot {
 		LatencyCount:  s.lat.Count(),
 		LatencyP50Ms:  qs[0] * 1000,
 		LatencyP99Ms:  qs[1] * 1000,
+		Jobqueue: QueueDepths{
+			Batch:      s.queue.Depth(),
+			Background: s.queue.BackgroundDepth(),
+			Detached:   s.queue.DetachedDepth(),
+		},
+		ActiveSessions: s.tenants.Active(),
 	}
 }
 

@@ -256,6 +256,10 @@ func TestMethodNotAllowed(t *testing.T) {
 		{http.MethodGet, "/v1/batch", "POST"},
 		{http.MethodPost, "/v1/batch/some-id", "GET"},
 		{http.MethodPut, "/v1/jobs/some-id", "DELETE, GET"},
+		{http.MethodPut, "/v1/sessions", "GET, POST"},
+		{http.MethodPost, "/v1/sessions/some-id", "DELETE, GET"},
+		{http.MethodGet, "/v1/sessions/some-id/telemetry", "POST"},
+		{http.MethodPost, "/v1/sessions/some-id/plan", "GET"},
 		{http.MethodPost, "/healthz", "GET, HEAD"},
 		{http.MethodPost, "/readyz", "GET, HEAD"},
 	}
@@ -667,6 +671,8 @@ func TestMetricsContract(t *testing.T) {
 	postJSON(t, ts.URL+"/v1/map", mapReq("")) // 400
 	http.Get(ts.URL + "/v1/nope")             // 404
 	http.Get(ts.URL + "/v1/map")              // 405
+	// A live session instantiates the per-tenant SLO families.
+	createSession(t, ts.URL, triadSrc, "contract")
 
 	first := scrape(t, ms.URL)
 	for _, fam := range []string{
@@ -702,6 +708,12 @@ func TestMetricsContract(t *testing.T) {
 		"locmapd_cluster_forwards_total",
 		"locmapd_cluster_remote_hits_total",
 		"locmapd_cluster_peer_errors_total",
+		"locmapd_sessions_active",
+		"locmapd_remap_dropped_total",
+		"locmapd_session_epochs_total",
+		"locmapd_session_drift_at_trigger",
+		"locmapd_session_remap_latency_seconds",
+		"locmapd_session_interference_score",
 		"locmap_runner_jobs_requested_total",
 		"locmap_runner_jobs_executed_total",
 		"locmap_runner_jobs_memoized_total",

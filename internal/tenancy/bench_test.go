@@ -1,0 +1,51 @@
+package tenancy
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"locmap/internal/topology"
+)
+
+// benchCoPlace measures the co-placement search: full CoPlace calls
+// per second plus the candidate-evaluation rate (cand/s), which
+// bounds how many tenants-joined/left events one group can absorb.
+func benchCoPlace(b *testing.B, n int) {
+	mesh := topology.Default6x6()
+	var tenants []Tenant
+	for i := 0; i < n; i++ {
+		tenants = append(tenants, mcTenant(fmt.Sprint(i), mesh, i%mesh.NumMCs()))
+	}
+	cfg := CoPlaceConfig{Mesh: mesh, Seed: 1}
+	evaluated := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := CoPlace(cfg, tenants)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evaluated += pl.Evaluated
+	}
+	b.ReportMetric(float64(evaluated)/b.Elapsed().Seconds(), "cand/s")
+}
+
+func BenchmarkCoPlaceTwoTenants(b *testing.B)  { benchCoPlace(b, 2) }
+func BenchmarkCoPlaceFourTenants(b *testing.B) { benchCoPlace(b, 4) }
+
+// BenchmarkIngest measures the telemetry hot path: one drift-window
+// update plus the trigger decision, the per-sample cost every live
+// session charges the serving path.
+func BenchmarkIngest(b *testing.B) {
+	m := NewManager(Config{AlphaTol: 0.5, MinEpochGap: time.Hour})
+	s, err := m.Register("bench", "g", nil, nil, Plan{Tier: "estimate", PredictedAlpha: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate around the prediction so the window churns without
+		// ever crossing the (loose) tolerance.
+		m.Ingest(s, Telemetry{Alpha: 0.4 + 0.2*float64(i%2)})
+	}
+}

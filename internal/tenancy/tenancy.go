@@ -1,0 +1,525 @@
+// Package tenancy turns locmapd from "one program, one plan, once"
+// into a continuous scheduler: long-running workloads register as
+// sessions, push per-run telemetry (the same quantities /v1/simulate
+// reports — LLC hit fraction, cycle counts, per-leg NoC latencies),
+// and an epoch controller re-maps them when reality drifts from the
+// plan's prediction — the service-side generalization of the paper's
+// inspector–executor loop, in the spirit of Affinity Tailor's
+// fleet-scale feedback scheduling (PAPERS.md).
+//
+// The drift detector is deliberately windowed: a single noisy run
+// never triggers an epoch. Each session keeps a sliding window of
+// observations; the trigger condition compares the *windowed mean*
+// against the current plan's prediction, so telemetry oscillating
+// around the prediction averages out (the no-flap guard) while a
+// genuine phase change accumulates. Two hysteresis rails back it up:
+// a minimum spacing between epochs and an in-flight latch so at most
+// one remap per session is ever outstanding.
+//
+// Sessions sharing one target machine (same mesh, regions, LLC and
+// physical placement — the group key) form a tenant group; coplace.go
+// assigns each group member a core partition minimizing cross-tenant
+// NoC/MC interference. The current plan is swapped atomically
+// (atomic.Pointer), so concurrent plan reads never observe a torn
+// epoch.
+package tenancy
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locmap/internal/affinity"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultAlphaTol    = 0.1
+	DefaultLatencyTol  = 0.5
+	DefaultWindow      = 8
+	DefaultMinWindow   = 3
+	DefaultMinEpochGap = 10 * time.Second
+	DefaultMaxTenants  = 64
+)
+
+// Epoch trigger reasons.
+const (
+	// ReasonRegister marks epoch 0: the plan computed at registration.
+	ReasonRegister = "register"
+	// ReasonDrift marks an epoch triggered by windowed telemetry drift.
+	ReasonDrift = "drift"
+	// ReasonRebalance marks an epoch caused by the tenant group
+	// changing shape (a co-tenant registered or left), not by this
+	// session's own telemetry.
+	ReasonRebalance = "rebalance"
+)
+
+// ErrTooManySessions reports the Config.MaxTenants cap was hit.
+var ErrTooManySessions = errors.New("tenancy: too many sessions")
+
+// Config parameterizes a Manager.
+type Config struct {
+	// AlphaTol is the drift threshold on |windowed mean observed α −
+	// predicted α| (default 0.1). Drift exactly at the threshold
+	// triggers: the tolerance bounds the *acceptable* band, and the
+	// band is open at the top.
+	AlphaTol float64
+
+	// LatencyTol is the drift threshold on the relative cycle-count
+	// error |windowed mean observed − predicted| / predicted (default
+	// 0.5, mirroring the verify path's latency tolerance).
+	LatencyTol float64
+
+	// Window bounds the telemetry observations the drift mean is
+	// computed over (default 8). Older observations fall out.
+	Window int
+
+	// MinWindow is how many observations must have accumulated since
+	// the last epoch before drift can trigger at all (default 3): one
+	// outlier run never causes a remap.
+	MinWindow int
+
+	// MinEpochGap is the minimum spacing between two epochs of one
+	// session (default 10s) — the time rail of the no-flap hysteresis.
+	MinEpochGap time.Duration
+
+	// MaxTenants bounds concurrently registered sessions (default 64).
+	MaxTenants int
+
+	// Now supplies the clock (default time.Now); tests inject one.
+	Now func() time.Time
+}
+
+func (c *Config) defaults() {
+	if c.AlphaTol <= 0 {
+		c.AlphaTol = DefaultAlphaTol
+	}
+	if c.LatencyTol <= 0 {
+		c.LatencyTol = DefaultLatencyTol
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.MinWindow <= 0 {
+		c.MinWindow = DefaultMinWindow
+	}
+	if c.MinWindow > c.Window {
+		c.MinWindow = c.Window
+	}
+	if c.MinEpochGap <= 0 {
+		c.MinEpochGap = DefaultMinEpochGap
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = DefaultMaxTenants
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// Telemetry is one pushed observation of a session's real execution:
+// the same whole-run aggregates /v1/simulate returns.
+type Telemetry struct {
+	// Alpha is the observed LLC hit fraction. Required, in [0,1].
+	Alpha float64 `json:"alpha"`
+
+	// L1HitFraction is the observed L1 hit fraction (optional).
+	L1HitFraction float64 `json:"l1_hit_fraction,omitempty"`
+
+	// Cycles is the observed cycle count of the run (optional; 0
+	// skips the latency-drift comparison for this observation).
+	Cycles int64 `json:"cycles,omitempty"`
+}
+
+// Drift is the windowed observed-vs-predicted deviation of a session.
+type Drift struct {
+	// Alpha is |windowed mean observed α − predicted α|.
+	Alpha float64 `json:"alpha"`
+
+	// Latency is |windowed mean observed cycles − predicted| /
+	// predicted, over the observations that carried a cycle count
+	// (0 when none did or no prediction exists).
+	Latency float64 `json:"latency"`
+
+	// Samples is how many observations the window held.
+	Samples int `json:"samples"`
+}
+
+// Plan is a session's current answer: the opaque serialized plan
+// payload plus the predictions the drift detector compares telemetry
+// against, and — in tenant groups — the core partition co-placement
+// assigned. Plans are immutable once installed; an epoch swaps the
+// whole pointer.
+type Plan struct {
+	// Epoch is the plan's epoch sequence number (0 = registration).
+	Epoch int `json:"epoch"`
+
+	// Tier is the plan's confidence tier ("estimate", "verified",
+	// "refined" — see internal/estimate).
+	Tier string `json:"tier"`
+
+	// PredictedAlpha and PredictedCycles are the drift baseline. After
+	// a verified remap they hold the *simulated* values, so future
+	// drift is measured against ground truth, not the estimate.
+	PredictedAlpha  float64 `json:"predicted_alpha"`
+	PredictedCycles int64   `json:"predicted_cycles"`
+
+	// Payload is the serialized plan body (locmapd: an
+	// EstimateResult), stored verbatim and returned on plan reads.
+	Payload json.RawMessage `json:"payload,omitempty"`
+
+	// Cores is the session's core partition when its group has more
+	// than one tenant (nil: the whole mesh).
+	Cores []int `json:"cores,omitempty"`
+
+	// Interference is the group co-placement's cross-tenant
+	// interference score at the time this plan was installed.
+	Interference float64 `json:"interference,omitempty"`
+
+	// AppliedAt is when the plan was installed.
+	AppliedAt time.Time `json:"applied_at"`
+}
+
+// Epoch is one entry of a session's remap history.
+type Epoch struct {
+	Seq    int    `json:"seq"`
+	Reason string `json:"reason"`
+
+	// DriftAlpha / DriftLatency are the windowed drift at trigger
+	// time (zero for register/rebalance epochs).
+	DriftAlpha   float64 `json:"drift_alpha,omitempty"`
+	DriftLatency float64 `json:"drift_latency,omitempty"`
+
+	// Tier, PredictedAlpha and Interference describe the installed
+	// plan (duplicated here so history survives later swaps).
+	Tier           string  `json:"tier"`
+	PredictedAlpha float64 `json:"predicted_alpha"`
+	Interference   float64 `json:"interference,omitempty"`
+
+	TriggeredAt time.Time `json:"triggered_at"`
+	AppliedAt   time.Time `json:"applied_at"`
+
+	// RemapMs is the end-to-end remap latency (trigger → swap) in
+	// milliseconds.
+	RemapMs float64 `json:"remap_ms"`
+}
+
+// Session is one registered long-running workload. The current plan
+// is read lock-free (atomic pointer); the telemetry window, epoch
+// history and trigger state are guarded by mu.
+type Session struct {
+	ID        string
+	Name      string
+	GroupKey  string
+	CreatedAt time.Time
+
+	// Request is the registered workload's opaque request body (the
+	// server's session request), re-decoded at each remap epoch.
+	Request json.RawMessage
+
+	// Affs is the workload's affinity extraction
+	// (estimate.Estimator.Affinities), refreshed at each remap; the
+	// group co-placement re-scores it against candidate partitions.
+	// Guarded by mu.
+	Affs [][]affinity.SetAffinity
+
+	plan atomic.Pointer[Plan]
+
+	mu          sync.Mutex
+	window      []Telemetry
+	epochs      []Epoch
+	lastEpochAt time.Time
+	inFlight    bool
+	inFlightAt  time.Time
+}
+
+// Plan returns the session's current plan. Safe for concurrent use
+// with an in-progress swap: readers see either the old or the new
+// plan, never a mix.
+func (s *Session) Plan() *Plan { return s.plan.Load() }
+
+// Epochs returns a copy of the remap history, oldest first.
+func (s *Session) Epochs() []Epoch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Epoch(nil), s.epochs...)
+}
+
+// Affinities returns the session's current affinity extraction.
+func (s *Session) Affinities() [][]affinity.SetAffinity {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Affs
+}
+
+// SetAffinities replaces the affinity extraction (after a remap
+// re-estimated the workload).
+func (s *Session) SetAffinities(affs [][]affinity.SetAffinity) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Affs = affs
+}
+
+// drift computes the windowed deviation against plan. Caller holds mu.
+func (s *Session) driftLocked(plan *Plan) Drift {
+	d := Drift{Samples: len(s.window)}
+	if plan == nil || len(s.window) == 0 {
+		return d
+	}
+	var alphaSum float64
+	var cycSum, cycN float64
+	for _, t := range s.window {
+		alphaSum += t.Alpha
+		if t.Cycles > 0 {
+			cycSum += float64(t.Cycles)
+			cycN++
+		}
+	}
+	d.Alpha = math.Abs(alphaSum/float64(len(s.window)) - plan.PredictedAlpha)
+	if cycN > 0 && plan.PredictedCycles > 0 {
+		d.Latency = math.Abs(cycSum/cycN-float64(plan.PredictedCycles)) /
+			float64(plan.PredictedCycles)
+	}
+	return d
+}
+
+// Drift returns the current windowed deviation without mutating state.
+func (s *Session) Drift() Drift {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.driftLocked(s.Plan())
+}
+
+// Manager is the session registry and epoch controller state. All
+// methods are safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	seq      uint64
+}
+
+// NewManager builds a Manager, applying defaults for zero config
+// fields.
+func NewManager(cfg Config) *Manager {
+	cfg.defaults()
+	return &Manager{cfg: cfg, sessions: make(map[string]*Session)}
+}
+
+// Config returns the manager's effective (defaulted) configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Register creates a session holding the given initial plan. The
+// plan's Epoch is forced to 0 and recorded as the ReasonRegister
+// history entry.
+func (m *Manager) Register(name, groupKey string, request json.RawMessage, affs [][]affinity.SetAffinity, plan Plan) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.sessions) >= m.cfg.MaxTenants {
+		return nil, fmt.Errorf("%w: limit is %d", ErrTooManySessions, m.cfg.MaxTenants)
+	}
+	now := m.cfg.Now()
+	m.seq++
+	s := &Session{
+		ID:        fmt.Sprintf("s-%d-%d", now.UnixNano(), m.seq),
+		Name:      name,
+		GroupKey:  groupKey,
+		CreatedAt: now,
+		Request:   append(json.RawMessage(nil), request...),
+		Affs:      affs,
+	}
+	plan.Epoch = 0
+	plan.AppliedAt = now
+	p := plan
+	s.plan.Store(&p)
+	s.epochs = []Epoch{{
+		Seq:            0,
+		Reason:         ReasonRegister,
+		Tier:           plan.Tier,
+		PredictedAlpha: plan.PredictedAlpha,
+		Interference:   plan.Interference,
+		TriggeredAt:    now,
+		AppliedAt:      now,
+	}}
+	s.lastEpochAt = now
+	m.sessions[s.ID] = s
+	return s, nil
+}
+
+// Get returns the session with the given id.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// Delete removes a session. It returns the removed session so the
+// caller can rebalance its group.
+func (m *Manager) Delete(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+	}
+	return s, ok
+}
+
+// List returns every session, ordered by creation.
+func (m *Manager) List() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		out = append(out, s)
+	}
+	sortSessions(out)
+	return out
+}
+
+// Group returns the sessions sharing groupKey (the tenants of one
+// machine), ordered by creation.
+func (m *Manager) Group(groupKey string) []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*Session
+	for _, s := range m.sessions {
+		if s.GroupKey == groupKey {
+			out = append(out, s)
+		}
+	}
+	sortSessions(out)
+	return out
+}
+
+func sortSessions(ss []*Session) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ss[j-1], ss[j]
+			if a.CreatedAt.Before(b.CreatedAt) ||
+				(a.CreatedAt.Equal(b.CreatedAt) && a.ID < b.ID) {
+				break
+			}
+			ss[j-1], ss[j] = b, a
+		}
+	}
+}
+
+// Active returns the number of registered sessions.
+func (m *Manager) Active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Ingest appends one telemetry observation to the session's window
+// and evaluates the trigger condition: the windowed drift is at or
+// above a tolerance, at least MinWindow observations accumulated
+// since the last epoch, the MinEpochGap spacing has elapsed, and no
+// remap is already in flight. When every rail passes, the in-flight
+// latch is taken and trigger is true — the caller must then run the
+// remap and finish with CompleteRemap or AbortRemap.
+func (m *Manager) Ingest(s *Session, t Telemetry) (Drift, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.window = append(s.window, t)
+	if len(s.window) > m.cfg.Window {
+		s.window = s.window[len(s.window)-m.cfg.Window:]
+	}
+	return m.evaluateLocked(s)
+}
+
+// ShouldRemap re-evaluates the trigger condition without new
+// telemetry — the epoch controller's periodic sweep calls this, so a
+// session whose trigger was suppressed (remap in flight, queue full)
+// is retried within one sweep interval. Like Ingest, a true return
+// takes the in-flight latch.
+func (m *Manager) ShouldRemap(s *Session) (Drift, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return m.evaluateLocked(s)
+}
+
+// evaluateLocked is the trigger condition. Caller holds s.mu.
+func (m *Manager) evaluateLocked(s *Session) (Drift, bool) {
+	d := s.driftLocked(s.Plan())
+	if s.inFlight || d.Samples < m.cfg.MinWindow {
+		return d, false
+	}
+	if d.Alpha < m.cfg.AlphaTol && d.Latency < m.cfg.LatencyTol {
+		return d, false
+	}
+	if m.cfg.Now().Sub(s.lastEpochAt) < m.cfg.MinEpochGap {
+		return d, false
+	}
+	s.inFlight = true
+	s.inFlightAt = m.cfg.Now()
+	return d, true
+}
+
+// BeginRebalance takes the session's in-flight latch for a group
+// rebalance (a co-tenant joined or left) regardless of drift. It
+// returns false when a remap is already outstanding.
+func (m *Manager) BeginRebalance(s *Session) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inFlight {
+		return false
+	}
+	s.inFlight = true
+	s.inFlightAt = m.cfg.Now()
+	return true
+}
+
+// CompleteRemap installs the new plan atomically, appends the epoch
+// history entry, clears the telemetry window (drift restarts against
+// the new baseline — the second half of the no-flap guard) and
+// releases the in-flight latch. drift is the deviation measured at
+// trigger time; reason is ReasonDrift or ReasonRebalance.
+func (m *Manager) CompleteRemap(s *Session, reason string, drift Drift, plan Plan) Epoch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := m.cfg.Now()
+	triggered := s.inFlightAt
+	if triggered.IsZero() {
+		triggered = now
+	}
+	plan.Epoch = len(s.epochs)
+	plan.AppliedAt = now
+	p := plan
+	s.plan.Store(&p)
+	ep := Epoch{
+		Seq:            plan.Epoch,
+		Reason:         reason,
+		DriftAlpha:     drift.Alpha,
+		DriftLatency:   drift.Latency,
+		Tier:           plan.Tier,
+		PredictedAlpha: plan.PredictedAlpha,
+		Interference:   plan.Interference,
+		TriggeredAt:    triggered,
+		AppliedAt:      now,
+		RemapMs:        float64(now.Sub(triggered)) / float64(time.Millisecond),
+	}
+	s.epochs = append(s.epochs, ep)
+	s.lastEpochAt = now
+	s.window = s.window[:0]
+	s.inFlight = false
+	s.inFlightAt = time.Time{}
+	return ep
+}
+
+// AbortRemap releases the in-flight latch without swapping (the remap
+// job failed or was shed). The telemetry window is kept: the drift
+// that triggered is still real, and the next sweep retries.
+func (m *Manager) AbortRemap(s *Session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inFlight = false
+	s.inFlightAt = time.Time{}
+}

@@ -1,0 +1,450 @@
+package tenancy
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for hysteresis tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestManager(t *testing.T, clk *fakeClock) *Manager {
+	t.Helper()
+	return NewManager(Config{
+		AlphaTol:    0.1,
+		LatencyTol:  0.5,
+		Window:      8,
+		MinWindow:   3,
+		MinEpochGap: 10 * time.Second,
+		Now:         clk.Now,
+	})
+}
+
+func register(t *testing.T, m *Manager, name string, predicted float64) *Session {
+	t.Helper()
+	s, err := m.Register(name, "g", nil, nil, Plan{
+		Tier:            "estimate",
+		PredictedAlpha:  predicted,
+		PredictedCycles: 1000,
+	})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	return s
+}
+
+func TestRegisterInitialEpoch(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	m := newTestManager(t, clk)
+	s := register(t, m, "w", 0.8)
+
+	p := s.Plan()
+	if p == nil || p.Epoch != 0 || p.Tier != "estimate" {
+		t.Fatalf("initial plan = %+v, want epoch 0 tier estimate", p)
+	}
+	eps := s.Epochs()
+	if len(eps) != 1 || eps[0].Reason != ReasonRegister || eps[0].Seq != 0 {
+		t.Fatalf("initial history = %+v, want one register epoch", eps)
+	}
+	if got, ok := m.Get(s.ID); !ok || got != s {
+		t.Fatalf("Get(%q) = %v, %v", s.ID, got, ok)
+	}
+	if m.Active() != 1 {
+		t.Fatalf("Active = %d, want 1", m.Active())
+	}
+}
+
+func TestMaxTenants(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	m := NewManager(Config{MaxTenants: 2, Now: clk.Now})
+	register(t, m, "a", 0.5)
+	register(t, m, "b", 0.5)
+	if _, err := m.Register("c", "g", nil, nil, Plan{}); err == nil {
+		t.Fatal("third Register succeeded, want ErrTooManySessions")
+	}
+	// Deleting frees a slot.
+	list := m.List()
+	if _, ok := m.Delete(list[0].ID); !ok {
+		t.Fatal("Delete failed")
+	}
+	if _, err := m.Register("c", "g", nil, nil, Plan{}); err != nil {
+		t.Fatalf("Register after Delete: %v", err)
+	}
+}
+
+// TestNoFlapOscillation: telemetry oscillating symmetrically around
+// the prediction must never trigger — individual samples deviate well
+// past the tolerance, but the windowed mean stays on the prediction.
+func TestNoFlapOscillation(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	m := newTestManager(t, clk)
+	s := register(t, m, "w", 0.5)
+	clk.Advance(time.Minute) // MinEpochGap long elapsed
+
+	for i := 0; i < 20; i++ {
+		alpha := 0.35 // −0.15 from prediction: 1.5× the tolerance on its own
+		if i%2 == 1 {
+			alpha = 0.65 // +0.15
+		}
+		d, trigger := m.Ingest(s, Telemetry{Alpha: alpha})
+		if trigger {
+			t.Fatalf("sample %d (α=%.2f) triggered a remap; drift %+v", i, alpha, d)
+		}
+		// After each +/− pair the windowed mean is exactly on target;
+		// odd window sizes leave at most one sample's residue, 0.15/3.
+		if i%2 == 1 && d.Alpha > 1e-9 {
+			t.Fatalf("sample %d: windowed drift %.3f, want ~0", i, d.Alpha)
+		}
+		clk.Advance(time.Second)
+	}
+}
+
+// TestDriftExactlyAtThreshold: the tolerance bounds the acceptable
+// band; drift exactly at the threshold triggers (>=, not >).
+func TestDriftExactlyAtThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	// Exact binary fractions so "exactly at threshold" is exact in
+	// float64: predicted 0.5, observed 0.375, AlphaTol 0.125.
+	m := NewManager(Config{AlphaTol: 0.125, MinEpochGap: 10 * time.Second, Now: clk.Now})
+	s := register(t, m, "w", 0.5)
+	clk.Advance(time.Minute)
+
+	var triggered bool
+	for i := 0; i < 3; i++ {
+		_, triggered = m.Ingest(s, Telemetry{Alpha: 0.375})
+	}
+	if !triggered {
+		t.Fatal("drift exactly at AlphaTol did not trigger")
+	}
+
+	// Just inside the band must not trigger.
+	s2 := register(t, m, "w2", 0.5)
+	clk.Advance(time.Minute)
+	for i := 0; i < 8; i++ {
+		if _, trig := m.Ingest(s2, Telemetry{Alpha: 0.401}); trig {
+			t.Fatalf("drift below AlphaTol triggered at sample %d", i)
+		}
+	}
+}
+
+func TestMinWindowFloor(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	m := newTestManager(t, clk)
+	s := register(t, m, "w", 0.9)
+	clk.Advance(time.Minute)
+
+	// Huge drift, but fewer than MinWindow samples: no trigger.
+	if _, trig := m.Ingest(s, Telemetry{Alpha: 0.1}); trig {
+		t.Fatal("triggered on 1 sample, want MinWindow=3 floor")
+	}
+	if _, trig := m.Ingest(s, Telemetry{Alpha: 0.1}); trig {
+		t.Fatal("triggered on 2 samples")
+	}
+	if _, trig := m.Ingest(s, Telemetry{Alpha: 0.1}); !trig {
+		t.Fatal("did not trigger at MinWindow samples with huge drift")
+	}
+}
+
+func TestMinEpochGapSuppresses(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	m := newTestManager(t, clk)
+	s := register(t, m, "w", 0.9)
+
+	// Drift is present immediately, but the register epoch just
+	// happened: inside MinEpochGap nothing triggers.
+	for i := 0; i < 5; i++ {
+		if _, trig := m.Ingest(s, Telemetry{Alpha: 0.1}); trig {
+			t.Fatalf("triggered %v after register, inside MinEpochGap", clk.Now().Sub(time.Unix(100, 0)))
+		}
+		clk.Advance(time.Second)
+	}
+	clk.Advance(10 * time.Second)
+	if _, trig := m.ShouldRemap(s); !trig {
+		t.Fatal("sweep did not trigger after MinEpochGap elapsed")
+	}
+}
+
+func TestInFlightLatchAndAbortRetry(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	m := newTestManager(t, clk)
+	s := register(t, m, "w", 0.9)
+	clk.Advance(time.Minute)
+
+	for i := 0; i < 3; i++ {
+		m.Ingest(s, Telemetry{Alpha: 0.1})
+	}
+	// Latch is taken; more telemetry and sweeps must not re-trigger.
+	if _, trig := m.Ingest(s, Telemetry{Alpha: 0.1}); trig {
+		t.Fatal("second trigger while remap in flight")
+	}
+	if _, trig := m.ShouldRemap(s); trig {
+		t.Fatal("sweep triggered while remap in flight")
+	}
+
+	// Abort keeps the window: the drift is still real, so the next
+	// sweep retries immediately.
+	m.AbortRemap(s)
+	if d, trig := m.ShouldRemap(s); !trig {
+		t.Fatalf("sweep after abort did not retry (drift %+v)", d)
+	}
+}
+
+func TestCompleteRemapSwapsAndResets(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	m := newTestManager(t, clk)
+	s := register(t, m, "w", 0.9)
+	clk.Advance(time.Minute)
+
+	var drift Drift
+	for i := 0; i < 3; i++ {
+		drift, _ = m.Ingest(s, Telemetry{Alpha: 0.3, Cycles: 2000})
+	}
+	clk.Advance(250 * time.Millisecond)
+	ep := m.CompleteRemap(s, ReasonDrift, drift, Plan{
+		Tier:            "verified",
+		PredictedAlpha:  0.3,
+		PredictedCycles: 2000,
+	})
+
+	if ep.Seq != 1 || ep.Reason != ReasonDrift {
+		t.Fatalf("epoch = %+v, want seq 1 reason drift", ep)
+	}
+	if ep.DriftAlpha < 0.59 || ep.DriftAlpha > 0.61 {
+		t.Fatalf("epoch drift α = %.3f, want 0.6", ep.DriftAlpha)
+	}
+	if ep.RemapMs < 249 || ep.RemapMs > 251 {
+		t.Fatalf("RemapMs = %.1f, want 250", ep.RemapMs)
+	}
+	p := s.Plan()
+	if p.Epoch != 1 || p.Tier != "verified" || p.PredictedAlpha != 0.3 {
+		t.Fatalf("swapped plan = %+v", p)
+	}
+	// Window cleared: drift restarts against the new baseline.
+	if d := s.Drift(); d.Samples != 0 {
+		t.Fatalf("window not cleared after swap: %+v", d)
+	}
+	// Telemetry matching the new baseline never re-triggers.
+	clk.Advance(time.Minute)
+	for i := 0; i < 8; i++ {
+		if _, trig := m.Ingest(s, Telemetry{Alpha: 0.3, Cycles: 2000}); trig {
+			t.Fatal("on-baseline telemetry triggered after remap")
+		}
+	}
+	if eps := s.Epochs(); len(eps) != 2 {
+		t.Fatalf("history has %d epochs, want 2", len(eps))
+	}
+}
+
+func TestLatencyDriftTrigger(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	m := newTestManager(t, clk)
+	s := register(t, m, "w", 0.5)
+	clk.Advance(time.Minute)
+
+	// α on target, cycles 60% over prediction → latency drift 0.6 ≥ 0.5.
+	var trig bool
+	var d Drift
+	for i := 0; i < 3; i++ {
+		d, trig = m.Ingest(s, Telemetry{Alpha: 0.5, Cycles: 1600})
+	}
+	if !trig {
+		t.Fatalf("latency drift %.2f did not trigger", d.Latency)
+	}
+	if d.Latency < 0.59 || d.Latency > 0.61 {
+		t.Fatalf("latency drift = %.3f, want 0.6", d.Latency)
+	}
+}
+
+// TestZeroCycleSamplesSkipLatency: observations without a cycle count
+// must not dilute the latency-drift mean.
+func TestZeroCycleSamplesSkipLatency(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	m := newTestManager(t, clk)
+	s := register(t, m, "w", 0.5)
+	clk.Advance(time.Minute)
+
+	m.Ingest(s, Telemetry{Alpha: 0.5})
+	m.Ingest(s, Telemetry{Alpha: 0.5, Cycles: 2000})
+	d, _ := m.Ingest(s, Telemetry{Alpha: 0.5})
+	if d.Latency < 0.99 || d.Latency > 1.01 {
+		t.Fatalf("latency drift = %.3f, want 1.0 (mean over cycle-carrying samples only)", d.Latency)
+	}
+}
+
+func TestBeginRebalanceLatch(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	m := newTestManager(t, clk)
+	s := register(t, m, "w", 0.5)
+
+	if !m.BeginRebalance(s) {
+		t.Fatal("BeginRebalance failed on idle session")
+	}
+	if m.BeginRebalance(s) {
+		t.Fatal("BeginRebalance succeeded while latched")
+	}
+	m.CompleteRemap(s, ReasonRebalance, Drift{}, Plan{Tier: "estimate", Cores: []int{0, 1}})
+	if p := s.Plan(); p.Epoch != 1 || len(p.Cores) != 2 {
+		t.Fatalf("rebalanced plan = %+v", p)
+	}
+	if !m.BeginRebalance(s) {
+		t.Fatal("BeginRebalance failed after CompleteRemap released the latch")
+	}
+}
+
+func TestGroupAndListOrdering(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	m := newTestManager(t, clk)
+	var want []string
+	for i := 0; i < 5; i++ {
+		key := "g0"
+		if i%2 == 1 {
+			key = "g1"
+		}
+		s, err := m.Register("", key, nil, nil, Plan{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key == "g0" {
+			want = append(want, s.ID)
+		}
+		clk.Advance(time.Millisecond)
+	}
+	g := m.Group("g0")
+	if len(g) != len(want) {
+		t.Fatalf("Group(g0) has %d sessions, want %d", len(g), len(want))
+	}
+	for i, s := range g {
+		if s.ID != want[i] {
+			t.Fatalf("Group order[%d] = %s, want %s (creation order)", i, s.ID, want[i])
+		}
+	}
+	if l := m.List(); len(l) != 5 {
+		t.Fatalf("List has %d sessions, want 5", len(l))
+	}
+}
+
+// TestPlanSwapAtomicity hammers Plan() from readers while a writer
+// swaps epochs; under -race this proves plan reads are torn-free and
+// each observed plan is internally consistent (Epoch matches Tier
+// parity encoded by the writer).
+func TestPlanSwapAtomicity(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	m := newTestManager(t, clk)
+	s := register(t, m, "w", 0.5)
+
+	const swaps = 500
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				p := s.Plan()
+				if p == nil {
+					t.Error("Plan() returned nil")
+					return
+				}
+				// Writer invariant: even epochs are "estimate",
+				// odd are "verified"; a torn read would mismatch.
+				want := "estimate"
+				if p.Epoch%2 == 1 {
+					want = "verified"
+				}
+				if p.Tier != want {
+					t.Errorf("torn plan: epoch %d tier %q", p.Epoch, p.Tier)
+					return
+				}
+				if len(p.Cores) != p.Epoch%3 {
+					t.Errorf("torn plan: epoch %d cores %v", p.Epoch, p.Cores)
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i <= swaps; i++ {
+		tier := "estimate"
+		if i%2 == 1 {
+			tier = "verified"
+		}
+		cores := make([]int, i%3)
+		for j := range cores {
+			cores[j] = j
+		}
+		if !m.BeginRebalance(s) {
+			t.Fatal("BeginRebalance failed mid-hammer")
+		}
+		m.CompleteRemap(s, ReasonRebalance, Drift{}, Plan{Tier: tier, Cores: cores})
+	}
+	close(done)
+	wg.Wait()
+	if eps := s.Epochs(); len(eps) != swaps+1 {
+		t.Fatalf("history has %d epochs, want %d", len(eps), swaps+1)
+	}
+}
+
+// TestConcurrentIngestSingleTrigger: concurrent telemetry pushes past
+// the threshold take the latch exactly once.
+func TestConcurrentIngestSingleTrigger(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	m := newTestManager(t, clk)
+	s := register(t, m, "w", 0.9)
+	clk.Advance(time.Minute)
+
+	var wg sync.WaitGroup
+	var triggers int64
+	var mu sync.Mutex
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, trig := m.Ingest(s, Telemetry{Alpha: 0.1}); trig {
+					mu.Lock()
+					triggers++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if triggers != 1 {
+		t.Fatalf("latch taken %d times, want exactly 1", triggers)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	m := NewManager(Config{})
+	cfg := m.Config()
+	if cfg.AlphaTol != DefaultAlphaTol || cfg.LatencyTol != DefaultLatencyTol ||
+		cfg.Window != DefaultWindow || cfg.MinWindow != DefaultMinWindow ||
+		cfg.MinEpochGap != DefaultMinEpochGap || cfg.MaxTenants != DefaultMaxTenants ||
+		cfg.Now == nil {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	// MinWindow never exceeds Window.
+	if got := NewManager(Config{Window: 2, MinWindow: 5}).Config(); got.MinWindow != 2 {
+		t.Fatalf("MinWindow = %d, want clamped to Window=2", got.MinWindow)
+	}
+}
